@@ -1,0 +1,118 @@
+// Command figures regenerates the paper's evaluation figures end to end:
+//
+//	figures -fig 1            register-file AVF (FI + ACE + occupancy)
+//	figures -fig 2            local-memory AVF (7 shared-memory benchmarks)
+//	figures -fig 3            EPF (executions per failure, both structures)
+//	figures -fig all          everything
+//
+// Useful knobs: -n (injections per campaign; the paper uses 2000),
+// -seed, -bench (comma-separated subset), -chips (comma-separated subset).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/finject"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
+		n       = flag.Int("n", finject.DefaultInjections, "fault injections per campaign")
+		seed    = flag.Uint64("seed", 1, "campaign seed")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: figure-appropriate suite)")
+		chipSel = flag.String("chips", "", "comma-separated chip subset (default: the paper's four)")
+		workers = flag.Int("workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
+		asJSON  = flag.Bool("json", false, "emit figures as JSON instead of tables")
+	)
+	flag.Parse()
+
+	opts := core.Options{Injections: *n, Seed: *seed, Workers: *workers}
+	if *chipSel != "" {
+		for _, name := range strings.Split(*chipSel, ",") {
+			c, err := chips.ByName(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts.Chips = append(opts.Chips, c)
+		}
+	}
+	if *benches != "" {
+		for _, name := range strings.Split(*benches, ",") {
+			b, err := workloads.ByName(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts.Benchmarks = append(opts.Benchmarks, b)
+		}
+	}
+
+	run1 := *fig == "1" || *fig == "all"
+	run2 := *fig == "2" || *fig == "all"
+	run3 := *fig == "3" || *fig == "all"
+	if !run1 && !run2 && !run3 {
+		log.Fatalf("unknown figure %q (want 1, 2, 3 or all)", *fig)
+	}
+
+	if run1 {
+		start := time.Now()
+		f, err := core.FigureRegisterFile(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("Fig. 1 — Register File AVF (FI + ACE), %d injections/campaign", opts.Injections)
+		if err := writeFigure(f, title, *asJSON); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n(fig 1 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if run2 {
+		start := time.Now()
+		f, err := core.FigureLocalMemory(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("Fig. 2 — Local Memory AVF (FI + ACE), %d injections/campaign", opts.Injections)
+		if err := writeFigure(f, title, *asJSON); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n(fig 2 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if run3 {
+		start := time.Now()
+		f, err := core.FigureEPF(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := "Fig. 3 — Executions per Failure (EPF)"
+		var werr error
+		if *asJSON {
+			werr = report.WriteEPFJSON(os.Stdout, f, title)
+		} else {
+			werr = report.WriteEPF(os.Stdout, f, title)
+		}
+		if werr != nil {
+			log.Fatal(werr)
+		}
+		fmt.Printf("\n(fig 3 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeFigure renders an AVF figure as a table or as JSON.
+func writeFigure(f *core.Figure, title string, asJSON bool) error {
+	if asJSON {
+		return report.WriteFigureJSON(os.Stdout, f, title)
+	}
+	return report.WriteFigure(os.Stdout, f, title)
+}

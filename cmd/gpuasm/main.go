@@ -1,0 +1,78 @@
+// Command gpuasm assembles and inspects kernels in the two ISA dialects
+// used by the reproduction: the SASS-like NVIDIA dialect and the SI-like
+// AMD dialect. It reports the resource footprint that drives occupancy
+// (registers per thread, local memory per group, kernel parameters) and
+// can dump the resolved instruction stream.
+//
+//	gpuasm -dialect sass  kernel.sass
+//	gpuasm -dialect si -dis kernel.s
+//	echo '.kernel k
+//	EXIT' | gpuasm -dialect sass -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/sass"
+	"repro/internal/siasm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpuasm: ")
+	var (
+		dialect = flag.String("dialect", "sass", "ISA dialect: sass (NVIDIA) or si (AMD)")
+		dis     = flag.Bool("dis", false, "dump the resolved instruction stream")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: gpuasm [-dialect sass|si] [-dis] <file|->")
+	}
+
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *dialect {
+	case "sass":
+		p, err := sass.Assemble(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("kernel        %s\n", p.Name)
+		fmt.Printf("instructions  %d\n", len(p.Instrs))
+		fmt.Printf("regs/thread   %d\n", p.NumRegs)
+		fmt.Printf("shared bytes  %d\n", p.SharedBytes)
+		fmt.Printf("params        %d\n", p.NumParams)
+		if *dis {
+			fmt.Print(p.Disassemble())
+		}
+	case "si":
+		p, err := siasm.Assemble(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("kernel        %s\n", p.Name)
+		fmt.Printf("instructions  %d\n", len(p.Instrs))
+		fmt.Printf("vgprs/item    %d\n", p.NumVGPRs)
+		fmt.Printf("sgprs/wave    %d\n", p.NumSGPRs)
+		fmt.Printf("lds bytes     %d\n", p.LDSBytes)
+		fmt.Printf("kernargs      %d\n", p.NumKArgs)
+		if *dis {
+			fmt.Print(p.Disassemble())
+		}
+	default:
+		log.Fatalf("unknown dialect %q (want sass or si)", *dialect)
+	}
+}

@@ -1,0 +1,16 @@
+// Command gufi runs a single reliability-assessment campaign on one of
+// the simulated NVIDIA GPUs, mirroring the paper's GUFI tool (GPGPU-Sim
+// based): statistical fault injection plus ACE analysis on the register
+// file or shared memory.
+//
+//	gufi -chip "GeForce GTX 480" -bench matrixMul -structure regfile -n 2000
+package main
+
+import (
+	"repro/internal/cli"
+	"repro/internal/gpu"
+)
+
+func main() {
+	cli.Main("gufi", gpu.NVIDIA)
+}

@@ -1,0 +1,16 @@
+// Command sifi runs a single reliability-assessment campaign on the
+// simulated AMD Southern Islands GPU, mirroring the paper's SIFI tool
+// (Multi2Sim based): statistical fault injection plus ACE analysis on the
+// vector register file or the local data share.
+//
+//	sifi -bench reduction -structure local -n 2000
+package main
+
+import (
+	"repro/internal/cli"
+	"repro/internal/gpu"
+)
+
+func main() {
+	cli.Main("sifi", gpu.AMD)
+}

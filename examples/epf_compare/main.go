@@ -1,0 +1,45 @@
+// epf_compare: the paper's combined performance-reliability metric.
+//
+// AVF alone cannot compare chips with different clocks, structure sizes
+// and microarchitectures. This example computes EPF (Executions Per
+// Failure = EIT / FIT_GPU) for the reduction benchmark on all four GPUs,
+// showing how the metric folds execution time, structure capacity and
+// measured AVF into a single decision-making number (Fig. 3).
+//
+//	go run ./examples/epf_compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	bench, err := workloads.ByName("reduction")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := core.FigureEPF(core.Options{
+		Injections: 400,
+		Seed:       23,
+		Benchmarks: []*workloads.Benchmark{bench},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("reduction: Executions Per Failure by chip")
+	fmt.Printf("\n%-16s %12s %12s %9s %9s\n", "chip", "EPF", "exec (s)", "AVF-RF", "AVF-LM")
+	for ci, name := range data.ChipNames {
+		r := data.Rows[0][ci]
+		fmt.Printf("%-16s %12.3e %12.3e %8.2f%% %8.2f%%\n",
+			name, r.EPF, r.Seconds, 100*r.RegAVF, 100*r.LocalAVF)
+	}
+	_ = chips.Evaluated()
+	fmt.Println("\nLarger EPF = more correct executions between failures.")
+}

@@ -1,0 +1,73 @@
+// occupancy_sweep: quantifies the paper's "red line" observation — the
+// strong correlation between a structure's occupancy and its AVF.
+//
+// It measures the ACE AVF and the occupancy of every benchmark on one
+// chip (fast: one traced run per benchmark, no fault injection) and
+// reports the Pearson correlation coefficient across the suite for both
+// the register file and the local memory.
+//
+//	go run ./examples/occupancy_sweep [-chip "Quadro FX 5600"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/ace"
+	"repro/internal/chips"
+	"repro/internal/devices"
+	"repro/internal/gpu"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	chipName := flag.String("chip", "Quadro FX 5600", "chip to sweep")
+	flag.Parse()
+	chip, err := chips.ByName(*chipName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var regAVFs, regOccs, locAVFs, locOccs []float64
+	fmt.Printf("%s: ACE AVF vs occupancy across the suite\n\n", chip.Name)
+	fmt.Printf("%-11s %10s %10s %10s %10s\n", "benchmark", "RF AVF", "RF occ", "LM AVF", "LM occ")
+	for _, b := range workloads.All() {
+		d, err := devices.New(chip)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hp, err := b.New(chip.Vendor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		regAVF, locAVF, st, err := ace.Measure(d, hp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		regOcc := st.Occupancy(gpu.RegisterFile, int64(chip.Units)*int64(chip.RegsPerUnit))
+		locOcc := st.Occupancy(gpu.LocalMemory, int64(chip.Units)*int64(chip.LocalBytesPerUnit))
+		fmt.Printf("%-11s %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
+			b.Name, 100*regAVF, 100*regOcc, 100*locAVF, 100*locOcc)
+		regAVFs = append(regAVFs, regAVF)
+		regOccs = append(regOccs, regOcc)
+		if b.UsesLocal {
+			locAVFs = append(locAVFs, locAVF)
+			locOccs = append(locOccs, locOcc)
+		}
+	}
+
+	rReg, err := stats.PearsonCorrelation(regOccs, regAVFs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rLoc, err := stats.PearsonCorrelation(locOccs, locAVFs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPearson correlation (occupancy vs AVF):\n")
+	fmt.Printf("  register file: r = %+.3f\n", rReg)
+	fmt.Printf("  local memory:  r = %+.3f  (7 shared-memory benchmarks)\n", rLoc)
+}

@@ -1,0 +1,92 @@
+// protection_study: the decision-making use of EPF from the paper's
+// conclusion — "architects can quantify the effectiveness of a hardware
+// based error protection technique … along with a performance cost."
+//
+// It measures matrixMul on the GTX 480 with fault injection (separating
+// SDC from DUE outcomes per structure), then evaluates EPF under four
+// protection configurations: unprotected, parity on the register file,
+// SECDED on the register file, and SECDED on both structures.
+//
+//	go run ./examples/protection_study [-n 400]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/chips"
+	"repro/internal/finject"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/protect"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	inj := flag.Int("n", 400, "fault injections per structure")
+	flag.Parse()
+
+	chip := chips.GeForceGTX480()
+	bench, err := workloads.ByName("matrixMul")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure both structures, splitting SDC and DUE rates.
+	study := protect.Study{
+		ClockGHz:      chip.ClockGHz,
+		RawFITPerMbit: metrics.DefaultRawFITPerMbit,
+	}
+	for _, st := range []gpu.Structure{gpu.RegisterFile, gpu.LocalMemory} {
+		res, err := finject.Run(finject.Campaign{
+			Chip: chip, Benchmark: bench, Structure: st,
+			Injections: *inj, Seed: 31,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := float64(res.Injections)
+		study.Cycles = res.GoldenStats.Cycles
+		study.Structures = append(study.Structures, protect.StructureMeasurement{
+			Structure: st,
+			SDCAVF:    float64(res.Outcomes[gpu.OutcomeSDC]) / n,
+			DUEAVF:    float64(res.Outcomes[gpu.OutcomeDUE]+res.Outcomes[gpu.OutcomeTimeout]) / n,
+			Bits:      chip.StructBits(st),
+		})
+		fmt.Printf("measured %-14s SDC-AVF %.2f%%  DUE-AVF %.2f%%\n",
+			st, 100*float64(res.Outcomes[gpu.OutcomeSDC])/n,
+			100*float64(res.Outcomes[gpu.OutcomeDUE]+res.Outcomes[gpu.OutcomeTimeout])/n)
+	}
+
+	configs := []struct {
+		name string
+		cfgs []protect.Config
+	}{
+		{"unprotected", nil},
+		{"parity RF", []protect.Config{{Structure: gpu.RegisterFile, Scheme: protect.Parity, PerfOverhead: -1}}},
+		{"secded RF", []protect.Config{{Structure: gpu.RegisterFile, Scheme: protect.SECDED, PerfOverhead: -1}}},
+		{"secded RF+LM", []protect.Config{
+			{Structure: gpu.RegisterFile, Scheme: protect.SECDED, PerfOverhead: -1},
+			{Structure: gpu.LocalMemory, Scheme: protect.SECDED, PerfOverhead: -1},
+		}},
+	}
+
+	fmt.Printf("\n%-14s %12s %10s %10s %10s %12s\n",
+		"config", "EPF", "SDC FIT", "DUE FIT", "slowdown", "extra bits")
+	for _, c := range configs {
+		res, err := protect.Evaluate(study, c.cfgs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		epf := fmt.Sprintf("%.3e", res.EPF)
+		if res.EPF == 0 {
+			epf = "inf"
+		}
+		fmt.Printf("%-14s %12s %10.1f %10.1f %9.1f%% %12d\n",
+			c.name, epf, res.SDCFIT, res.DUEFIT, 100*res.Slowdown, res.ExtraBits)
+	}
+	fmt.Println("\nParity trades silent corruptions for detected errors at ~1% cost;")
+	fmt.Println("SECDED removes single-bit failures entirely for ~5% performance and 22% storage.")
+}

@@ -1,0 +1,71 @@
+// Quickstart: measure the soft-error vulnerability of one benchmark on
+// one GPU with both of the paper's methodologies.
+//
+// It runs vectoradd on the simulated GeForce GTX 480, injects 300 random
+// single-bit register-file faults, classifies each outcome against the
+// golden run, and compares the resulting AVF with a single-pass ACE
+// lifetime analysis.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ace"
+	"repro/internal/chips"
+	"repro/internal/devices"
+	"repro/internal/finject"
+	"repro/internal/gpu"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	chip := chips.GeForceGTX480()
+	bench, err := workloads.ByName("vectoradd")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Methodology 1: statistical fault injection (what GUFI does).
+	res, err := finject.Run(finject.Campaign{
+		Chip:       chip,
+		Benchmark:  bench,
+		Structure:  gpu.RegisterFile,
+		Injections: 300,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, hi, err := res.AVFInterval(0.99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Methodology 2: ACE lifetime analysis on one traced run.
+	d, err := devices.New(chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hp, err := bench.New(chip.Vendor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regACE, _, st, err := ace.Measure(d, hp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s running %s (register file)\n", chip.Name, bench.Name)
+	fmt.Printf("  golden run:   %d cycles, %d warp instructions\n", st.Cycles, st.Instructions)
+	fmt.Printf("  occupancy:    %.2f%%\n", 100*res.Occupancy)
+	fmt.Printf("  AVF by FI:    %.2f%%  (99%% CI [%.2f%%, %.2f%%], %d injections)\n",
+		100*res.AVF(), 100*lo, 100*hi, res.Injections)
+	fmt.Printf("  AVF by ACE:   %.2f%%  (single traced run)\n", 100*regACE)
+	fmt.Printf("  outcomes:     masked=%d sdc=%d due=%d timeout=%d\n",
+		res.Outcomes[gpu.OutcomeMasked], res.Outcomes[gpu.OutcomeSDC],
+		res.Outcomes[gpu.OutcomeDUE], res.Outcomes[gpu.OutcomeTimeout])
+}

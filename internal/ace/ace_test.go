@@ -1,0 +1,183 @@
+package ace
+
+import (
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/devices"
+	"repro/internal/gpu"
+	"repro/internal/workloads"
+)
+
+func newAnalyzerWithGeom(units, regs, local int) *Analyzer {
+	return &Analyzer{
+		regs:  newStructState(units, regs),
+		local: newStructState(units, local),
+	}
+}
+
+func TestIntervalClassification(t *testing.T) {
+	a := newAnalyzerWithGeom(1, 4, 4)
+	// Allocate entries 0..3 at cycle 0.
+	a.RegAlloc(0, 0, 4, 0)
+	// Entry 0: W@10 R@20 R@25 W@30 R@40 -> ACE = 10+5+10 = 25.
+	a.RegAccess(0, 0, 10, true)
+	a.RegAccess(0, 0, 20, false)
+	a.RegAccess(0, 0, 25, false)
+	a.RegAccess(0, 0, 30, true)
+	a.RegAccess(0, 0, 40, false)
+	// Entry 1: W@5 W@15 (write-write, tail) -> ACE = 0.
+	a.RegAccess(0, 1, 5, true)
+	a.RegAccess(0, 1, 15, true)
+	// Entry 2: R@10 before any write -> undefined read, ACE = 0.
+	a.RegAccess(0, 2, 10, false)
+	a.RegFree(0, 0, 4, 50)
+
+	if got := a.ACEEntryCycles(gpu.RegisterFile); got != 25 {
+		t.Fatalf("ACE entry-cycles = %v, want 25", got)
+	}
+	avf, err := a.AVF(gpu.RegisterFile, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 25.0 / (4 * 100); avf != want {
+		t.Fatalf("AVF = %v, want %v", avf, want)
+	}
+}
+
+func TestAccessOutsideAllocationIgnored(t *testing.T) {
+	a := newAnalyzerWithGeom(1, 4, 4)
+	a.RegAccess(0, 0, 10, true)
+	a.RegAccess(0, 0, 20, false) // no allocation bracket
+	if got := a.ACEEntryCycles(gpu.RegisterFile); got != 0 {
+		t.Fatalf("unallocated accesses accumulated ACE %v", got)
+	}
+}
+
+func TestReallocationResetsDefined(t *testing.T) {
+	a := newAnalyzerWithGeom(1, 2, 2)
+	a.RegAlloc(0, 0, 2, 0)
+	a.RegAccess(0, 0, 10, true)
+	a.RegFree(0, 0, 2, 20)
+	// New owner reads before writing: must not count the stale value.
+	a.RegAlloc(0, 0, 2, 30)
+	a.RegAccess(0, 0, 40, false)
+	if got := a.ACEEntryCycles(gpu.RegisterFile); got != 0 {
+		t.Fatalf("stale defined flag leaked across reallocation: ACE %v", got)
+	}
+}
+
+func TestLocalAccessSpansBytes(t *testing.T) {
+	a := newAnalyzerWithGeom(1, 4, 16)
+	a.LocalAlloc(0, 0, 16, 0)
+	a.LocalAccess(0, 4, 4, 10, true)  // word write at offset 4
+	a.LocalAccess(0, 4, 4, 30, false) // word read
+	if got := a.ACEEntryCycles(gpu.LocalMemory); got != 4*20 {
+		t.Fatalf("local ACE = %v, want 80", got)
+	}
+}
+
+func TestMeasureOnRealRun(t *testing.T) {
+	for _, benchName := range []string{"matrixMul", "reduction"} {
+		b, err := workloads.ByName(benchName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chip := range []*chips.Chip{chips.MiniNVIDIA(), chips.MiniAMD()} {
+			d, err := devices.New(chip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hp, err := b.New(chip.Vendor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regAVF, localAVF, st, err := Measure(d, hp)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", benchName, chip.Name, err)
+			}
+			if regAVF <= 0 || regAVF > 1 {
+				t.Fatalf("%s on %s: register AVF %v implausible", benchName, chip.Name, regAVF)
+			}
+			if localAVF <= 0 || localAVF > 1 {
+				t.Fatalf("%s on %s: local AVF %v implausible", benchName, chip.Name, localAVF)
+			}
+			if st.Cycles <= 0 {
+				t.Fatalf("no cycles recorded")
+			}
+		}
+	}
+}
+
+func TestUnitAVFBreakdown(t *testing.T) {
+	a := newAnalyzerWithGeom(2, 4, 4)
+	a.RegAlloc(0, 0, 4, 0)
+	a.RegAccess(0, 0, 10, true)
+	a.RegAccess(0, 0, 30, false) // 20 ACE entry-cycles on unit 0 only
+	a.RegFree(0, 0, 4, 40)
+	unit, err := a.UnitAVF(gpu.RegisterFile, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unit) != 2 {
+		t.Fatalf("unit count %d", len(unit))
+	}
+	if want := 20.0 / (4 * 100); unit[0] != want || unit[1] != 0 {
+		t.Fatalf("unit AVFs %v, want [%v 0]", unit, want)
+	}
+	// The unit breakdown must average (weighted equally here) to the
+	// chip-wide AVF.
+	avf, err := a.AVF(gpu.RegisterFile, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := (unit[0] + unit[1]) / 2; got != avf {
+		t.Fatalf("unit mean %v != chip AVF %v", got, avf)
+	}
+}
+
+func TestUnitAVFOnRealRun(t *testing.T) {
+	b, err := workloads.ByName("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := chips.MiniNVIDIA()
+	d, err := devices.New(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := b.New(chip.Vendor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewAnalyzer(d)
+	d.SetTracer(an)
+	if err := hp.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	unit, err := an.UnitAVF(gpu.RegisterFile, d.Stats().Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range unit {
+		if v < 0 || v > 1 {
+			t.Fatalf("unit AVF out of range: %v", unit)
+		}
+		sum += v
+	}
+	avf, err := an.AVF(gpu.RegisterFile, d.Stats().Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum / float64(len(unit)); mathAbs(got-avf) > 1e-12 {
+		t.Fatalf("unit mean %v != chip AVF %v", got, avf)
+	}
+}
+
+func mathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

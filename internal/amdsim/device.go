@@ -1,0 +1,496 @@
+// Package amdsim is a cycle-level simulator of AMD Southern Islands
+// compute units executing the SI-like ISA of internal/siasm. It is the
+// reproduction's stand-in for Multi2Sim 4.2, the substrate of the paper's
+// SIFI tool.
+//
+// The model: a chip is a set of compute units (CUs). Workgroups are
+// dispatched to CUs subject to residency limits (workgroups, wavefronts,
+// VGPR file, LDS). Each wavefront of 64 work-items executes scalar
+// instructions once and vector instructions per active lane under the
+// program-managed EXEC mask, with per-wavefront scoreboarding and
+// round-robin issue of up to IssueWidth wavefront instructions per CU per
+// IssuePeriod cycles (a Tahiti CU feeds 4 SIMD units, one wavefront slot
+// each per 4-cycle cadence).
+//
+// Fault-injection targets the physical VGPR file (the paper's "vector
+// register file") and the LDS ("local memory"); the tracer streams the
+// same accesses to the ACE analysis.
+package amdsim
+
+import (
+	"fmt"
+
+	"repro/internal/chips"
+	"repro/internal/gpu"
+	"repro/internal/siasm"
+)
+
+// DefaultWatchdog is the per-launch cycle budget when none is set.
+const DefaultWatchdog = 50_000_000
+
+// Device is one simulated AMD GPU.
+type Device struct {
+	chip  *chips.Chip
+	mem   *gpu.Memory
+	cus   []*cu
+	stats gpu.RunStats
+
+	fault        *gpu.Fault
+	faultApplied bool
+	tracer       gpu.Tracer
+	watchdog     int64
+
+	cycle int64
+}
+
+type cu struct {
+	id       int
+	vgprs    []uint32
+	lds      []byte
+	groups   []*group
+	slots    []bool
+	rrWave   int
+	greedy   *wavefront // GTO: wavefront that issued most recently
+	liveWave int
+}
+
+type group struct {
+	id         int
+	wgX, wgY   int
+	slot       int
+	vgprBase   int
+	vgprCount  int
+	ldsBase    int
+	ldsCount   int
+	waves      []*wavefront
+	live       int
+	arrived    int
+	allocCycle int64
+}
+
+type wavefront struct {
+	grp   *group
+	idx   int
+	pc    int
+	valid uint64
+	exec  uint64
+	vcc   uint64
+	scc   bool
+	sgprs [siasm.MaxSGPRs]uint32
+
+	vgprReady []int64
+	sgprReady [siasm.MaxSGPRs]int64
+	vccReady  int64
+	execReady int64
+	sccReady  int64
+
+	atBarrier  bool
+	done       bool
+	wakeAt     int64
+	threadBase int // linear work-item id of lane 0 within the group
+	vgprWBase  int // physical VGPR base of this wavefront
+}
+
+type launchCtx struct {
+	prog      *siasm.Program
+	args      []uint32
+	grid      gpu.Dim3
+	group     gpu.Dim3
+	threads   int
+	wavesPerG int
+	vgprPerG  int
+	ldsPerG   int
+}
+
+// New creates a device for an AMD chip configuration.
+func New(chip *chips.Chip) (*Device, error) {
+	if err := chip.Validate(); err != nil {
+		return nil, err
+	}
+	if chip.Vendor != gpu.AMD {
+		return nil, fmt.Errorf("amdsim: chip %s is not an AMD configuration", chip.Name)
+	}
+	d := &Device{
+		chip:     chip,
+		mem:      gpu.NewMemory(chip.GlobalMemBytes),
+		watchdog: DefaultWatchdog,
+	}
+	d.cus = make([]*cu, chip.Units)
+	for i := range d.cus {
+		d.cus[i] = &cu{
+			id:    i,
+			vgprs: make([]uint32, chip.RegsPerUnit),
+			lds:   make([]byte, chip.LocalBytesPerUnit),
+		}
+	}
+	return d, nil
+}
+
+// Name implements gpu.Device.
+func (d *Device) Name() string { return d.chip.Name }
+
+// Vendor implements gpu.Device.
+func (d *Device) Vendor() gpu.Vendor { return gpu.AMD }
+
+// Mem implements gpu.Device.
+func (d *Device) Mem() *gpu.Memory { return d.mem }
+
+// Stats implements gpu.Device.
+func (d *Device) Stats() gpu.RunStats { return d.stats }
+
+// Units implements gpu.Device.
+func (d *Device) Units() int { return d.chip.Units }
+
+// StructSize implements gpu.Device.
+func (d *Device) StructSize(st gpu.Structure) int { return d.chip.StructSize(st) }
+
+// StructBits implements gpu.Device.
+func (d *Device) StructBits(st gpu.Structure) int64 { return d.chip.StructBits(st) }
+
+// ClockGHz implements gpu.Device.
+func (d *Device) ClockGHz() float64 { return d.chip.ClockGHz }
+
+// InjectFault implements gpu.Device.
+func (d *Device) InjectFault(f *gpu.Fault) {
+	d.fault = f
+	d.faultApplied = false
+}
+
+// SetTracer implements gpu.Device.
+func (d *Device) SetTracer(t gpu.Tracer) { d.tracer = t }
+
+// SetWatchdog implements gpu.Device.
+func (d *Device) SetWatchdog(maxCycles int64) {
+	if maxCycles <= 0 {
+		d.watchdog = DefaultWatchdog
+		return
+	}
+	d.watchdog = maxCycles
+}
+
+// Reset implements gpu.Device.
+func (d *Device) Reset() {
+	d.mem.Reset()
+	for _, c := range d.cus {
+		clear(c.vgprs)
+		clear(c.lds)
+		c.groups = nil
+		c.slots = nil
+		c.rrWave = 0
+		c.greedy = nil
+		c.liveWave = 0
+	}
+	d.stats = gpu.RunStats{}
+	d.cycle = 0
+	d.fault = nil
+	d.faultApplied = false
+	d.tracer = nil
+	d.watchdog = DefaultWatchdog
+}
+
+// Launch implements gpu.Device.
+func (d *Device) Launch(spec gpu.LaunchSpec) error {
+	prog, ok := spec.Kernel.(*siasm.Program)
+	if !ok {
+		return fmt.Errorf("amdsim: kernel %T is not a *siasm.Program", spec.Kernel)
+	}
+	lc, slotsPerCU, err := d.prepare(prog, spec)
+	if err != nil {
+		return err
+	}
+
+	totalGroups := spec.Grid.Count()
+	nextGroup := 0
+	retired := 0
+	launchStart := d.cycle
+	period := int64(d.chip.IssuePeriod)
+
+	for _, c := range d.cus {
+		c.groups = make([]*group, slotsPerCU)
+		c.slots = make([]bool, slotsPerCU)
+		c.rrWave = 0
+		c.greedy = nil
+		c.liveWave = 0
+	}
+
+	for retired < totalGroups {
+		if d.cycle-launchStart > d.watchdog {
+			return gpu.ErrWatchdog
+		}
+		d.applyFault()
+
+		for _, c := range d.cus {
+			if nextGroup >= totalGroups {
+				break
+			}
+			for slot := 0; slot < slotsPerCU && nextGroup < totalGroups; slot++ {
+				if c.slots[slot] {
+					continue
+				}
+				d.dispatch(c, slot, nextGroup, lc)
+				nextGroup++
+			}
+		}
+
+		progress := false
+		nextWake := int64(1) << 62
+		for _, c := range d.cus {
+			if c.liveWave == 0 {
+				continue
+			}
+			issued, wake, err := d.issueCU(c, lc)
+			if err != nil {
+				return err
+			}
+			if issued > 0 {
+				progress = true
+			}
+			if wake < nextWake {
+				nextWake = wake
+			}
+			for slot, g := range c.groups {
+				if g != nil && g.live == 0 {
+					d.retire(c, slot, g)
+					retired++
+					progress = true
+				}
+			}
+		}
+
+		if retired >= totalGroups {
+			break
+		}
+		if progress || nextWake <= d.cycle {
+			d.cycle += period
+		} else if nextWake < (int64(1) << 62) {
+			d.cycle = nextWake
+		} else {
+			return fmt.Errorf("amdsim: deadlock at cycle %d (barrier starvation)", d.cycle)
+		}
+	}
+	d.stats.Cycles = d.cycle
+	d.stats.Launches++
+	return nil
+}
+
+func (d *Device) prepare(prog *siasm.Program, spec gpu.LaunchSpec) (*launchCtx, int, error) {
+	c := d.chip
+	threads := spec.Group.Count()
+	if threads <= 0 {
+		return nil, 0, fmt.Errorf("amdsim: empty workgroup")
+	}
+	if spec.Grid.Count() <= 0 {
+		return nil, 0, fmt.Errorf("amdsim: empty NDRange")
+	}
+	if len(spec.Args) < prog.NumKArgs {
+		return nil, 0, fmt.Errorf("amdsim: kernel %s reads %d kernarg words, launch provides %d",
+			prog.Name, prog.NumKArgs, len(spec.Args))
+	}
+	wavesPerG := (threads + c.WarpWidth - 1) / c.WarpWidth
+	vgprPerG := wavesPerG * c.WarpWidth * prog.NumVGPRs
+	ldsPerG := prog.LDSBytes
+
+	limit := c.MaxGroupsPerUnit
+	if byWaves := c.MaxWarpsPerUnit / wavesPerG; byWaves < limit {
+		limit = byWaves
+	}
+	if vgprPerG > 0 {
+		if byRegs := c.RegsPerUnit / vgprPerG; byRegs < limit {
+			limit = byRegs
+		}
+	}
+	if ldsPerG > 0 {
+		if byLDS := c.LocalBytesPerUnit / ldsPerG; byLDS < limit {
+			limit = byLDS
+		}
+	}
+	if limit <= 0 {
+		return nil, 0, fmt.Errorf("amdsim: kernel %s (%d VGPRs, %d LDS bytes, %d work-items) does not fit on %s",
+			prog.Name, prog.NumVGPRs, ldsPerG, threads, c.Name)
+	}
+	return &launchCtx{
+		prog: prog, args: spec.Args, grid: spec.Grid, group: spec.Group,
+		threads: threads, wavesPerG: wavesPerG, vgprPerG: vgprPerG, ldsPerG: ldsPerG,
+	}, limit, nil
+}
+
+func (d *Device) dispatch(c *cu, slot, groupID int, lc *launchCtx) {
+	gx := lc.grid.X
+	if gx <= 0 {
+		gx = 1
+	}
+	g := &group{
+		id:         groupID,
+		wgX:        groupID % gx,
+		wgY:        groupID / gx,
+		slot:       slot,
+		vgprBase:   slot * lc.vgprPerG,
+		vgprCount:  lc.vgprPerG,
+		ldsBase:    slot * lc.ldsPerG,
+		ldsCount:   lc.ldsPerG,
+		live:       lc.wavesPerG,
+		allocCycle: d.cycle,
+	}
+	ww := d.chip.WarpWidth
+	nv := lc.prog.NumVGPRs
+	lsx := lc.group.X
+	if lsx <= 0 {
+		lsx = 1
+	}
+	lsy := lc.group.Y
+	if lsy <= 0 {
+		lsy = 1
+	}
+	g.waves = make([]*wavefront, lc.wavesPerG)
+	for w := range g.waves {
+		base := w * ww
+		var valid uint64
+		n := lc.threads - base
+		if n >= ww {
+			valid = ^uint64(0) >> (64 - ww)
+		} else {
+			valid = (uint64(1) << n) - 1
+		}
+		wf := &wavefront{
+			grp: g, idx: w, valid: valid, exec: valid,
+			vgprReady:  make([]int64, nv),
+			threadBase: base,
+			vgprWBase:  g.vgprBase + w*ww*nv,
+		}
+		wf.sgprs[siasm.SRegWGIDX] = uint32(g.wgX)
+		wf.sgprs[siasm.SRegWGIDY] = uint32(g.wgY)
+		// Hardware preloads the work-item local id into v0 (and v1 for
+		// 2-D groups). These are genuine VGPR writes: trace them.
+		for lane := 0; lane < ww; lane++ {
+			if valid&(1<<lane) == 0 {
+				continue
+			}
+			t := base + lane
+			d.writeVGPR(c, wf, lane, 0, uint32(t%lsx))
+			if nv > 1 {
+				d.writeVGPR(c, wf, lane, 1, uint32((t/lsx)%lsy))
+			}
+		}
+		g.waves[w] = wf
+	}
+	c.groups[slot] = g
+	c.slots[slot] = true
+	c.liveWave += lc.wavesPerG
+	if t := d.tracer; t != nil {
+		if g.vgprCount > 0 {
+			t.RegAlloc(c.id, g.vgprBase, g.vgprCount, d.cycle)
+		}
+		if g.ldsCount > 0 {
+			t.LocalAlloc(c.id, g.ldsBase, g.ldsCount, d.cycle)
+		}
+	}
+}
+
+func (d *Device) retire(c *cu, slot int, g *group) {
+	dur := float64(d.cycle - g.allocCycle)
+	d.stats.RegOcc.AllocUnitCycles += float64(g.vgprCount) * dur
+	d.stats.LocalOcc.AllocUnitCycles += float64(g.ldsCount) * dur
+	if t := d.tracer; t != nil {
+		if g.vgprCount > 0 {
+			t.RegFree(c.id, g.vgprBase, g.vgprCount, d.cycle)
+		}
+		if g.ldsCount > 0 {
+			t.LocalFree(c.id, g.ldsBase, g.ldsCount, d.cycle)
+		}
+	}
+	c.groups[slot] = nil
+	c.slots[slot] = false
+}
+
+func (d *Device) applyFault() {
+	f := d.fault
+	if f == nil || d.faultApplied || d.cycle < f.Cycle {
+		return
+	}
+	d.faultApplied = true
+	if f.Unit < 0 || f.Unit >= len(d.cus) {
+		return
+	}
+	c := d.cus[f.Unit]
+	switch f.Structure {
+	case gpu.RegisterFile:
+		if f.Entry >= 0 && f.Entry < len(c.vgprs) {
+			c.vgprs[f.Entry] ^= f.Mask(32)
+		}
+	case gpu.LocalMemory:
+		if f.Entry >= 0 && f.Entry < len(c.lds) {
+			c.lds[f.Entry] ^= byte(f.Mask(8))
+		}
+	}
+}
+
+func (d *Device) issueCU(c *cu, lc *launchCtx) (int, int64, error) {
+	issued := 0
+	nextWake := int64(1) << 62
+	var order []*wavefront
+	for _, g := range c.groups {
+		if g == nil {
+			continue
+		}
+		for _, w := range g.waves {
+			if !w.done {
+				order = append(order, w)
+			}
+		}
+	}
+	n := len(order)
+	if n == 0 {
+		return 0, nextWake, nil
+	}
+	// Greedy-then-oldest: the most recently issued wavefront gets first
+	// claim; the fallback scan is oldest-first (dispatch order).
+	if d.chip.Scheduler == chips.SchedGTO {
+		if g := c.greedy; g != nil && !g.done && !g.atBarrier && g.wakeAt <= d.cycle {
+			ok, wake, err := d.tryIssue(c, g, lc)
+			if err != nil {
+				return issued, nextWake, err
+			}
+			if ok {
+				issued++
+			} else if wake > d.cycle {
+				g.wakeAt = wake
+				if wake < nextWake {
+					nextWake = wake
+				}
+			}
+		}
+	}
+	start := 0
+	if d.chip.Scheduler == chips.SchedRR {
+		start = c.rrWave % n
+	}
+	for k := 0; k < n && issued < d.chip.IssueWidth; k++ {
+		w := order[(start+k)%n]
+		if w.done || w.atBarrier || (d.chip.Scheduler == chips.SchedGTO && w == c.greedy) {
+			continue
+		}
+		if w.wakeAt > d.cycle {
+			if w.wakeAt < nextWake {
+				nextWake = w.wakeAt
+			}
+			continue
+		}
+		ok, wake, err := d.tryIssue(c, w, lc)
+		if err != nil {
+			return issued, nextWake, err
+		}
+		if ok {
+			issued++
+			c.rrWave = (start + k + 1) % n
+			c.greedy = w
+		} else if wake > d.cycle {
+			w.wakeAt = wake
+			if wake < nextWake {
+				nextWake = wake
+			}
+		}
+	}
+	return issued, nextWake, nil
+}
+
+var _ gpu.Device = (*Device)(nil)

@@ -1,0 +1,653 @@
+package amdsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/siasm"
+)
+
+func (d *Device) latency(cl siasm.Class) int64 {
+	switch cl {
+	case siasm.ClassSFU:
+		return int64(d.chip.SFULat)
+	case siasm.ClassLDS:
+		return int64(d.chip.LocalLat)
+	case siasm.ClassGlobal:
+		return int64(d.chip.GlobalLat)
+	default:
+		return int64(d.chip.ALULat)
+	}
+}
+
+// opReady returns the scoreboard time of one operand.
+func (w *wavefront) opReady(o siasm.Operand) int64 {
+	switch o.Kind {
+	case siasm.OperandVReg:
+		if int(o.Reg) < len(w.vgprReady) {
+			return w.vgprReady[o.Reg]
+		}
+	case siasm.OperandSReg:
+		return w.sgprReady[o.Reg]
+	case siasm.OperandSReg64:
+		a := w.sgprReady[o.Reg]
+		if int(o.Reg)+1 < len(w.sgprReady) && w.sgprReady[o.Reg+1] > a {
+			a = w.sgprReady[o.Reg+1]
+		}
+		return a
+	case siasm.OperandVCC:
+		return w.vccReady
+	case siasm.OperandEXEC:
+		return w.execReady
+	}
+	return 0
+}
+
+// depReady returns the cycle at which all dependencies are available.
+func (w *wavefront) depReady(in *siasm.Instr) int64 {
+	t := w.opReady(in.Dst)
+	for _, o := range in.Src {
+		if r := w.opReady(o); r > t {
+			t = r
+		}
+	}
+	switch siasm.OpClass(in.Op) {
+	case siasm.ClassVector, siasm.ClassSFU, siasm.ClassLDS, siasm.ClassGlobal:
+		if in.Op != siasm.OpSLoadDW && w.execReady > t {
+			t = w.execReady
+		}
+	}
+	switch in.Op {
+	case siasm.OpVCndmask:
+		if w.vccReady > t {
+			t = w.vccReady
+		}
+	case siasm.OpSCBranch:
+		switch in.BrCond {
+		case siasm.BrSCC0, siasm.BrSCC1:
+			if w.sccReady > t {
+				t = w.sccReady
+			}
+		case siasm.BrVCCZ, siasm.BrVCCNZ:
+			if w.vccReady > t {
+				t = w.vccReady
+			}
+		default:
+			if w.execReady > t {
+				t = w.execReady
+			}
+		}
+	case siasm.OpSAndSaveexec, siasm.OpSOrSaveexec:
+		if w.execReady > t {
+			t = w.execReady
+		}
+	}
+	return t
+}
+
+// vgprIndex maps (wavefront, lane, architectural VGPR) to the physical
+// entry within the CU's VGPR file (register-major layout).
+func (d *Device) vgprIndex(w *wavefront, lane int, r uint8) int {
+	return w.vgprWBase + int(r)*d.chip.WarpWidth + lane
+}
+
+func (d *Device) readVGPR(c *cu, w *wavefront, lane int, r uint8) uint32 {
+	idx := d.vgprIndex(w, lane, r)
+	if t := d.tracer; t != nil {
+		t.RegAccess(c.id, idx, d.cycle, false)
+	}
+	return c.vgprs[idx]
+}
+
+func (d *Device) writeVGPR(c *cu, w *wavefront, lane int, r uint8, v uint32) {
+	idx := d.vgprIndex(w, lane, r)
+	if t := d.tracer; t != nil {
+		t.RegAccess(c.id, idx, d.cycle, true)
+	}
+	c.vgprs[idx] = v
+}
+
+// readOp32 evaluates a 32-bit source for one lane.
+func (d *Device) readOp32(c *cu, w *wavefront, lane int, o siasm.Operand) (uint32, error) {
+	switch o.Kind {
+	case siasm.OperandVReg:
+		return d.readVGPR(c, w, lane, o.Reg), nil
+	case siasm.OperandSReg:
+		return w.sgprs[o.Reg], nil
+	case siasm.OperandImm:
+		return o.Imm, nil
+	default:
+		return 0, fmt.Errorf("amdsim: operand %s is not a 32-bit source", o)
+	}
+}
+
+// read64 evaluates a 64-bit scalar source.
+func (w *wavefront) read64(o siasm.Operand) (uint64, error) {
+	switch o.Kind {
+	case siasm.OperandSReg64:
+		return uint64(w.sgprs[o.Reg]) | uint64(w.sgprs[o.Reg+1])<<32, nil
+	case siasm.OperandVCC:
+		return w.vcc, nil
+	case siasm.OperandEXEC:
+		return w.exec, nil
+	case siasm.OperandImm:
+		return uint64(int64(int32(o.Imm))), nil
+	default:
+		return 0, fmt.Errorf("amdsim: operand %s is not a 64-bit scalar", o)
+	}
+}
+
+// write64 stores to a 64-bit scalar destination; EXEC writes are masked
+// to existing lanes.
+func (w *wavefront) write64(o siasm.Operand, v uint64, ready int64) error {
+	switch o.Kind {
+	case siasm.OperandSReg64:
+		w.sgprs[o.Reg] = uint32(v)
+		w.sgprs[o.Reg+1] = uint32(v >> 32)
+		w.sgprReady[o.Reg] = ready
+		w.sgprReady[o.Reg+1] = ready
+	case siasm.OperandVCC:
+		w.vcc = v
+		w.vccReady = ready
+	case siasm.OperandEXEC:
+		w.exec = v & w.valid
+		w.execReady = ready
+	default:
+		return fmt.Errorf("amdsim: operand %s is not a 64-bit destination", o)
+	}
+	return nil
+}
+
+func (d *Device) finishWave(c *cu, w *wavefront) {
+	if w.done {
+		return
+	}
+	w.done = true
+	g := w.grp
+	g.live--
+	c.liveWave--
+	if g.live > 0 && g.arrived >= g.live {
+		releaseBarrier(g, d.cycle)
+	}
+}
+
+func releaseBarrier(g *group, cycle int64) {
+	g.arrived = 0
+	for _, w := range g.waves {
+		if !w.done && w.atBarrier {
+			w.atBarrier = false
+			w.wakeAt = cycle
+		}
+	}
+}
+
+// tryIssue attempts to issue the wavefront's next instruction.
+func (d *Device) tryIssue(c *cu, w *wavefront, lc *launchCtx) (bool, int64, error) {
+	if w.pc < 0 || w.pc >= len(lc.prog.Instrs) {
+		return false, 0, fmt.Errorf("amdsim: kernel %s: invalid PC %d (wave %d of group %d)",
+			lc.prog.Name, w.pc, w.idx, w.grp.id)
+	}
+	in := &lc.prog.Instrs[w.pc]
+	if ready := w.depReady(in); ready > d.cycle {
+		return false, ready, nil
+	}
+	lat := d.latency(siasm.OpClass(in.Op))
+	active := w.exec & w.valid
+	ww := d.chip.WarpWidth
+
+	d.stats.Instructions++
+	switch siasm.OpClass(in.Op) {
+	case siasm.ClassVector, siasm.ClassSFU, siasm.ClassLDS, siasm.ClassGlobal:
+		d.stats.LaneInstructions += int64(popcount64(active))
+	default:
+		d.stats.LaneInstructions++
+	}
+
+	switch in.Op {
+	case siasm.OpSNop, siasm.OpSWaitcnt:
+		w.pc++
+
+	case siasm.OpSEndpgm:
+		w.pc++
+		d.finishWave(c, w)
+
+	case siasm.OpSBranch:
+		w.pc = in.Target
+
+	case siasm.OpSCBranch:
+		taken := false
+		switch in.BrCond {
+		case siasm.BrSCC0:
+			taken = !w.scc
+		case siasm.BrSCC1:
+			taken = w.scc
+		case siasm.BrVCCZ:
+			taken = w.vcc == 0
+		case siasm.BrVCCNZ:
+			taken = w.vcc != 0
+		case siasm.BrEXECZ:
+			taken = active == 0
+		case siasm.BrEXECNZ:
+			taken = active != 0
+		}
+		if taken {
+			w.pc = in.Target
+		} else {
+			w.pc++
+		}
+
+	case siasm.OpSBarrier:
+		w.pc++
+		w.atBarrier = true
+		w.grp.arrived++
+		if w.grp.arrived >= w.grp.live {
+			releaseBarrier(w.grp, d.cycle)
+		}
+
+	case siasm.OpSMov32, siasm.OpSAdd, siasm.OpSSub, siasm.OpSMul,
+		siasm.OpSAnd32, siasm.OpSOr32, siasm.OpSXor32,
+		siasm.OpSLshl, siasm.OpSLshr, siasm.OpSMin, siasm.OpSMax:
+		if err := d.execScalar32(c, w, in, lat); err != nil {
+			return false, 0, err
+		}
+		w.pc++
+
+	case siasm.OpSCmp:
+		a, err := d.readOp32(c, w, 0, in.Src[0])
+		if err != nil {
+			return false, 0, err
+		}
+		b, err := d.readOp32(c, w, 0, in.Src[1])
+		if err != nil {
+			return false, 0, err
+		}
+		w.scc = in.Cond.Eval(in.CmpTy, a, b)
+		w.sccReady = d.cycle + lat
+		w.pc++
+
+	case siasm.OpSLoadDW:
+		w.sgprs[in.Dst.Reg] = lc.args[in.KArg]
+		w.sgprReady[in.Dst.Reg] = d.cycle + lat
+		w.pc++
+
+	case siasm.OpSMov64, siasm.OpSNot64, siasm.OpSAnd64, siasm.OpSOr64,
+		siasm.OpSXor64, siasm.OpSAndn264:
+		if err := d.execScalar64(w, in, lat); err != nil {
+			return false, 0, err
+		}
+		w.pc++
+
+	case siasm.OpSAndSaveexec, siasm.OpSOrSaveexec:
+		s0, err := w.read64(in.Src[0])
+		if err != nil {
+			return false, 0, err
+		}
+		old := w.exec
+		if err := w.write64(in.Dst, old, d.cycle+lat); err != nil {
+			return false, 0, err
+		}
+		if in.Op == siasm.OpSAndSaveexec {
+			w.exec = (old & s0) & w.valid
+		} else {
+			w.exec = (old | s0) & w.valid
+		}
+		w.execReady = d.cycle + lat
+		w.scc = w.exec != 0
+		w.sccReady = d.cycle + lat
+		w.pc++
+
+	case siasm.OpVCmp:
+		var mask uint64
+		for lane := 0; lane < ww; lane++ {
+			if active&(1<<lane) == 0 {
+				continue
+			}
+			a, err := d.readOp32(c, w, lane, in.Src[0])
+			if err != nil {
+				return false, 0, err
+			}
+			b, err := d.readOp32(c, w, lane, in.Src[1])
+			if err != nil {
+				return false, 0, err
+			}
+			if in.Cond.Eval(in.CmpTy, a, b) {
+				mask |= 1 << lane
+			}
+		}
+		w.vcc = mask
+		w.vccReady = d.cycle + lat
+		w.pc++
+
+	case siasm.OpDSRead, siasm.OpDSWrite:
+		if err := d.execLDS(c, w, in, active, ww); err != nil {
+			return false, 0, err
+		}
+		if in.Op == siasm.OpDSRead {
+			w.vgprReady[in.Dst.Reg] = d.cycle + lat
+		}
+		w.pc++
+
+	case siasm.OpBufLoad, siasm.OpBufStor:
+		if err := d.execBuffer(c, w, in, active, ww); err != nil {
+			return false, 0, err
+		}
+		if in.Op == siasm.OpBufLoad {
+			w.vgprReady[in.Dst.Reg] = d.cycle + lat
+		}
+		w.pc++
+
+	default: // vector ALU/SFU
+		for lane := 0; lane < ww; lane++ {
+			if active&(1<<lane) == 0 {
+				continue
+			}
+			v, err := d.execVALU(c, w, lane, in)
+			if err != nil {
+				return false, 0, err
+			}
+			d.writeVGPR(c, w, lane, in.Dst.Reg, v)
+		}
+		w.vgprReady[in.Dst.Reg] = d.cycle + lat
+		w.pc++
+	}
+
+	if w.pc >= len(lc.prog.Instrs) && !w.done {
+		return false, 0, fmt.Errorf("amdsim: kernel %s: control flow fell off program end", lc.prog.Name)
+	}
+	return true, 0, nil
+}
+
+func (d *Device) execScalar32(c *cu, w *wavefront, in *siasm.Instr, lat int64) error {
+	a, err := d.readOp32(c, w, 0, in.Src[0])
+	if err != nil {
+		return err
+	}
+	var b uint32
+	if in.Src[1].Kind != siasm.OperandNone {
+		b, err = d.readOp32(c, w, 0, in.Src[1])
+		if err != nil {
+			return err
+		}
+	}
+	var v uint32
+	switch in.Op {
+	case siasm.OpSMov32:
+		v = a
+	case siasm.OpSAdd:
+		v = a + b
+	case siasm.OpSSub:
+		v = a - b
+	case siasm.OpSMul:
+		v = uint32(int32(a) * int32(b))
+	case siasm.OpSAnd32:
+		v = a & b
+	case siasm.OpSOr32:
+		v = a | b
+	case siasm.OpSXor32:
+		v = a ^ b
+	case siasm.OpSLshl:
+		v = a << (b & 31)
+	case siasm.OpSLshr:
+		v = a >> (b & 31)
+	case siasm.OpSMin:
+		if int32(a) < int32(b) {
+			v = a
+		} else {
+			v = b
+		}
+	case siasm.OpSMax:
+		if int32(a) > int32(b) {
+			v = a
+		} else {
+			v = b
+		}
+	}
+	if in.Dst.Kind != siasm.OperandSReg {
+		return fmt.Errorf("amdsim: scalar destination %s is not an SGPR", in.Dst)
+	}
+	w.sgprs[in.Dst.Reg] = v
+	w.sgprReady[in.Dst.Reg] = d.cycle + lat
+	return nil
+}
+
+func (d *Device) execScalar64(w *wavefront, in *siasm.Instr, lat int64) error {
+	s0, err := w.read64(in.Src[0])
+	if err != nil {
+		return err
+	}
+	var s1 uint64
+	if in.Src[1].Kind != siasm.OperandNone {
+		s1, err = w.read64(in.Src[1])
+		if err != nil {
+			return err
+		}
+	}
+	var v uint64
+	switch in.Op {
+	case siasm.OpSMov64:
+		v = s0
+	case siasm.OpSNot64:
+		v = ^s0
+	case siasm.OpSAnd64:
+		v = s0 & s1
+	case siasm.OpSOr64:
+		v = s0 | s1
+	case siasm.OpSXor64:
+		v = s0 ^ s1
+	case siasm.OpSAndn264:
+		v = s0 &^ s1
+	}
+	return w.write64(in.Dst, v, d.cycle+lat)
+}
+
+func (d *Device) execVALU(c *cu, w *wavefront, lane int, in *siasm.Instr) (uint32, error) {
+	a, err := d.readOp32(c, w, lane, in.Src[0])
+	if err != nil {
+		return 0, err
+	}
+	var b uint32
+	if in.Src[1].Kind != siasm.OperandNone {
+		b, err = d.readOp32(c, w, lane, in.Src[1])
+		if err != nil {
+			return 0, err
+		}
+	}
+	fa := math.Float32frombits(a)
+	fb := math.Float32frombits(b)
+
+	switch in.Op {
+	case siasm.OpVMov:
+		return a, nil
+	case siasm.OpVAddI:
+		return a + b, nil
+	case siasm.OpVSubI:
+		return a - b, nil
+	case siasm.OpVMulI:
+		return uint32(int32(a) * int32(b)), nil
+	case siasm.OpVMinI:
+		if int32(a) < int32(b) {
+			return a, nil
+		}
+		return b, nil
+	case siasm.OpVMaxI:
+		if int32(a) > int32(b) {
+			return a, nil
+		}
+		return b, nil
+	case siasm.OpVAnd:
+		return a & b, nil
+	case siasm.OpVOr:
+		return a | b, nil
+	case siasm.OpVXor:
+		return a ^ b, nil
+	case siasm.OpVLshlrev:
+		return b << (a & 31), nil
+	case siasm.OpVLshrrev:
+		return b >> (a & 31), nil
+	case siasm.OpVAddF:
+		return math.Float32bits(fa + fb), nil
+	case siasm.OpVSubF:
+		return math.Float32bits(fa - fb), nil
+	case siasm.OpVMulF:
+		return math.Float32bits(fa * fb), nil
+	case siasm.OpVMacF:
+		dv := d.readVGPR(c, w, lane, in.Dst.Reg)
+		fd := math.Float32frombits(dv)
+		return math.Float32bits(float32(math.FMA(float64(fa), float64(fb), float64(fd)))), nil
+	case siasm.OpVMinF:
+		return math.Float32bits(fminf(fa, fb)), nil
+	case siasm.OpVMaxF:
+		return math.Float32bits(fmaxf(fa, fb)), nil
+	case siasm.OpVRcpF:
+		return math.Float32bits(1 / fa), nil
+	case siasm.OpVSqrtF:
+		return math.Float32bits(float32(math.Sqrt(float64(fa)))), nil
+	case siasm.OpVExpF:
+		return math.Float32bits(float32(math.Exp2(float64(fa)))), nil
+	case siasm.OpVLogF:
+		return math.Float32bits(float32(math.Log2(float64(fa)))), nil
+	case siasm.OpVCvtFI:
+		return math.Float32bits(float32(int32(a))), nil
+	case siasm.OpVCvtIF:
+		return uint32(f2i(fa)), nil
+	case siasm.OpVCndmask:
+		if w.vcc&(1<<lane) != 0 {
+			return b, nil
+		}
+		return a, nil
+	default:
+		return 0, fmt.Errorf("amdsim: unhandled vector opcode %v", in.Op)
+	}
+}
+
+func (d *Device) execLDS(c *cu, w *wavefront, in *siasm.Instr, active uint64, ww int) error {
+	g := w.grp
+	for lane := 0; lane < ww; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		addrOp := in.Src[0]
+		dataOp := in.Src[1]
+		addr, err := d.readOp32(c, w, lane, addrOp)
+		if err != nil {
+			return err
+		}
+		addr += uint32(in.MemOff)
+		if addr%4 != 0 {
+			return fmt.Errorf("amdsim: kernel LDS access misaligned %#x (PC %d)", addr, w.pc)
+		}
+		if int(addr)+4 > g.ldsCount {
+			return fmt.Errorf("amdsim: LDS access %#x beyond group allocation %d (PC %d)", addr, g.ldsCount, w.pc)
+		}
+		phys := g.ldsBase + int(addr)
+		if in.Op == siasm.OpDSRead {
+			if t := d.tracer; t != nil {
+				t.LocalAccess(c.id, phys, 4, d.cycle, false)
+			}
+			v := binary.LittleEndian.Uint32(c.lds[phys:])
+			d.writeVGPR(c, w, lane, in.Dst.Reg, v)
+		} else {
+			v, err := d.readOp32(c, w, lane, dataOp)
+			if err != nil {
+				return err
+			}
+			if t := d.tracer; t != nil {
+				t.LocalAccess(c.id, phys, 4, d.cycle, true)
+			}
+			binary.LittleEndian.PutUint32(c.lds[phys:], v)
+		}
+	}
+	return nil
+}
+
+func (d *Device) execBuffer(c *cu, w *wavefront, in *siasm.Instr, active uint64, ww int) error {
+	for lane := 0; lane < ww; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		if in.Op == siasm.OpBufLoad {
+			addr, err := d.readOp32(c, w, lane, in.Src[0])
+			if err != nil {
+				return err
+			}
+			addr += uint32(in.MemOff)
+			if addr%4 != 0 {
+				return fmt.Errorf("amdsim: misaligned global access %#x (PC %d)", addr, w.pc)
+			}
+			v, err := d.mem.Load32(addr)
+			if err != nil {
+				return fmt.Errorf("amdsim: PC %d: %w", w.pc, err)
+			}
+			d.writeVGPR(c, w, lane, in.Dst.Reg, v)
+		} else {
+			// buffer_store_dword vsrc, vaddr.
+			v, err := d.readOp32(c, w, lane, in.Src[0])
+			if err != nil {
+				return err
+			}
+			addr, err := d.readOp32(c, w, lane, in.Src[1])
+			if err != nil {
+				return err
+			}
+			addr += uint32(in.MemOff)
+			if addr%4 != 0 {
+				return fmt.Errorf("amdsim: misaligned global access %#x (PC %d)", addr, w.pc)
+			}
+			if err := d.mem.Store32(addr, v); err != nil {
+				return fmt.Errorf("amdsim: PC %d: %w", w.pc, err)
+			}
+		}
+	}
+	return nil
+}
+
+func fminf(a, b float32) float32 {
+	switch {
+	case a != a:
+		return b
+	case b != b:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
+func fmaxf(a, b float32) float32 {
+	switch {
+	case a != a:
+		return b
+	case b != b:
+		return a
+	case a > b:
+		return a
+	default:
+		return b
+	}
+}
+
+func f2i(f float32) int32 {
+	if f != f {
+		return 0
+	}
+	v := math.Trunc(float64(f))
+	switch {
+	case v > math.MaxInt32:
+		return math.MaxInt32
+	case v < math.MinInt32:
+		return math.MinInt32
+	default:
+		return int32(v)
+	}
+}
+
+func popcount64(m uint64) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}

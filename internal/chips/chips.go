@@ -1,0 +1,261 @@
+// Package chips catalogues the microarchitectural configurations of the
+// four GPUs evaluated in the paper (plus a few reduced configurations used
+// by tests and ablation sweeps). The numbers are the published chip
+// parameters; the timing knobs (issue width/period, latencies) are the
+// coarse pipeline model shared by nvsim and amdsim.
+package chips
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+)
+
+// SchedulerPolicy selects the warp/wavefront issue arbitration.
+type SchedulerPolicy int
+
+// Scheduler policies.
+const (
+	// SchedRR is loose round-robin: the issue pointer advances past each
+	// warp that issues, giving all ready warps equal service.
+	SchedRR SchedulerPolicy = iota
+	// SchedGTO is greedy-then-oldest: keep issuing from the same warp
+	// until it stalls, then fall back to the oldest ready warp.
+	SchedGTO
+)
+
+// String returns the policy name.
+func (s SchedulerPolicy) String() string {
+	if s == SchedGTO {
+		return "gto"
+	}
+	return "rr"
+}
+
+// Chip is a complete simulated-GPU configuration.
+type Chip struct {
+	// Name is the marketing name, e.g. "GeForce GTX 480".
+	Name string
+	// Vendor selects the simulator (nvsim or amdsim) and ISA dialect.
+	Vendor gpu.Vendor
+	// Arch is the microarchitecture family name.
+	Arch string
+	// Units is the number of streaming multiprocessors (NVIDIA) or
+	// compute units (AMD).
+	Units int
+	// ClockGHz is the shader/engine clock.
+	ClockGHz float64
+	// RegsPerUnit is the number of 32-bit vector register entries per
+	// unit (for AMD this is the VGPR file: all four SIMDs of a CU).
+	RegsPerUnit int
+	// LocalBytesPerUnit is the shared memory (NVIDIA) / LDS (AMD) size.
+	LocalBytesPerUnit int
+	// MaxWarpsPerUnit caps resident warps/wavefronts per unit.
+	MaxWarpsPerUnit int
+	// MaxGroupsPerUnit caps resident thread blocks/workgroups per unit.
+	MaxGroupsPerUnit int
+	// WarpWidth is the SIMT execution width (32 NVIDIA, 64 AMD).
+	WarpWidth int
+	// IssueWidth is the number of warp instructions a unit can issue per
+	// issue opportunity; IssuePeriod is the number of cycles between
+	// issue opportunities. G80/GT200 pipe a 32-thread warp through 8
+	// lanes over 4 cycles (1 instr / 4 cyc); Fermi's dual schedulers
+	// issue 2 instr / cyc; a Tahiti CU issues to each of its 4 SIMDs
+	// once per 4-cycle wavefront slot.
+	IssueWidth  int
+	IssuePeriod int
+	// Scheduler selects issue arbitration (round-robin by default; the
+	// GTO alternative is exercised by the scheduler ablation).
+	Scheduler SchedulerPolicy
+	// Latencies in cycles per operation class.
+	ALULat    int
+	SFULat    int
+	LocalLat  int
+	GlobalLat int
+	// GlobalMemBytes is the simulated device-memory capacity. The real
+	// boards carry 0.5-3 GB; the simulated workloads need only a few MB,
+	// and a small memory keeps per-injection reset cheap.
+	GlobalMemBytes int
+}
+
+// Validate checks the configuration for internal consistency.
+func (c *Chip) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("chips: empty name")
+	case c.Units <= 0:
+		return fmt.Errorf("chips: %s: non-positive unit count %d", c.Name, c.Units)
+	case c.ClockGHz <= 0:
+		return fmt.Errorf("chips: %s: non-positive clock %v", c.Name, c.ClockGHz)
+	case c.RegsPerUnit <= 0:
+		return fmt.Errorf("chips: %s: non-positive register file %d", c.Name, c.RegsPerUnit)
+	case c.LocalBytesPerUnit <= 0:
+		return fmt.Errorf("chips: %s: non-positive local memory %d", c.Name, c.LocalBytesPerUnit)
+	case c.WarpWidth != 32 && c.WarpWidth != 64:
+		return fmt.Errorf("chips: %s: warp width %d not 32 or 64", c.Name, c.WarpWidth)
+	case c.MaxWarpsPerUnit <= 0 || c.MaxGroupsPerUnit <= 0:
+		return fmt.Errorf("chips: %s: non-positive residency caps", c.Name)
+	case c.IssueWidth <= 0 || c.IssuePeriod <= 0:
+		return fmt.Errorf("chips: %s: non-positive issue model", c.Name)
+	case c.ALULat <= 0 || c.SFULat <= 0 || c.LocalLat <= 0 || c.GlobalLat <= 0:
+		return fmt.Errorf("chips: %s: non-positive latency", c.Name)
+	case c.GlobalMemBytes <= 0:
+		return fmt.Errorf("chips: %s: non-positive global memory", c.Name)
+	}
+	return nil
+}
+
+// StructSize returns the per-unit capacity of a structure in entries
+// (32-bit registers or bytes).
+func (c *Chip) StructSize(st gpu.Structure) int {
+	if st == gpu.RegisterFile {
+		return c.RegsPerUnit
+	}
+	return c.LocalBytesPerUnit
+}
+
+// StructBits returns the chip-wide structure capacity in bits.
+func (c *Chip) StructBits(st gpu.Structure) int64 {
+	return int64(c.Units) * int64(c.StructSize(st)) * int64(gpu.EntryBits(st))
+}
+
+const defaultGlobalMem = 8 << 20
+
+// QuadroFX5600 returns the NVIDIA G80-class configuration (GUFI target 1).
+func QuadroFX5600() *Chip {
+	return &Chip{
+		Name: "Quadro FX 5600", Vendor: gpu.NVIDIA, Arch: "G80",
+		Units: 16, ClockGHz: 1.350,
+		RegsPerUnit: 8192, LocalBytesPerUnit: 16 << 10,
+		MaxWarpsPerUnit: 24, MaxGroupsPerUnit: 8,
+		WarpWidth: 32, IssueWidth: 1, IssuePeriod: 4,
+		ALULat: 8, SFULat: 16, LocalLat: 24, GlobalLat: 400,
+		GlobalMemBytes: defaultGlobalMem,
+	}
+}
+
+// QuadroFX5800 returns the NVIDIA GT200-class configuration (GUFI target 2).
+func QuadroFX5800() *Chip {
+	return &Chip{
+		Name: "Quadro FX 5800", Vendor: gpu.NVIDIA, Arch: "GT200",
+		Units: 30, ClockGHz: 1.296,
+		RegsPerUnit: 16384, LocalBytesPerUnit: 16 << 10,
+		MaxWarpsPerUnit: 32, MaxGroupsPerUnit: 8,
+		WarpWidth: 32, IssueWidth: 1, IssuePeriod: 4,
+		ALULat: 8, SFULat: 16, LocalLat: 24, GlobalLat: 440,
+		GlobalMemBytes: defaultGlobalMem,
+	}
+}
+
+// GeForceGTX480 returns the NVIDIA Fermi-class configuration (GUFI target 3).
+func GeForceGTX480() *Chip {
+	return &Chip{
+		Name: "GeForce GTX 480", Vendor: gpu.NVIDIA, Arch: "Fermi",
+		Units: 15, ClockGHz: 1.401,
+		RegsPerUnit: 32768, LocalBytesPerUnit: 48 << 10,
+		MaxWarpsPerUnit: 48, MaxGroupsPerUnit: 8,
+		WarpWidth: 32, IssueWidth: 2, IssuePeriod: 1,
+		ALULat: 18, SFULat: 22, LocalLat: 26, GlobalLat: 460,
+		GlobalMemBytes: defaultGlobalMem,
+	}
+}
+
+// HDRadeon7970 returns the AMD Tahiti / Southern Islands configuration
+// (SIFI target).
+func HDRadeon7970() *Chip {
+	return &Chip{
+		Name: "HD Radeon 7970", Vendor: gpu.AMD, Arch: "Southern Islands",
+		Units: 32, ClockGHz: 0.925,
+		// 64 KB VGPR per SIMD x 4 SIMDs per CU = 65,536 32-bit entries.
+		RegsPerUnit: 65536, LocalBytesPerUnit: 64 << 10,
+		MaxWarpsPerUnit: 40, MaxGroupsPerUnit: 16,
+		WarpWidth: 64, IssueWidth: 4, IssuePeriod: 4,
+		ALULat: 8, SFULat: 16, LocalLat: 32, GlobalLat: 500,
+		GlobalMemBytes: defaultGlobalMem,
+	}
+}
+
+// MiniNVIDIA returns a 2-SM NVIDIA configuration for fast unit tests.
+func MiniNVIDIA() *Chip {
+	return &Chip{
+		Name: "Mini NVIDIA", Vendor: gpu.NVIDIA, Arch: "G80",
+		Units: 2, ClockGHz: 1.0,
+		RegsPerUnit: 8192, LocalBytesPerUnit: 8 << 10,
+		MaxWarpsPerUnit: 16, MaxGroupsPerUnit: 4,
+		WarpWidth: 32, IssueWidth: 1, IssuePeriod: 2,
+		ALULat: 4, SFULat: 8, LocalLat: 12, GlobalLat: 80,
+		GlobalMemBytes: 4 << 20,
+	}
+}
+
+// MiniAMD returns a 2-CU AMD configuration for fast unit tests.
+func MiniAMD() *Chip {
+	return &Chip{
+		Name: "Mini AMD", Vendor: gpu.AMD, Arch: "Southern Islands",
+		Units: 2, ClockGHz: 1.0,
+		RegsPerUnit: 8192, LocalBytesPerUnit: 16 << 10,
+		MaxWarpsPerUnit: 16, MaxGroupsPerUnit: 8,
+		WarpWidth: 64, IssueWidth: 2, IssuePeriod: 2,
+		ALULat: 4, SFULat: 8, LocalLat: 12, GlobalLat: 80,
+		GlobalMemBytes: 4 << 20,
+	}
+}
+
+// TeslaC2050 returns a second Fermi-class part (14 SMs, ECC-capable in
+// reality — simulated here without ECC so that AVFs are comparable).
+// Not part of the paper's evaluation; available for sweeps.
+func TeslaC2050() *Chip {
+	return &Chip{
+		Name: "Tesla C2050", Vendor: gpu.NVIDIA, Arch: "Fermi",
+		Units: 14, ClockGHz: 1.150,
+		RegsPerUnit: 32768, LocalBytesPerUnit: 48 << 10,
+		MaxWarpsPerUnit: 48, MaxGroupsPerUnit: 8,
+		WarpWidth: 32, IssueWidth: 2, IssuePeriod: 1,
+		ALULat: 18, SFULat: 22, LocalLat: 26, GlobalLat: 460,
+		GlobalMemBytes: defaultGlobalMem,
+	}
+}
+
+// GeForceGTX280 returns the consumer GT200 part (30 SMs at 1.296 GHz).
+// Not part of the paper's evaluation; available for sweeps.
+func GeForceGTX280() *Chip {
+	c := QuadroFX5800()
+	c.Name = "GeForce GTX 280"
+	return c
+}
+
+// HDRadeon7850 returns a smaller Southern Islands part (Pitcairn,
+// 16 CUs). Not part of the paper's evaluation; available for sweeps.
+func HDRadeon7850() *Chip {
+	return &Chip{
+		Name: "HD Radeon 7850", Vendor: gpu.AMD, Arch: "Southern Islands",
+		Units: 16, ClockGHz: 0.860,
+		RegsPerUnit: 65536, LocalBytesPerUnit: 64 << 10,
+		MaxWarpsPerUnit: 40, MaxGroupsPerUnit: 16,
+		WarpWidth: 64, IssueWidth: 4, IssuePeriod: 4,
+		ALULat: 8, SFULat: 16, LocalLat: 32, GlobalLat: 500,
+		GlobalMemBytes: defaultGlobalMem,
+	}
+}
+
+// Evaluated returns the four chips of the paper's evaluation in the
+// figure order: HD Radeon 7970, Quadro FX 5600, Quadro FX 5800, GTX 480.
+func Evaluated() []*Chip {
+	return []*Chip{HDRadeon7970(), QuadroFX5600(), QuadroFX5800(), GeForceGTX480()}
+}
+
+// Extended returns additional (non-paper) chips usable for sweeps.
+func Extended() []*Chip {
+	return []*Chip{TeslaC2050(), GeForceGTX280(), HDRadeon7850()}
+}
+
+// ByName looks a chip up by its marketing name (as printed in figures).
+func ByName(name string) (*Chip, error) {
+	all := append(Evaluated(), Extended()...)
+	for _, c := range append(all, MiniNVIDIA(), MiniAMD()) {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("chips: unknown chip %q", name)
+}

@@ -1,0 +1,85 @@
+package chips
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+func TestEvaluatedMatchesPaper(t *testing.T) {
+	evs := Evaluated()
+	if len(evs) != 4 {
+		t.Fatalf("%d chips, want the paper's 4", len(evs))
+	}
+	wantOrder := []string{"HD Radeon 7970", "Quadro FX 5600", "Quadro FX 5800", "GeForce GTX 480"}
+	for i, c := range evs {
+		if c.Name != wantOrder[i] {
+			t.Fatalf("chip %d is %s, want %s (paper figure order)", i, c.Name, wantOrder[i])
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestArchitectureParameters(t *testing.T) {
+	g80 := QuadroFX5600()
+	gt200 := QuadroFX5800()
+	fermi := GeForceGTX480()
+	tahiti := HDRadeon7970()
+
+	// Published register file growth G80 -> GT200 -> Fermi.
+	if !(g80.RegsPerUnit < gt200.RegsPerUnit && gt200.RegsPerUnit < fermi.RegsPerUnit) {
+		t.Fatal("register file sizes must grow across NVIDIA generations")
+	}
+	// Fermi's 48KB shared memory vs 16KB before.
+	if fermi.LocalBytesPerUnit != 48<<10 || g80.LocalBytesPerUnit != 16<<10 {
+		t.Fatal("shared memory sizes wrong")
+	}
+	// SI wavefronts are 64 wide; NVIDIA warps 32.
+	if tahiti.WarpWidth != 64 || fermi.WarpWidth != 32 {
+		t.Fatal("warp widths wrong")
+	}
+	if tahiti.Vendor != gpu.AMD || fermi.Vendor != gpu.NVIDIA {
+		t.Fatal("vendors wrong")
+	}
+	// Whole-chip structure sizes used for FIT: Tahiti VGPR = 8 MB.
+	if got := tahiti.StructBits(gpu.RegisterFile); got != 32*65536*32 {
+		t.Fatalf("Tahiti VGPR bits = %d", got)
+	}
+	if got := fermi.StructBits(gpu.LocalMemory); got != 15*48*1024*8 {
+		t.Fatalf("GTX480 shared bits = %d", got)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	good := MiniNVIDIA()
+	bad := []func(c *Chip){
+		func(c *Chip) { c.Name = "" },
+		func(c *Chip) { c.Units = 0 },
+		func(c *Chip) { c.ClockGHz = 0 },
+		func(c *Chip) { c.RegsPerUnit = -1 },
+		func(c *Chip) { c.WarpWidth = 16 },
+		func(c *Chip) { c.IssueWidth = 0 },
+		func(c *Chip) { c.ALULat = 0 },
+		func(c *Chip) { c.GlobalMemBytes = 0 },
+		func(c *Chip) { c.MaxWarpsPerUnit = 0 },
+	}
+	for i, mutate := range bad {
+		c := *good
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("GeForce GTX 480")
+	if err != nil || c.Arch != "Fermi" {
+		t.Fatalf("ByName: %v %v", c, err)
+	}
+	if _, err := ByName("GeForce 9999"); err == nil {
+		t.Fatal("unknown chip accepted")
+	}
+}

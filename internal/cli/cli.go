@@ -1,0 +1,124 @@
+// Package cli implements the shared command-line driver behind the gufi
+// (NVIDIA) and sifi (AMD) campaign tools.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/finject"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Main runs one campaign tool with os-level arguments, exiting non-zero
+// on error.
+func Main(tool string, vendor gpu.Vendor) {
+	if err := Run(tool, vendor, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(1)
+	}
+}
+
+// Run executes one campaign for the given tool name, vendor, argument
+// list and output stream. It is Main's testable core.
+func Run(tool string, vendor gpu.Vendor, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
+	defaultChip := "HD Radeon 7970"
+	if vendor == gpu.NVIDIA {
+		defaultChip = "GeForce GTX 480"
+	}
+	var (
+		chipName  = fs.String("chip", defaultChip, "chip to simulate")
+		benchName = fs.String("bench", "vectoradd", "benchmark to run")
+		structSel = fs.String("structure", "regfile", "structure: regfile or local")
+		n         = fs.Int("n", finject.DefaultInjections, "fault injections")
+		seed      = fs.Uint64("seed", 1, "campaign seed")
+		workers   = fs.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
+		listFlag  = fs.Bool("list", false, "list chips and benchmarks, then exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listFlag {
+		fmt.Fprintf(w, "%s chips:\n", vendor)
+		for _, c := range chips.Evaluated() {
+			if c.Vendor == vendor {
+				fmt.Fprintf(w, "  %-18s %s, %d units, %.3f GHz, %d regs/unit, %d KB local/unit\n",
+					c.Name, c.Arch, c.Units, c.ClockGHz, c.RegsPerUnit, c.LocalBytesPerUnit>>10)
+			}
+		}
+		fmt.Fprintln(w, "benchmarks:")
+		for _, b := range workloads.All() {
+			local := ""
+			if b.UsesLocal {
+				local = " (uses local memory)"
+			}
+			fmt.Fprintf(w, "  %s%s\n", b.Name, local)
+		}
+		return nil
+	}
+
+	chip, err := chips.ByName(*chipName)
+	if err != nil {
+		return err
+	}
+	if chip.Vendor != vendor {
+		return fmt.Errorf("chip %s is a %s part; use the other tool", chip.Name, chip.Vendor)
+	}
+	bench, err := workloads.ByName(*benchName)
+	if err != nil {
+		return err
+	}
+	var st gpu.Structure
+	switch strings.ToLower(*structSel) {
+	case "regfile", "register-file", "rf", "vgpr":
+		st = gpu.RegisterFile
+	case "local", "local-memory", "shared", "lds":
+		st = gpu.LocalMemory
+	default:
+		return fmt.Errorf("unknown structure %q (want regfile or local)", *structSel)
+	}
+	if st == gpu.LocalMemory && !bench.UsesLocal {
+		return fmt.Errorf("benchmark %s does not use local memory (the paper's Fig. 2 covers only the 7 shared-memory benchmarks)", bench.Name)
+	}
+
+	start := time.Now()
+	cell, err := core.MeasureCell(chip, bench, st, core.Options{
+		Injections: *n, Seed: *seed, Workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	margin, err := stats.MarginOfError(*n, 0, 0.99)
+	if err != nil {
+		return err
+	}
+	secs, err := metrics.ExecSeconds(cell.Cycles, chip.ClockGHz)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%s campaign: %s / %s / %s\n", tool, chip.Name, bench.Name, st)
+	fmt.Fprintf(w, "  injections        %d (worst-case margin ±%.2f%% at 99%% confidence)\n", *n, 100*margin)
+	fmt.Fprintf(w, "  golden cycles     %d  (%.3e s at %.3f GHz)\n", cell.Cycles, secs, chip.ClockGHz)
+	fmt.Fprintf(w, "  occupancy         %.2f%%\n", 100*cell.Occupancy)
+	fmt.Fprintf(w, "  AVF (FI)          %.2f%%  [%.2f%%, %.2f%%] @99%%\n", 100*cell.AVFFI, 100*cell.AVFFILo, 100*cell.AVFFIHi)
+	fmt.Fprintf(w, "  AVF (ACE)         %.2f%%\n", 100*cell.AVFACE)
+	fmt.Fprintf(w, "  outcomes          masked=%d sdc=%d due=%d timeout=%d\n",
+		cell.Outcomes[gpu.OutcomeMasked], cell.Outcomes[gpu.OutcomeSDC],
+		cell.Outcomes[gpu.OutcomeDUE], cell.Outcomes[gpu.OutcomeTimeout])
+	fmt.Fprintf(w, "  wall time         %v\n", elapsed.Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := Run("gufi", gpu.NVIDIA, []string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Quadro FX 5600", "GeForce GTX 480", "matrixMul", "vectoradd", "uses local memory"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Radeon") {
+		t.Fatal("gufi listed an AMD chip")
+	}
+}
+
+func TestRunCampaign(t *testing.T) {
+	var sb strings.Builder
+	err := Run("sifi", gpu.AMD, []string{"-bench", "vectoradd", "-n", "40", "-seed", "5"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"HD Radeon 7970", "AVF (FI)", "AVF (ACE)", "occupancy", "masked="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("campaign output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		{"-chip", "No Such GPU"},
+		{"-chip", "HD Radeon 7970"}, // AMD chip under the NVIDIA tool
+		{"-bench", "nope"},
+		{"-structure", "l2cache"},
+		{"-bench", "vectoradd", "-structure", "local"}, // not a local-memory benchmark
+	}
+	for _, args := range cases {
+		if err := Run("gufi", gpu.NVIDIA, args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

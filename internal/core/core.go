@@ -1,0 +1,297 @@
+// Package core is the reproduction's top-level reliability-evaluation
+// framework — the equivalent of the paper's GUFI+SIFI pair plus the
+// experiment drivers that produce its three figures. It composes the
+// simulators (via internal/devices), the benchmark suite, the
+// fault-injection engine and the ACE analysis into per-(chip, benchmark,
+// structure) measurement cells and whole-figure experiments.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ace"
+	"repro/internal/chips"
+	"repro/internal/devices"
+	"repro/internal/finject"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+// Options configures an experiment.
+type Options struct {
+	// Injections per fault-injection campaign (paper default 2,000).
+	Injections int
+	// Seed makes every campaign reproducible.
+	Seed uint64
+	// Workers bounds each campaign's parallel simulations.
+	Workers int
+	// Chips defaults to the paper's four evaluated GPUs.
+	Chips []*chips.Chip
+	// Benchmarks defaults to the figure-appropriate suite.
+	Benchmarks []*workloads.Benchmark
+	// RawFITPerMbit defaults to metrics.DefaultRawFITPerMbit.
+	RawFITPerMbit float64
+	// Confidence level for AVF intervals (default 0.99, as the paper).
+	Confidence float64
+}
+
+func (o Options) withDefaults(benches []*workloads.Benchmark) Options {
+	if o.Injections <= 0 {
+		o.Injections = finject.DefaultInjections
+	}
+	if len(o.Chips) == 0 {
+		o.Chips = chips.Evaluated()
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = benches
+	}
+	if o.RawFITPerMbit <= 0 {
+		o.RawFITPerMbit = metrics.DefaultRawFITPerMbit
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.99
+	}
+	return o
+}
+
+// Cell is one (chip, benchmark, structure) measurement: both
+// methodologies plus occupancy, i.e. one bar group of Fig. 1 or Fig. 2.
+type Cell struct {
+	Chip      string
+	Benchmark string
+	Structure gpu.Structure
+	// AVFFI is the fault-injection AVF with its confidence interval.
+	AVFFI   float64
+	AVFFILo float64
+	AVFFIHi float64
+	// AVFACE is the lifetime-analysis AVF.
+	AVFACE float64
+	// Occupancy is the time-weighted structure occupancy.
+	Occupancy float64
+	// Cycles is the golden execution length.
+	Cycles int64
+	// Outcomes breaks the injections down by class.
+	Outcomes [gpu.NumOutcomes]int
+}
+
+// cellSeed derives a distinct campaign seed per cell so that cells don't
+// share fault samples.
+func cellSeed(base uint64, chip, bench string, st gpu.Structure) uint64 {
+	h := base ^ 0xcbf29ce484222325
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 0x100000001b3
+		}
+	}
+	mix(chip)
+	mix(bench)
+	h = (h ^ uint64(st)) * 0x100000001b3
+	return h
+}
+
+// MeasureCell runs both methodologies for one cell: a statistical FI
+// campaign and a traced ACE run.
+func MeasureCell(chip *chips.Chip, bench *workloads.Benchmark, st gpu.Structure, opts Options) (*Cell, error) {
+	opts = opts.withDefaults(workloads.All())
+	res, err := finject.Run(finject.Campaign{
+		Chip:       chip,
+		Benchmark:  bench,
+		Structure:  st,
+		Injections: opts.Injections,
+		Seed:       cellSeed(opts.Seed, chip.Name, bench.Name, st),
+		Workers:    opts.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: FI campaign %s/%s/%s: %w", chip.Name, bench.Name, st, err)
+	}
+	d, err := devices.New(chip)
+	if err != nil {
+		return nil, err
+	}
+	hp, err := bench.New(chip.Vendor)
+	if err != nil {
+		return nil, err
+	}
+	regACE, localACE, runStats, err := ace.Measure(d, hp)
+	if err != nil {
+		return nil, fmt.Errorf("core: ACE run %s/%s: %w", chip.Name, bench.Name, err)
+	}
+	aceAVF := regACE
+	if st == gpu.LocalMemory {
+		aceAVF = localACE
+	}
+	lo, hi, err := res.AVFInterval(opts.Confidence)
+	if err != nil {
+		return nil, err
+	}
+	return &Cell{
+		Chip:      chip.Name,
+		Benchmark: bench.Name,
+		Structure: st,
+		AVFFI:     res.AVF(),
+		AVFFILo:   lo,
+		AVFFIHi:   hi,
+		AVFACE:    aceAVF,
+		Occupancy: res.Occupancy,
+		Cycles:    runStats.Cycles,
+		Outcomes:  res.Outcomes,
+	}, nil
+}
+
+// Figure is one AVF figure: cells indexed [benchmark][chip], plus the
+// per-chip averages column group the paper appends.
+type Figure struct {
+	Structure  gpu.Structure
+	ChipNames  []string
+	BenchNames []string
+	// Cells[b][c] corresponds to BenchNames[b] on ChipNames[c].
+	Cells [][]*Cell
+	// Averages[c] holds the across-benchmark mean cell for ChipNames[c].
+	Averages []*Cell
+}
+
+// measureFigure runs the full grid for one structure.
+func measureFigure(st gpu.Structure, defaultBenches []*workloads.Benchmark, opts Options) (*Figure, error) {
+	opts = opts.withDefaults(defaultBenches)
+	if len(opts.Chips) == 0 || len(opts.Benchmarks) == 0 {
+		return nil, errors.New("core: empty chip or benchmark set")
+	}
+	fig := &Figure{Structure: st}
+	for _, c := range opts.Chips {
+		fig.ChipNames = append(fig.ChipNames, c.Name)
+	}
+	for _, b := range opts.Benchmarks {
+		fig.BenchNames = append(fig.BenchNames, b.Name)
+	}
+	fig.Cells = make([][]*Cell, len(opts.Benchmarks))
+	for bi, b := range opts.Benchmarks {
+		fig.Cells[bi] = make([]*Cell, len(opts.Chips))
+		for ci, c := range opts.Chips {
+			cell, err := MeasureCell(c, b, st, opts)
+			if err != nil {
+				return nil, err
+			}
+			fig.Cells[bi][ci] = cell
+		}
+	}
+	// Across-benchmark averages per chip ("average" group of the figure).
+	for ci, c := range opts.Chips {
+		avg := &Cell{Chip: c.Name, Benchmark: "average", Structure: st}
+		for bi := range opts.Benchmarks {
+			cell := fig.Cells[bi][ci]
+			avg.AVFFI += cell.AVFFI
+			avg.AVFACE += cell.AVFACE
+			avg.Occupancy += cell.Occupancy
+		}
+		n := float64(len(opts.Benchmarks))
+		avg.AVFFI /= n
+		avg.AVFACE /= n
+		avg.Occupancy /= n
+		fig.Averages = append(fig.Averages, avg)
+	}
+	return fig, nil
+}
+
+// FigureRegisterFile reproduces Fig. 1: register-file AVF by FI and ACE
+// with occupancy, for all 10 benchmarks on all 4 chips.
+func FigureRegisterFile(opts Options) (*Figure, error) {
+	return measureFigure(gpu.RegisterFile, workloads.All(), opts)
+}
+
+// FigureLocalMemory reproduces Fig. 2: local-memory AVF for the 7
+// shared-memory benchmarks.
+func FigureLocalMemory(opts Options) (*Figure, error) {
+	return measureFigure(gpu.LocalMemory, workloads.LocalMemorySubset(), opts)
+}
+
+// EPFRow is one bar of Fig. 3.
+type EPFRow struct {
+	Chip      string
+	Benchmark string
+	// EPF is executions per failure; Seconds is one execution's time.
+	EPF     float64
+	Seconds float64
+	Cycles  int64
+	// RegAVF and LocalAVF are the FI AVFs entering FIT_GPU.
+	RegAVF   float64
+	LocalAVF float64
+}
+
+// FigureEPFData is the Fig. 3 dataset, rows ordered benchmark-major in
+// the paper's chip order.
+type FigureEPFData struct {
+	ChipNames  []string
+	BenchNames []string
+	// Rows[b][c] corresponds to BenchNames[b] on ChipNames[c].
+	Rows [][]*EPFRow
+}
+
+// FigureEPF reproduces Fig. 3: EPF for every benchmark on every chip,
+// combining the FI AVFs of both structures with the performance model.
+func FigureEPF(opts Options) (*FigureEPFData, error) {
+	opts = opts.withDefaults(workloads.All())
+	data := &FigureEPFData{}
+	for _, c := range opts.Chips {
+		data.ChipNames = append(data.ChipNames, c.Name)
+	}
+	for _, b := range opts.Benchmarks {
+		data.BenchNames = append(data.BenchNames, b.Name)
+	}
+	data.Rows = make([][]*EPFRow, len(opts.Benchmarks))
+	for bi, b := range opts.Benchmarks {
+		data.Rows[bi] = make([]*EPFRow, len(opts.Chips))
+		for ci, c := range opts.Chips {
+			row, err := measureEPF(c, b, opts)
+			if err != nil {
+				return nil, err
+			}
+			data.Rows[bi][ci] = row
+		}
+	}
+	return data, nil
+}
+
+// measureEPF runs both structures' FI campaigns for one (chip, benchmark)
+// and combines them into an EPF value.
+func measureEPF(chip *chips.Chip, bench *workloads.Benchmark, opts Options) (*EPFRow, error) {
+	avfs := make(map[gpu.Structure]*finject.Result, 2)
+	for _, st := range []gpu.Structure{gpu.RegisterFile, gpu.LocalMemory} {
+		res, err := finject.Run(finject.Campaign{
+			Chip:       chip,
+			Benchmark:  bench,
+			Structure:  st,
+			Injections: opts.Injections,
+			Seed:       cellSeed(opts.Seed, chip.Name, bench.Name, st),
+			Workers:    opts.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: EPF campaign %s/%s/%s: %w", chip.Name, bench.Name, st, err)
+		}
+		avfs[st] = res
+	}
+	cycles := avfs[gpu.RegisterFile].GoldenStats.Cycles
+	secs, err := metrics.ExecSeconds(cycles, chip.ClockGHz)
+	if err != nil {
+		return nil, err
+	}
+	epf, err := metrics.EPF(cycles, chip.ClockGHz, opts.RawFITPerMbit, []metrics.StructureAVF{
+		{Structure: gpu.RegisterFile, AVF: avfs[gpu.RegisterFile].AVF(), Bits: chip.StructBits(gpu.RegisterFile)},
+		{Structure: gpu.LocalMemory, AVF: avfs[gpu.LocalMemory].AVF(), Bits: chip.StructBits(gpu.LocalMemory)},
+	})
+	if err != nil {
+		// All-zero AVFs with small samples: report infinite EPF as 0 with
+		// the condition preserved in the row for the renderer.
+		epf = 0
+	}
+	return &EPFRow{
+		Chip:      chip.Name,
+		Benchmark: bench.Name,
+		EPF:       epf,
+		Seconds:   secs,
+		Cycles:    cycles,
+		RegAVF:    avfs[gpu.RegisterFile].AVF(),
+		LocalAVF:  avfs[gpu.LocalMemory].AVF(),
+	}, nil
+}

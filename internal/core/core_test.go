@@ -1,0 +1,157 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/gpu"
+	"repro/internal/workloads"
+)
+
+func miniOpts(n int) Options {
+	return Options{
+		Injections: n,
+		Seed:       9,
+		Chips:      []*chips.Chip{chips.MiniNVIDIA(), chips.MiniAMD()},
+	}
+}
+
+func TestMeasureCell(t *testing.T) {
+	b, err := workloads.ByName("reduction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := MeasureCell(chips.MiniNVIDIA(), b, gpu.LocalMemory, miniOpts(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Chip != "Mini NVIDIA" || cell.Benchmark != "reduction" {
+		t.Fatalf("labels: %+v", cell)
+	}
+	if cell.AVFFI < 0 || cell.AVFFI > 1 || cell.AVFACE <= 0 || cell.AVFACE > 1 {
+		t.Fatalf("AVFs out of range: %+v", cell)
+	}
+	if cell.AVFFILo > cell.AVFFI || cell.AVFFIHi < cell.AVFFI {
+		t.Fatalf("interval excludes estimate: %+v", cell)
+	}
+	if cell.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	total := 0
+	for _, c := range cell.Outcomes {
+		total += c
+	}
+	if total != 80 {
+		t.Fatalf("outcomes sum %d, want 80", total)
+	}
+}
+
+func TestFigureRegisterFileGrid(t *testing.T) {
+	benches := []*workloads.Benchmark{}
+	for _, n := range []string{"vectoradd", "transpose"} {
+		b, err := workloads.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		benches = append(benches, b)
+	}
+	opts := miniOpts(40)
+	opts.Benchmarks = benches
+	fig, err := FigureRegisterFile(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.BenchNames) != 2 || len(fig.ChipNames) != 2 {
+		t.Fatalf("grid %dx%d", len(fig.BenchNames), len(fig.ChipNames))
+	}
+	if len(fig.Cells) != 2 || len(fig.Cells[0]) != 2 {
+		t.Fatal("cells shape wrong")
+	}
+	if len(fig.Averages) != 2 {
+		t.Fatal("averages missing")
+	}
+	// The average must lie within the per-benchmark extremes.
+	for ci := range fig.ChipNames {
+		lo, hi := 2.0, -1.0
+		for bi := range fig.BenchNames {
+			v := fig.Cells[bi][ci].AVFACE
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		avg := fig.Averages[ci].AVFACE
+		if avg < lo-1e-12 || avg > hi+1e-12 {
+			t.Fatalf("chip %d average %v outside [%v,%v]", ci, avg, lo, hi)
+		}
+	}
+}
+
+func TestFigureLocalMemoryUsesSubset(t *testing.T) {
+	opts := miniOpts(30)
+	fig, err := FigureLocalMemory(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.BenchNames) != 7 {
+		t.Fatalf("local-memory figure has %d benchmarks, want 7", len(fig.BenchNames))
+	}
+	for _, n := range fig.BenchNames {
+		if n == "gaussian" || n == "kmeans" || n == "vectoradd" {
+			t.Fatalf("non-local benchmark %s in Fig. 2 set", n)
+		}
+	}
+}
+
+func TestFigureEPF(t *testing.T) {
+	b, err := workloads.ByName("matrixMul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := miniOpts(60)
+	opts.Benchmarks = []*workloads.Benchmark{b}
+	data, err := FigureEPF(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range data.ChipNames {
+		r := data.Rows[0][ci]
+		if r.Seconds <= 0 || r.Cycles <= 0 {
+			t.Fatalf("row %d: %+v", ci, r)
+		}
+		if r.EPF < 0 {
+			t.Fatalf("negative EPF: %+v", r)
+		}
+		// EPF must respond to AVF: if any faults manifested the EPF is
+		// finite and positive.
+		if (r.RegAVF > 0 || r.LocalAVF > 0) && r.EPF == 0 {
+			t.Fatalf("manifested faults but zero EPF: %+v", r)
+		}
+	}
+}
+
+func TestCellSeedDistinct(t *testing.T) {
+	s1 := cellSeed(1, "a", "b", gpu.RegisterFile)
+	s2 := cellSeed(1, "a", "b", gpu.LocalMemory)
+	s3 := cellSeed(1, "a", "c", gpu.RegisterFile)
+	s4 := cellSeed(2, "a", "b", gpu.RegisterFile)
+	if s1 == s2 || s1 == s3 || s1 == s4 || s2 == s3 {
+		t.Fatalf("seed collisions: %x %x %x %x", s1, s2, s3, s4)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults(workloads.All())
+	if o.Injections != 2000 || len(o.Chips) != 4 || len(o.Benchmarks) != 10 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if o.Confidence != 0.99 {
+		t.Fatalf("confidence default %v", o.Confidence)
+	}
+	if !strings.Contains(o.Chips[0].Name, "Radeon") {
+		t.Fatalf("chip order: %s first, want the Radeon (paper order)", o.Chips[0].Name)
+	}
+}

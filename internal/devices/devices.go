@@ -1,0 +1,25 @@
+// Package devices constructs the right simulator for a chip
+// configuration: nvsim for NVIDIA chips (the GUFI substrate) and amdsim
+// for AMD chips (the SIFI substrate).
+package devices
+
+import (
+	"fmt"
+
+	"repro/internal/amdsim"
+	"repro/internal/chips"
+	"repro/internal/gpu"
+	"repro/internal/nvsim"
+)
+
+// New creates a simulated device for the chip.
+func New(chip *chips.Chip) (gpu.Device, error) {
+	switch chip.Vendor {
+	case gpu.NVIDIA:
+		return nvsim.New(chip)
+	case gpu.AMD:
+		return amdsim.New(chip)
+	default:
+		return nil, fmt.Errorf("devices: unknown vendor %v", chip.Vendor)
+	}
+}

@@ -1,0 +1,47 @@
+package devices
+
+import (
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/gpu"
+)
+
+func TestVendorDispatch(t *testing.T) {
+	nv, err := New(chips.GeForceGTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.Vendor() != gpu.NVIDIA || nv.Name() != "GeForce GTX 480" {
+		t.Fatalf("NVIDIA dispatch: %v %s", nv.Vendor(), nv.Name())
+	}
+	amd, err := New(chips.HDRadeon7970())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amd.Vendor() != gpu.AMD {
+		t.Fatalf("AMD dispatch: %v", amd.Vendor())
+	}
+}
+
+func TestEveryCatalogChipConstructs(t *testing.T) {
+	all := append(chips.Evaluated(), chips.Extended()...)
+	all = append(all, chips.MiniNVIDIA(), chips.MiniAMD())
+	for _, c := range all {
+		d, err := New(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if d.StructBits(gpu.RegisterFile) != c.StructBits(gpu.RegisterFile) {
+			t.Fatalf("%s: structure size mismatch", c.Name)
+		}
+	}
+}
+
+func TestInvalidChipRejected(t *testing.T) {
+	bad := chips.MiniNVIDIA()
+	bad.Units = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid chip accepted")
+	}
+}

@@ -1,0 +1,287 @@
+// Package finject is the statistical fault-injection campaign engine —
+// the core of what GUFI (NVIDIA/GPGPU-Sim) and SIFI (AMD/Multi2Sim) do in
+// the paper. A campaign samples N single-bit faults uniformly over the
+// (bit, cycle) population of one hardware structure of one chip running
+// one benchmark, executes each fault in a fresh simulation, classifies
+// the outcome against the golden run (Masked / SDC / DUE / Timeout), and
+// reports the AVF with its confidence interval.
+//
+// Campaigns are deterministic: fault #i is derived from (Seed, i) only,
+// so results are independent of the worker count and the scheduling
+// order.
+package finject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/chips"
+	"repro/internal/devices"
+	"repro/internal/gpu"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// DefaultInjections is the paper's per-structure sample size (2,000
+// faults: 2.88% error margin at 99% confidence).
+const DefaultInjections = 2000
+
+// DefaultWatchdogFactor bounds a faulty run at this multiple of the
+// golden cycle count before declaring a hang.
+const DefaultWatchdogFactor = 20
+
+// Campaign describes one statistical fault-injection experiment.
+type Campaign struct {
+	Chip      *chips.Chip
+	Benchmark *workloads.Benchmark
+	Structure gpu.Structure
+	// Injections is the number of faults (DefaultInjections when 0).
+	Injections int
+	// Seed selects the fault sample; campaigns with equal seeds are
+	// bit-for-bit reproducible.
+	Seed uint64
+	// Workers bounds the parallel simulations (GOMAXPROCS when 0).
+	Workers int
+	// WatchdogFactor overrides DefaultWatchdogFactor when > 0.
+	WatchdogFactor int
+	// Detail records every injection's fault site, outcome and SDC
+	// severity in Result.Records (costs memory proportional to N).
+	Detail bool
+	// FaultWidth sets the burst width in adjacent bits (values < 2 give
+	// the paper's single-bit model).
+	FaultWidth uint
+}
+
+// Record is one injection's detailed result (Campaign.Detail).
+type Record struct {
+	Fault   gpu.Fault
+	Outcome gpu.Outcome
+	// CorruptBytes counts output bytes differing from the golden run
+	// (SDC severity; zero unless the outcome is SDC).
+	CorruptBytes int
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	// Outcomes counts per outcome class, indexed by gpu.Outcome.
+	Outcomes [gpu.NumOutcomes]int
+	// Injections is the realized sample size.
+	Injections int
+	// GoldenStats is the fault-free execution's statistics.
+	GoldenStats gpu.RunStats
+	// Occupancy is the time-weighted structure occupancy of the golden
+	// run (the red line of Figs. 1 and 2).
+	Occupancy float64
+	// Records holds per-injection details when Campaign.Detail is set,
+	// indexed by injection number (deterministic across worker counts).
+	Records []Record
+}
+
+// AVF returns the fault-injection AVF: the fraction of injections that
+// were not masked (SDC + DUE + Timeout).
+func (r *Result) AVF() float64 {
+	if r.Injections == 0 {
+		return 0
+	}
+	fails := r.Injections - r.Outcomes[gpu.OutcomeMasked]
+	return float64(fails) / float64(r.Injections)
+}
+
+// AVFInterval returns the Wilson confidence interval of the AVF.
+func (r *Result) AVFInterval(confidence float64) (lo, hi float64, err error) {
+	p := stats.Proportion{
+		Successes: r.Injections - r.Outcomes[gpu.OutcomeMasked],
+		Trials:    r.Injections,
+	}
+	return p.Interval(confidence)
+}
+
+// golden holds the reference run against which outcomes are classified.
+type golden struct {
+	outputs []gpu.Region
+	bytes   [][]byte
+	cycles  int64
+	stats   gpu.RunStats
+}
+
+// runGolden executes the fault-free reference run.
+func runGolden(chip *chips.Chip, bench *workloads.Benchmark) (*golden, error) {
+	d, err := devices.New(chip)
+	if err != nil {
+		return nil, err
+	}
+	hp, err := bench.New(chip.Vendor)
+	if err != nil {
+		return nil, err
+	}
+	if err := hp.Run(d); err != nil {
+		return nil, fmt.Errorf("finject: golden run of %s on %s failed: %w", bench.Name, chip.Name, err)
+	}
+	g := &golden{outputs: hp.Outputs(), stats: d.Stats()}
+	g.cycles = g.stats.Cycles
+	if g.cycles <= 0 {
+		return nil, fmt.Errorf("finject: golden run of %s reported no cycles", bench.Name)
+	}
+	for _, r := range g.outputs {
+		bs, err := d.Mem().ReadBytes(r.Addr, int(r.Size))
+		if err != nil {
+			return nil, err
+		}
+		g.bytes = append(g.bytes, bs)
+	}
+	return g, nil
+}
+
+// sampleFault draws fault #idx of the campaign.
+func sampleFault(rng *stats.RNG, c Campaign, cycles int64, idx uint64) gpu.Fault {
+	r := rng.Derive(idx)
+	return gpu.Fault{
+		Structure: c.Structure,
+		Unit:      r.Intn(c.Chip.Units),
+		Entry:     r.Intn(c.Chip.StructSize(c.Structure)),
+		Bit:       uint(r.Intn(gpu.EntryBits(c.Structure))),
+		Width:     c.FaultWidth,
+		Cycle:     int64(r.Uint64n(uint64(cycles))),
+	}
+}
+
+// classify runs one injection on a worker-owned device and host program,
+// returning the outcome and (for SDCs) the number of corrupted output
+// bytes.
+func classify(d gpu.Device, hp *gpu.HostProgram, g *golden, f gpu.Fault, watchdog int64) (gpu.Outcome, int) {
+	d.Reset()
+	d.SetWatchdog(watchdog)
+	d.InjectFault(&f)
+	err := hp.Run(d)
+	switch {
+	case errors.Is(err, gpu.ErrWatchdog):
+		return gpu.OutcomeTimeout, 0
+	case err != nil:
+		return gpu.OutcomeDUE, 0
+	}
+	outs := hp.Outputs()
+	if len(outs) != len(g.outputs) {
+		return gpu.OutcomeDUE, 0
+	}
+	corrupt := 0
+	for i, r := range outs {
+		bs, err := d.Mem().ReadBytes(r.Addr, int(r.Size))
+		if err != nil {
+			return gpu.OutcomeDUE, 0
+		}
+		if !bytes.Equal(bs, g.bytes[i]) {
+			corrupt += diffBytes(bs, g.bytes[i])
+		}
+	}
+	if corrupt > 0 {
+		return gpu.OutcomeSDC, corrupt
+	}
+	return gpu.OutcomeMasked, 0
+}
+
+// diffBytes counts positions where the two equal-length slices differ.
+func diffBytes(a, b []byte) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the campaign.
+func Run(c Campaign) (*Result, error) {
+	if c.Chip == nil || c.Benchmark == nil {
+		return nil, errors.New("finject: campaign needs a chip and a benchmark")
+	}
+	n := c.Injections
+	if n <= 0 {
+		n = DefaultInjections
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	wdFactor := c.WatchdogFactor
+	if wdFactor <= 0 {
+		wdFactor = DefaultWatchdogFactor
+	}
+
+	g, err := runGolden(c.Chip, c.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	watchdog := g.cycles*int64(wdFactor) + 10_000
+
+	res := &Result{
+		Injections:  n,
+		GoldenStats: g.stats,
+		Occupancy:   g.stats.Occupancy(c.Structure, int64(c.Chip.Units)*int64(c.Chip.StructSize(c.Structure))),
+	}
+	if c.Detail {
+		res.Records = make([]Record, n)
+	}
+	baseRNG := stats.NewRNG(c.Seed)
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		next     = make(chan int, n)
+	)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d, derr := devices.New(c.Chip)
+			if derr != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = derr
+				}
+				mu.Unlock()
+				return
+			}
+			hp, herr := c.Benchmark.New(c.Chip.Vendor)
+			if herr != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = herr
+				}
+				mu.Unlock()
+				return
+			}
+			var local [gpu.NumOutcomes]int
+			for i := range next {
+				f := sampleFault(baseRNG, c, g.cycles, uint64(i))
+				o, corrupt := classify(d, hp, g, f, watchdog)
+				local[o]++
+				if res.Records != nil {
+					res.Records[i] = Record{Fault: f, Outcome: o, CorruptBytes: corrupt}
+				}
+			}
+			mu.Lock()
+			for o, cnt := range local {
+				res.Outcomes[o] += cnt
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}

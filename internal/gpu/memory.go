@@ -1,0 +1,177 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Memory models device global memory as a flat little-endian byte array
+// with a bump allocator. All accesses are bounds-checked; a failed check
+// aborts the launch and is classified as a DUE by the fault-injection
+// engine, mirroring how GPGPU-Sim/Multi2Sim abort on wild accesses.
+type Memory struct {
+	data []byte
+	brk  uint32 // bump-allocation watermark
+	hwm  uint32 // high-water mark since last Reset (for cheap zeroing)
+}
+
+// memAlign is the allocation alignment in bytes.
+const memAlign = 256
+
+// NewMemory creates a device memory of the given size in bytes.
+func NewMemory(size int) *Memory {
+	return &Memory{data: make([]byte, size)}
+}
+
+// Size returns the memory capacity in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// Alloc reserves size bytes and returns the device address. Address 0 is
+// never returned (the first allocation starts at memAlign) so that 0 can
+// serve as a null pointer.
+func (m *Memory) Alloc(size int) (uint32, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("gpu: negative allocation size %d", size)
+	}
+	if m.brk == 0 {
+		m.brk = memAlign
+	}
+	addr := m.brk
+	sz := (uint32(size) + memAlign - 1) &^ (memAlign - 1)
+	if uint64(addr)+uint64(sz) > uint64(len(m.data)) {
+		return 0, fmt.Errorf("gpu: out of device memory (want %d bytes at %#x, capacity %d)", size, addr, len(m.data))
+	}
+	m.brk = addr + sz
+	if m.brk > m.hwm {
+		m.hwm = m.brk
+	}
+	return addr, nil
+}
+
+// Reset zeroes all memory touched since construction and rewinds the
+// allocator. Only the high-water-mark prefix is cleared, which keeps
+// per-injection reset cost proportional to the workload footprint.
+func (m *Memory) Reset() {
+	clear(m.data[:m.hwm])
+	m.brk = 0
+	m.hwm = 0
+}
+
+// check validates an access of size bytes at addr.
+func (m *Memory) check(addr uint32, size int) error {
+	if uint64(addr)+uint64(size) > uint64(len(m.data)) {
+		return fmt.Errorf("gpu: invalid memory access addr=%#x size=%d capacity=%d", addr, size, len(m.data))
+	}
+	return nil
+}
+
+// Load32 reads a 32-bit word.
+func (m *Memory) Load32(addr uint32) (uint32, error) {
+	if err := m.check(addr, 4); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(m.data[addr:]), nil
+}
+
+// Store32 writes a 32-bit word.
+func (m *Memory) Store32(addr uint32, v uint32) error {
+	if err := m.check(addr, 4); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(m.data[addr:], v)
+	return nil
+}
+
+// LoadF32 reads a float32.
+func (m *Memory) LoadF32(addr uint32) (float32, error) {
+	v, err := m.Load32(addr)
+	return math.Float32frombits(v), err
+}
+
+// StoreF32 writes a float32.
+func (m *Memory) StoreF32(addr uint32, v float32) error {
+	return m.Store32(addr, math.Float32bits(v))
+}
+
+// WriteWords uploads a slice of 32-bit words starting at addr.
+func (m *Memory) WriteWords(addr uint32, words []uint32) error {
+	if err := m.check(addr, 4*len(words)); err != nil {
+		return err
+	}
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(m.data[addr+uint32(4*i):], w)
+	}
+	return nil
+}
+
+// ReadWords downloads n 32-bit words starting at addr.
+func (m *Memory) ReadWords(addr uint32, n int) ([]uint32, error) {
+	if err := m.check(addr, 4*n); err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(m.data[addr+uint32(4*i):])
+	}
+	return out, nil
+}
+
+// WriteFloats uploads a float32 slice starting at addr.
+func (m *Memory) WriteFloats(addr uint32, vals []float32) error {
+	if err := m.check(addr, 4*len(vals)); err != nil {
+		return err
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(m.data[addr+uint32(4*i):], math.Float32bits(v))
+	}
+	return nil
+}
+
+// ReadFloats downloads n float32 values starting at addr.
+func (m *Memory) ReadFloats(addr uint32, n int) ([]float32, error) {
+	ws, err := m.ReadWords(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i, w := range ws {
+		out[i] = math.Float32frombits(w)
+	}
+	return out, nil
+}
+
+// ReadBytes returns a copy of the byte range [addr, addr+size).
+func (m *Memory) ReadBytes(addr uint32, size int) ([]byte, error) {
+	if err := m.check(addr, size); err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	copy(out, m.data[addr:])
+	return out, nil
+}
+
+// AllocWords allocates space for and uploads the given words, returning
+// the device address.
+func (m *Memory) AllocWords(words []uint32) (uint32, error) {
+	addr, err := m.Alloc(4 * len(words))
+	if err != nil {
+		return 0, err
+	}
+	return addr, m.WriteWords(addr, words)
+}
+
+// AllocFloats allocates space for and uploads the given floats, returning
+// the device address.
+func (m *Memory) AllocFloats(vals []float32) (uint32, error) {
+	addr, err := m.Alloc(4 * len(vals))
+	if err != nil {
+		return 0, err
+	}
+	return addr, m.WriteFloats(addr, vals)
+}
+
+// AllocZero allocates a zeroed region of size bytes.
+func (m *Memory) AllocZero(size int) (uint32, error) {
+	return m.Alloc(size)
+}

@@ -1,0 +1,27 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+)
+
+// Combining a measured AVF with chip parameters into the paper's EPF
+// metric: a 1 ms execution on a 1.4 GHz chip whose 15.7 Mbit register
+// file shows 2% AVF and whose 5.9 Mbit shared memory shows 0.5% AVF.
+func ExampleEPF() {
+	epf, err := metrics.EPF(
+		1_400_000, // cycles: 1 ms at 1.4 GHz
+		1.4,       // GHz
+		metrics.DefaultRawFITPerMbit,
+		[]metrics.StructureAVF{
+			{Structure: gpu.RegisterFile, AVF: 0.02, Bits: 15_728_640},
+			{Structure: gpu.LocalMemory, AVF: 0.005, Bits: 5_898_240},
+		})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("EPF = %.3e executions per failure\n", epf)
+	// Output: EPF = 1.046e+13 executions per failure
+}

@@ -1,0 +1,82 @@
+// Package metrics converts the raw reliability measurements (AVF,
+// structure sizes, cycle counts) into the paper's derived metrics:
+// FIT (failures in 10^9 device-hours), EIT (benchmark executions in 10^9
+// device-hours) and EPF = EIT / FIT_GPU, the combined
+// performance-reliability metric of Fig. 3.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gpu"
+)
+
+// DefaultRawFITPerMbit is the raw soft-error rate assumed for all SRAM
+// structures, in FIT per Mbit. The paper does not publish its raw rate;
+// 1,000 FIT/Mbit is an industry-typical planar-node figure, and because
+// it is applied uniformly it scales all EPF values identically without
+// changing cross-chip or cross-benchmark comparisons.
+const DefaultRawFITPerMbit = 1000.0
+
+// HoursPerBillion is the FIT time base: 10^9 hours in seconds.
+const hoursPerBillionSeconds = 1e9 * 3600
+
+// FIT returns the failure rate contribution of one structure:
+// AVF x size(Mbit) x rawRate.
+func FIT(avf float64, bits int64, rawPerMbit float64) float64 {
+	return avf * float64(bits) / 1e6 * rawPerMbit
+}
+
+// ExecSeconds converts a cycle count at a clock (GHz) to seconds.
+func ExecSeconds(cycles int64, clockGHz float64) (float64, error) {
+	if cycles <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive cycle count %d", cycles)
+	}
+	if clockGHz <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive clock %v", clockGHz)
+	}
+	return float64(cycles) / (clockGHz * 1e9), nil
+}
+
+// EIT returns the number of complete benchmark executions in 10^9 device
+// hours given one execution's wall-clock seconds.
+func EIT(execSeconds float64) (float64, error) {
+	if execSeconds <= 0 {
+		return 0, errors.New("metrics: non-positive execution time")
+	}
+	return hoursPerBillionSeconds / execSeconds, nil
+}
+
+// StructureAVF carries one structure's measured AVF and its size.
+type StructureAVF struct {
+	Structure gpu.Structure
+	AVF       float64
+	Bits      int64
+}
+
+// EPF computes Executions Per Failure: EIT over the summed FIT of the
+// device's analyzed structures (the paper's FIT_GPU).
+func EPF(cycles int64, clockGHz float64, rawPerMbit float64, structs []StructureAVF) (float64, error) {
+	secs, err := ExecSeconds(cycles, clockGHz)
+	if err != nil {
+		return 0, err
+	}
+	eit, err := EIT(secs)
+	if err != nil {
+		return 0, err
+	}
+	var fit float64
+	for _, s := range structs {
+		if s.AVF < 0 || s.AVF > 1 {
+			return 0, fmt.Errorf("metrics: AVF %v of %s out of [0,1]", s.AVF, s.Structure)
+		}
+		fit += FIT(s.AVF, s.Bits, rawPerMbit)
+	}
+	if fit <= 0 {
+		// A benchmark whose measured AVFs are all zero never fails in the
+		// model; report +Inf executions per failure explicitly.
+		return 0, errors.New("metrics: zero FIT (all AVFs zero)")
+	}
+	return eit / fit, nil
+}

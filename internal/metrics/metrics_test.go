@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpu"
+)
+
+func TestFIT(t *testing.T) {
+	// 1 Mbit structure, AVF 10%, 1000 FIT/Mbit -> 100 FIT.
+	if got := FIT(0.1, 1_000_000, 1000); got != 100 {
+		t.Fatalf("FIT = %v, want 100", got)
+	}
+	if got := FIT(0, 1_000_000, 1000); got != 0 {
+		t.Fatalf("zero AVF must give zero FIT, got %v", got)
+	}
+}
+
+func TestExecSecondsAndEIT(t *testing.T) {
+	secs, err := ExecSeconds(2_000_000_000, 2.0) // 2e9 cycles at 2 GHz = 1 s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs != 1 {
+		t.Fatalf("ExecSeconds = %v, want 1", secs)
+	}
+	eit, err := EIT(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eit != 3.6e12 { // 1e9 hours / 1 s
+		t.Fatalf("EIT = %v, want 3.6e12", eit)
+	}
+	if _, err := ExecSeconds(0, 1); err == nil {
+		t.Fatal("zero cycles accepted")
+	}
+	if _, err := ExecSeconds(100, 0); err == nil {
+		t.Fatal("zero clock accepted")
+	}
+}
+
+func TestEPFHandComputed(t *testing.T) {
+	// 1e6 cycles at 1 GHz = 1e-3 s -> EIT = 3.6e15.
+	// One structure: 8 Mbit at AVF 25% and 1000 FIT/Mbit -> FIT = 2000.
+	// EPF = 3.6e15 / 2000 = 1.8e12.
+	epf, err := EPF(1_000_000, 1.0, 1000, []StructureAVF{
+		{Structure: gpu.RegisterFile, AVF: 0.25, Bits: 8 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.6e15 / (0.25 * float64(8<<20) / 1e6 * 1000)
+	if math.Abs(epf-want)/want > 1e-12 {
+		t.Fatalf("EPF = %v, want %v", epf, want)
+	}
+}
+
+func TestEPFZeroFIT(t *testing.T) {
+	_, err := EPF(1000, 1, 1000, []StructureAVF{
+		{Structure: gpu.RegisterFile, AVF: 0, Bits: 1 << 20},
+	})
+	if err == nil {
+		t.Fatal("zero FIT must error (infinite EPF)")
+	}
+}
+
+func TestEPFRejectsBadAVF(t *testing.T) {
+	_, err := EPF(1000, 1, 1000, []StructureAVF{
+		{Structure: gpu.RegisterFile, AVF: 1.5, Bits: 1 << 20},
+	})
+	if err == nil {
+		t.Fatal("AVF > 1 accepted")
+	}
+}
+
+// Property: EPF decreases when AVF increases (all else equal), and
+// increases with clock (faster executions, same failure rate per hour).
+func TestEPFMonotonicity(t *testing.T) {
+	if err := quick.Check(func(rawA, rawB uint8) bool {
+		a := 0.01 + 0.98*float64(rawA)/255
+		b := 0.01 + 0.98*float64(rawB)/255
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		if lo == hi {
+			return true
+		}
+		mk := func(avf, clk float64) float64 {
+			epf, err := EPF(1_000_000, clk, 1000, []StructureAVF{
+				{Structure: gpu.RegisterFile, AVF: avf, Bits: 1 << 23},
+			})
+			if err != nil {
+				return math.NaN()
+			}
+			return epf
+		}
+		if !(mk(hi, 1) < mk(lo, 1)) {
+			return false
+		}
+		return mk(0.5, 2) > mk(0.5, 1)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

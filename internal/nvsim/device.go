@@ -1,0 +1,504 @@
+// Package nvsim is a cycle-level simulator of NVIDIA-style SIMT GPUs
+// (G80, GT200, Fermi) executing the SASS-like ISA of internal/sass. It is
+// the reproduction's stand-in for GPGPU-Sim 3.2.2, the substrate of the
+// paper's GUFI tool.
+//
+// The model: a chip is a set of streaming multiprocessors (SMs). Thread
+// blocks are dispatched to SMs subject to the chip's residency limits
+// (resident blocks, resident warps, register file, shared memory). Each
+// warp of 32 threads executes in lockstep with a SIMT reconvergence stack
+// (SSY/SYNC), per-warp register scoreboarding with per-class latencies,
+// and round-robin issue of up to IssueWidth warp instructions per SM per
+// IssuePeriod cycles. Values are written architecturally at issue and
+// become visible to dependents after the instruction latency, which is
+// the standard trade-off for fault-injection simulators: the physical
+// register file always holds the architectural values that a bit flip
+// would corrupt on real hardware.
+//
+// Reliability hooks: InjectFault arms a single-bit flip on a physical
+// register-file entry or shared-memory byte at an absolute device cycle;
+// SetTracer streams every register/shared-memory access and every
+// allocation interval to the ACE analysis.
+package nvsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/chips"
+	"repro/internal/gpu"
+	"repro/internal/sass"
+)
+
+// DefaultWatchdog is the per-launch cycle budget when none is set.
+const DefaultWatchdog = 50_000_000
+
+// Device is one simulated NVIDIA GPU.
+type Device struct {
+	chip  *chips.Chip
+	mem   *gpu.Memory
+	sms   []*sm
+	stats gpu.RunStats
+
+	fault        *gpu.Fault
+	faultApplied bool
+	tracer       gpu.Tracer
+	watchdog     int64
+
+	cycle int64 // global device cycle, monotonic across launches
+}
+
+type sm struct {
+	id     int
+	regs   []uint32
+	shared []byte
+
+	blocks   []*block // resident blocks (slot index = position)
+	slots    []bool   // slot occupancy
+	rrWarp   int      // round-robin issue pointer
+	greedy   *warp    // GTO: warp that issued most recently
+	liveWarp int      // resident non-retired warps
+}
+
+type block struct {
+	id         int // linear block id in the grid
+	ctaX, ctaY int
+	slot       int
+	regBase    int
+	regCount   int
+	shBase     int
+	shCount    int
+	warps      []*warp
+	live       int // warps not yet done
+	arrived    int // warps waiting at the barrier
+	allocCycle int64
+}
+
+type stackKind uint8
+
+const (
+	stackSSY stackKind = iota
+	stackDIV
+)
+
+type stackEntry struct {
+	kind stackKind
+	pc   int
+	mask uint32
+}
+
+type warp struct {
+	blk        *block
+	idx        int // warp index within block
+	pc         int
+	valid      uint32 // lanes that carry real threads
+	active     uint32 // current SIMT active mask
+	exited     uint32 // lanes that executed EXIT
+	stack      []stackEntry
+	preds      [sass.NumPreds]uint32 // per-lane predicate bits
+	regReady   []int64               // scoreboard: per architectural register
+	predReady  [sass.NumPreds]int64
+	atBarrier  bool
+	done       bool
+	wakeAt     int64 // earliest cycle worth re-examining this warp
+	threadBase int   // linear thread id of lane 0 within the block
+}
+
+// launchCtx holds per-launch geometry shared by the execution helpers.
+type launchCtx struct {
+	prog      *sass.Program
+	args      []uint32
+	grid      gpu.Dim3
+	group     gpu.Dim3
+	threads   int // threads per block
+	warpsPerB int
+	regsPerB  int
+	shPerB    int
+}
+
+// New creates a device for an NVIDIA chip configuration.
+func New(chip *chips.Chip) (*Device, error) {
+	if err := chip.Validate(); err != nil {
+		return nil, err
+	}
+	if chip.Vendor != gpu.NVIDIA {
+		return nil, fmt.Errorf("nvsim: chip %s is not an NVIDIA configuration", chip.Name)
+	}
+	d := &Device{
+		chip:     chip,
+		mem:      gpu.NewMemory(chip.GlobalMemBytes),
+		watchdog: DefaultWatchdog,
+	}
+	d.sms = make([]*sm, chip.Units)
+	for i := range d.sms {
+		d.sms[i] = &sm{
+			id:     i,
+			regs:   make([]uint32, chip.RegsPerUnit),
+			shared: make([]byte, chip.LocalBytesPerUnit),
+		}
+	}
+	return d, nil
+}
+
+// Name implements gpu.Device.
+func (d *Device) Name() string { return d.chip.Name }
+
+// Vendor implements gpu.Device.
+func (d *Device) Vendor() gpu.Vendor { return gpu.NVIDIA }
+
+// Mem implements gpu.Device.
+func (d *Device) Mem() *gpu.Memory { return d.mem }
+
+// Stats implements gpu.Device.
+func (d *Device) Stats() gpu.RunStats { return d.stats }
+
+// Units implements gpu.Device.
+func (d *Device) Units() int { return d.chip.Units }
+
+// StructSize implements gpu.Device.
+func (d *Device) StructSize(st gpu.Structure) int { return d.chip.StructSize(st) }
+
+// StructBits implements gpu.Device.
+func (d *Device) StructBits(st gpu.Structure) int64 { return d.chip.StructBits(st) }
+
+// ClockGHz implements gpu.Device.
+func (d *Device) ClockGHz() float64 { return d.chip.ClockGHz }
+
+// InjectFault implements gpu.Device.
+func (d *Device) InjectFault(f *gpu.Fault) {
+	d.fault = f
+	d.faultApplied = false
+}
+
+// SetTracer implements gpu.Device.
+func (d *Device) SetTracer(t gpu.Tracer) { d.tracer = t }
+
+// SetWatchdog implements gpu.Device.
+func (d *Device) SetWatchdog(maxCycles int64) {
+	if maxCycles <= 0 {
+		d.watchdog = DefaultWatchdog
+		return
+	}
+	d.watchdog = maxCycles
+}
+
+// Reset implements gpu.Device.
+func (d *Device) Reset() {
+	d.mem.Reset()
+	for _, s := range d.sms {
+		clear(s.regs)
+		clear(s.shared)
+		s.blocks = nil
+		s.slots = nil
+		s.rrWarp = 0
+		s.greedy = nil
+		s.liveWarp = 0
+	}
+	d.stats = gpu.RunStats{}
+	d.cycle = 0
+	d.fault = nil
+	d.faultApplied = false
+	d.tracer = nil
+	d.watchdog = DefaultWatchdog
+}
+
+// Launch implements gpu.Device: it synchronously executes one kernel
+// launch, advancing the device cycle counter.
+func (d *Device) Launch(spec gpu.LaunchSpec) error {
+	prog, ok := spec.Kernel.(*sass.Program)
+	if !ok {
+		return fmt.Errorf("nvsim: kernel %T is not a *sass.Program", spec.Kernel)
+	}
+	lc, slotsPerSM, err := d.prepare(prog, spec)
+	if err != nil {
+		return err
+	}
+
+	totalBlocks := spec.Grid.Count()
+	nextBlock := 0
+	retired := 0
+	launchStart := d.cycle
+	period := int64(d.chip.IssuePeriod)
+
+	// Initialize slot tables for this launch.
+	for _, s := range d.sms {
+		s.blocks = make([]*block, slotsPerSM)
+		s.slots = make([]bool, slotsPerSM)
+		s.rrWarp = 0
+		s.greedy = nil
+		s.liveWarp = 0
+	}
+
+	for retired < totalBlocks {
+		if d.cycle-launchStart > d.watchdog {
+			return gpu.ErrWatchdog
+		}
+		d.applyFault()
+
+		// Dispatch pending blocks to free slots.
+		for _, s := range d.sms {
+			if nextBlock >= totalBlocks {
+				break
+			}
+			for slot := 0; slot < slotsPerSM && nextBlock < totalBlocks; slot++ {
+				if s.slots[slot] {
+					continue
+				}
+				d.dispatch(s, slot, nextBlock, lc)
+				nextBlock++
+			}
+		}
+
+		// Issue up to IssueWidth ready warps per SM, round-robin.
+		progress := false
+		nextWake := int64(1) << 62
+		for _, s := range d.sms {
+			if s.liveWarp == 0 {
+				continue
+			}
+			issued, wake, err := d.issueSM(s, lc)
+			if err != nil {
+				return err
+			}
+			if issued > 0 {
+				progress = true
+			}
+			if wake < nextWake {
+				nextWake = wake
+			}
+			// Retire completed blocks, freeing their slots.
+			for slot, blk := range s.blocks {
+				if blk != nil && blk.live == 0 {
+					d.retire(s, slot, blk)
+					retired++
+					progress = true
+				}
+			}
+		}
+
+		if retired >= totalBlocks {
+			break
+		}
+		// Advance time: step by the issue period when making progress,
+		// otherwise jump straight to the next scoreboard wake-up.
+		if progress || nextWake <= d.cycle {
+			d.cycle += period
+		} else if nextWake < (int64(1) << 62) {
+			d.cycle = nextWake
+		} else {
+			// No warp can ever become ready: all remaining warps wait at
+			// a barrier that cannot be satisfied.
+			return fmt.Errorf("nvsim: deadlock at cycle %d (barrier starvation)", d.cycle)
+		}
+	}
+	d.stats.Cycles = d.cycle
+	d.stats.Launches++
+	return nil
+}
+
+// prepare validates the launch and computes residency.
+func (d *Device) prepare(prog *sass.Program, spec gpu.LaunchSpec) (*launchCtx, int, error) {
+	c := d.chip
+	threads := spec.Group.Count()
+	if threads <= 0 {
+		return nil, 0, fmt.Errorf("nvsim: empty thread block")
+	}
+	if spec.Grid.Count() <= 0 {
+		return nil, 0, fmt.Errorf("nvsim: empty grid")
+	}
+	if len(spec.Args) < prog.NumParams {
+		return nil, 0, fmt.Errorf("nvsim: kernel %s reads %d params, launch provides %d",
+			prog.Name, prog.NumParams, len(spec.Args))
+	}
+	warpsPerB := (threads + c.WarpWidth - 1) / c.WarpWidth
+	regsPerB := warpsPerB * c.WarpWidth * prog.NumRegs
+	shPerB := prog.SharedBytes
+
+	limit := c.MaxGroupsPerUnit
+	if byWarps := c.MaxWarpsPerUnit / warpsPerB; byWarps < limit {
+		limit = byWarps
+	}
+	if regsPerB > 0 {
+		if byRegs := c.RegsPerUnit / regsPerB; byRegs < limit {
+			limit = byRegs
+		}
+	}
+	if shPerB > 0 {
+		if bySh := c.LocalBytesPerUnit / shPerB; bySh < limit {
+			limit = bySh
+		}
+	}
+	if limit <= 0 {
+		return nil, 0, fmt.Errorf("nvsim: kernel %s (%d regs/thread, %d shared bytes, %d threads) does not fit on %s",
+			prog.Name, prog.NumRegs, shPerB, threads, c.Name)
+	}
+	return &launchCtx{
+		prog: prog, args: spec.Args, grid: spec.Grid, group: spec.Group,
+		threads: threads, warpsPerB: warpsPerB, regsPerB: regsPerB, shPerB: shPerB,
+	}, limit, nil
+}
+
+// dispatch places grid block blockID into the given SM slot.
+func (d *Device) dispatch(s *sm, slot, blockID int, lc *launchCtx) {
+	gx := lc.grid.X
+	if gx <= 0 {
+		gx = 1
+	}
+	blk := &block{
+		id:         blockID,
+		ctaX:       blockID % gx,
+		ctaY:       blockID / gx,
+		slot:       slot,
+		regBase:    slot * lc.regsPerB,
+		regCount:   lc.regsPerB,
+		shBase:     slot * lc.shPerB,
+		shCount:    lc.shPerB,
+		live:       lc.warpsPerB,
+		allocCycle: d.cycle,
+	}
+	ww := d.chip.WarpWidth
+	blk.warps = make([]*warp, lc.warpsPerB)
+	for w := range blk.warps {
+		base := w * ww
+		var valid uint32
+		n := lc.threads - base
+		if n >= ww {
+			valid = ^uint32(0)
+		} else {
+			valid = (uint32(1) << n) - 1
+		}
+		blk.warps[w] = &warp{
+			blk: blk, idx: w, valid: valid, active: valid,
+			regReady:   make([]int64, lc.prog.NumRegs),
+			threadBase: base,
+		}
+	}
+	s.blocks[slot] = blk
+	s.slots[slot] = true
+	s.liveWarp += lc.warpsPerB
+	if t := d.tracer; t != nil {
+		if blk.regCount > 0 {
+			t.RegAlloc(s.id, blk.regBase, blk.regCount, d.cycle)
+		}
+		if blk.shCount > 0 {
+			t.LocalAlloc(s.id, blk.shBase, blk.shCount, d.cycle)
+		}
+	}
+}
+
+// retire frees a completed block's resources and accounts occupancy.
+func (d *Device) retire(s *sm, slot int, blk *block) {
+	dur := float64(d.cycle - blk.allocCycle)
+	d.stats.RegOcc.AllocUnitCycles += float64(blk.regCount) * dur
+	d.stats.LocalOcc.AllocUnitCycles += float64(blk.shCount) * dur
+	if t := d.tracer; t != nil {
+		if blk.regCount > 0 {
+			t.RegFree(s.id, blk.regBase, blk.regCount, d.cycle)
+		}
+		if blk.shCount > 0 {
+			t.LocalFree(s.id, blk.shBase, blk.shCount, d.cycle)
+		}
+	}
+	s.blocks[slot] = nil
+	s.slots[slot] = false
+}
+
+// applyFault flips the armed bit once the device cycle reaches its time.
+func (d *Device) applyFault() {
+	f := d.fault
+	if f == nil || d.faultApplied || d.cycle < f.Cycle {
+		return
+	}
+	d.faultApplied = true
+	if f.Unit < 0 || f.Unit >= len(d.sms) {
+		return
+	}
+	s := d.sms[f.Unit]
+	switch f.Structure {
+	case gpu.RegisterFile:
+		if f.Entry >= 0 && f.Entry < len(s.regs) {
+			s.regs[f.Entry] ^= f.Mask(32)
+		}
+	case gpu.LocalMemory:
+		if f.Entry >= 0 && f.Entry < len(s.shared) {
+			s.shared[f.Entry] ^= byte(f.Mask(8))
+		}
+	}
+}
+
+// issueSM attempts to issue up to IssueWidth ready warps on one SM.
+// It returns the number issued and the earliest wake-up cycle among
+// blocked warps (1<<62 when none is time-blocked).
+func (d *Device) issueSM(s *sm, lc *launchCtx) (int, int64, error) {
+	issued := 0
+	nextWake := int64(1) << 62
+	// Snapshot the resident warps in round-robin order.
+	var order []*warp
+	for _, blk := range s.blocks {
+		if blk == nil {
+			continue
+		}
+		for _, w := range blk.warps {
+			if !w.done {
+				order = append(order, w)
+			}
+		}
+	}
+	n := len(order)
+	if n == 0 {
+		return 0, nextWake, nil
+	}
+	// Greedy-then-oldest: the most recently issued warp gets first claim
+	// on the slot; the fallback scan below is oldest-first because the
+	// order slice follows block dispatch order.
+	if d.chip.Scheduler == chips.SchedGTO {
+		if g := s.greedy; g != nil && !g.done && !g.atBarrier && g.wakeAt <= d.cycle {
+			ok, wake, err := d.tryIssue(s, g, lc)
+			if err != nil {
+				return issued, nextWake, err
+			}
+			if ok {
+				issued++
+			} else if wake > d.cycle {
+				g.wakeAt = wake
+				if wake < nextWake {
+					nextWake = wake
+				}
+			}
+		}
+	}
+	start := 0
+	if d.chip.Scheduler == chips.SchedRR {
+		start = s.rrWarp % n
+	}
+	for k := 0; k < n && issued < d.chip.IssueWidth; k++ {
+		w := order[(start+k)%n]
+		if w.done || w.atBarrier || (d.chip.Scheduler == chips.SchedGTO && w == s.greedy) {
+			continue
+		}
+		if w.wakeAt > d.cycle {
+			if w.wakeAt < nextWake {
+				nextWake = w.wakeAt
+			}
+			continue
+		}
+		ok, wake, err := d.tryIssue(s, w, lc)
+		if err != nil {
+			return issued, nextWake, err
+		}
+		if ok {
+			issued++
+			s.rrWarp = (start + k + 1) % n
+			s.greedy = w
+		} else if wake > d.cycle {
+			w.wakeAt = wake
+			if wake < nextWake {
+				nextWake = wake
+			}
+		}
+	}
+	return issued, nextWake, nil
+}
+
+// popcount32 counts set bits in a lane mask.
+func popcount32(m uint32) int { return bits.OnesCount32(m) }

@@ -1,0 +1,55 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/core"
+)
+
+// figureJSON is the machine-readable envelope for an AVF figure.
+type figureJSON struct {
+	Title     string       `json:"title"`
+	Structure string       `json:"structure"`
+	Chips     []string     `json:"chips"`
+	Benches   []string     `json:"benchmarks"`
+	Cells     []*core.Cell `json:"cells"`
+	Averages  []*core.Cell `json:"averages"`
+}
+
+// WriteFigureJSON emits an AVF figure as one indented JSON document with
+// cells flattened benchmark-major (the figures' bar order).
+func WriteFigureJSON(w io.Writer, fig *core.Figure, title string) error {
+	doc := figureJSON{
+		Title:     title,
+		Structure: fig.Structure.String(),
+		Chips:     fig.ChipNames,
+		Benches:   fig.BenchNames,
+		Averages:  fig.Averages,
+	}
+	for _, row := range fig.Cells {
+		doc.Cells = append(doc.Cells, row...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// epfJSON is the machine-readable envelope for the EPF figure.
+type epfJSON struct {
+	Title   string         `json:"title"`
+	Chips   []string       `json:"chips"`
+	Benches []string       `json:"benchmarks"`
+	Rows    []*core.EPFRow `json:"rows"`
+}
+
+// WriteEPFJSON emits the EPF dataset as one indented JSON document.
+func WriteEPFJSON(w io.Writer, data *core.FigureEPFData, title string) error {
+	doc := epfJSON{Title: title, Chips: data.ChipNames, Benches: data.BenchNames}
+	for _, row := range data.Rows {
+		doc.Rows = append(doc.Rows, row...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestWriteFigureJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureJSON(&sb, sampleFigure(), "Fig. X"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title     string `json:"title"`
+		Structure string `json:"structure"`
+		Chips     []string
+		Cells     []*core.Cell
+		Averages  []*core.Cell
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Title != "Fig. X" || doc.Structure != "register-file" {
+		t.Fatalf("header: %+v", doc)
+	}
+	if len(doc.Cells) != 2 || len(doc.Averages) != 2 {
+		t.Fatalf("cells/averages: %d/%d", len(doc.Cells), len(doc.Averages))
+	}
+	if doc.Cells[0].AVFFI != 0.123 {
+		t.Fatalf("cell payload: %+v", doc.Cells[0])
+	}
+}
+
+func TestWriteEPFJSON(t *testing.T) {
+	data := &core.FigureEPFData{
+		ChipNames:  []string{"Chip A"},
+		BenchNames: []string{"bm1"},
+		Rows: [][]*core.EPFRow{
+			{{Chip: "Chip A", Benchmark: "bm1", EPF: 1.5e14, Seconds: 1e-4}},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteEPFJSON(&sb, data, "Fig. 3"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rows []*core.EPFRow
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows) != 1 || doc.Rows[0].EPF != 1.5e14 {
+		t.Fatalf("rows: %+v", doc.Rows)
+	}
+}

@@ -1,0 +1,68 @@
+// Package report renders the reproduction's experiment results as text
+// tables matching the content of the paper's three figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// WriteFigure renders an AVF figure (Fig. 1 or Fig. 2): one row per
+// (benchmark, chip) with AVF-FI, its 99% interval, AVF-ACE and occupancy.
+func WriteFigure(w io.Writer, fig *core.Figure, title string) error {
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title))); err != nil {
+		return err
+	}
+	const hdr = "%-11s %-16s %8s %17s %8s %10s\n"
+	const row = "%-11s %-16s %7.2f%% [%6.2f%%,%6.2f%%] %7.2f%% %9.2f%%\n"
+	if _, err := fmt.Fprintf(w, hdr, "benchmark", "chip", "AVF-FI", "99% interval", "AVF-ACE", "occupancy"); err != nil {
+		return err
+	}
+	for bi, bn := range fig.BenchNames {
+		for ci, cn := range fig.ChipNames {
+			c := fig.Cells[bi][ci]
+			if _, err := fmt.Fprintf(w, row, bn, cn,
+				100*c.AVFFI, 100*c.AVFFILo, 100*c.AVFFIHi, 100*c.AVFACE, 100*c.Occupancy); err != nil {
+				return err
+			}
+		}
+	}
+	for ci, cn := range fig.ChipNames {
+		c := fig.Averages[ci]
+		if _, err := fmt.Fprintf(w, row, "average", cn,
+			100*c.AVFFI, 0.0, 0.0, 100*c.AVFACE, 100*c.Occupancy); err != nil {
+			return err
+		}
+		_ = ci
+	}
+	return nil
+}
+
+// WriteEPF renders Fig. 3: EPF per (benchmark, chip) on a log-friendly
+// scientific notation, with the inputs that produced it.
+func WriteEPF(w io.Writer, data *core.FigureEPFData, title string) error {
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title))); err != nil {
+		return err
+	}
+	const hdr = "%-11s %-16s %12s %12s %10s %10s\n"
+	if _, err := fmt.Fprintf(w, hdr, "benchmark", "chip", "EPF", "exec (s)", "AVF-RF", "AVF-LM"); err != nil {
+		return err
+	}
+	for bi, bn := range data.BenchNames {
+		for ci, cn := range data.ChipNames {
+			r := data.Rows[bi][ci]
+			epf := fmt.Sprintf("%.3e", r.EPF)
+			if r.EPF == 0 {
+				epf = "inf"
+			}
+			if _, err := fmt.Fprintf(w, "%-11s %-16s %12s %12.3e %9.2f%% %9.2f%%\n",
+				bn, cn, epf, r.Seconds, 100*r.RegAVF, 100*r.LocalAVF); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+)
+
+func sampleFigure() *core.Figure {
+	return &core.Figure{
+		Structure:  gpu.RegisterFile,
+		ChipNames:  []string{"Chip A", "Chip B"},
+		BenchNames: []string{"bm1"},
+		Cells: [][]*core.Cell{{
+			{Chip: "Chip A", Benchmark: "bm1", AVFFI: 0.123, AVFFILo: 0.10, AVFFIHi: 0.15, AVFACE: 0.2, Occupancy: 0.5},
+			{Chip: "Chip B", Benchmark: "bm1", AVFFI: 0.01, AVFFILo: 0.005, AVFFIHi: 0.02, AVFACE: 0.015, Occupancy: 0.1},
+		}},
+		Averages: []*core.Cell{
+			{Chip: "Chip A", Benchmark: "average", AVFFI: 0.123, AVFACE: 0.2, Occupancy: 0.5},
+			{Chip: "Chip B", Benchmark: "average", AVFFI: 0.01, AVFACE: 0.015, Occupancy: 0.1},
+		},
+	}
+}
+
+func TestWriteFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigure(&sb, sampleFigure(), "Fig. X"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig. X", "bm1", "Chip A", "Chip B", "12.30%", "average", "occupancy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 7 {
+		t.Fatalf("unexpected line count:\n%s", out)
+	}
+}
+
+func TestWriteEPF(t *testing.T) {
+	data := &core.FigureEPFData{
+		ChipNames:  []string{"Chip A"},
+		BenchNames: []string{"bm1", "bm2"},
+		Rows: [][]*core.EPFRow{
+			{{Chip: "Chip A", Benchmark: "bm1", EPF: 1.5e14, Seconds: 1e-4, RegAVF: 0.02, LocalAVF: 0.01}},
+			{{Chip: "Chip A", Benchmark: "bm2", EPF: 0, Seconds: 2e-4}},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteEPF(&sb, data, "Fig. 3"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig. 3", "1.500e+14", "bm2", "inf"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

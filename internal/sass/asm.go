@@ -1,0 +1,595 @@
+package sass
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a SASS-like kernel source into a Program. The accepted
+// grammar, line oriented:
+//
+//	.kernel <name>          kernel entry name (required, first)
+//	.shared <bytes>         static shared memory per block (optional)
+//	<label>:                branch target
+//	[@[!]Pn] MNEMONIC operands...
+//
+// Comments start with ';' or '//' and run to end of line. Operands are
+// separated by commas. Register operands are R0..R127 or RZ; predicate
+// operands are P0..P5 or PT; immediates are decimal or 0x hex integers,
+// or float32 literals with an 'f' suffix (e.g. 1.0f, -2.5e-1f); kernel
+// parameters are c[n]; memory operands are [Rn], [Rn+imm] or [Rn-imm].
+func Assemble(src string) (*Program, error) {
+	p := &Program{SharedBytes: 0}
+	labels := make(map[string]int)
+	type fixup struct {
+		instr int
+		label string
+		line  int
+	}
+	var fixups []fixup
+	maxReg := -1
+	maxParam := -1
+	sawKernel := false
+	hasExit := false
+
+	noteReg := func(r uint8) {
+		if r != RZ && int(r) > maxReg {
+			maxReg = int(r)
+		}
+	}
+	noteOperand := func(o Operand) {
+		switch o.Kind {
+		case OperandReg:
+			noteReg(o.Reg)
+		case OperandConst:
+			if int(o.CIdx) > maxParam {
+				maxParam = int(o.CIdx)
+			}
+		}
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ln := lineNo + 1
+
+		// Directives.
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".kernel":
+				if len(fields) != 2 {
+					return nil, asmErr(ln, ".kernel needs exactly one name")
+				}
+				if sawKernel {
+					return nil, asmErr(ln, "duplicate .kernel directive")
+				}
+				p.Name = fields[1]
+				sawKernel = true
+			case ".shared":
+				if len(fields) != 2 {
+					return nil, asmErr(ln, ".shared needs exactly one byte count")
+				}
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n < 0 {
+					return nil, asmErr(ln, "invalid .shared size %q", fields[1])
+				}
+				p.SharedBytes = n
+			default:
+				return nil, asmErr(ln, "unknown directive %s", fields[0])
+			}
+			continue
+		}
+
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:idx])
+			if !isIdent(name) {
+				return nil, asmErr(ln, "invalid label %q", name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, asmErr(ln, "duplicate label %q", name)
+			}
+			labels[name] = len(p.Instrs)
+			line = strings.TrimSpace(line[idx+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if !sawKernel {
+			return nil, asmErr(ln, "instruction before .kernel directive")
+		}
+
+		in := Instr{Line: ln, Guard: Guard{Pred: PT}, Dst: RZ, PDst: PT, PSrc: PT}
+
+		// Guard prefix.
+		if strings.HasPrefix(line, "@") {
+			sp := strings.IndexAny(line, " \t")
+			if sp < 0 {
+				return nil, asmErr(ln, "guard without instruction")
+			}
+			g := line[1:sp]
+			line = strings.TrimSpace(line[sp+1:])
+			if strings.HasPrefix(g, "!") {
+				in.Guard.Neg = true
+				g = g[1:]
+			}
+			pr, err := parsePred(g)
+			if err != nil {
+				return nil, asmErr(ln, "bad guard predicate %q", g)
+			}
+			in.Guard.Pred = pr
+		}
+
+		// Mnemonic and operand text.
+		mn := line
+		ops := ""
+		if sp := strings.IndexAny(line, " \t"); sp >= 0 {
+			mn = line[:sp]
+			ops = strings.TrimSpace(line[sp+1:])
+		}
+		mn = strings.ToUpper(mn)
+		args := splitOperands(ops)
+
+		label, err := parseInstr(&in, mn, args, ln)
+		if err != nil {
+			return nil, err
+		}
+		if label != "" {
+			fixups = append(fixups, fixup{instr: len(p.Instrs), label: label, line: ln})
+		}
+		noteReg(in.Dst)
+		noteReg(in.MemBase)
+		for _, o := range in.Src {
+			noteOperand(o)
+		}
+		if in.Op == OpEXIT {
+			hasExit = true
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	if !sawKernel {
+		return nil, fmt.Errorf("sass: missing .kernel directive")
+	}
+	if len(p.Instrs) == 0 {
+		return nil, fmt.Errorf("sass: %s: empty program", p.Name)
+	}
+	if !hasExit {
+		return nil, fmt.Errorf("sass: %s: program has no EXIT", p.Name)
+	}
+	for _, f := range fixups {
+		tgt, ok := labels[f.label]
+		if !ok {
+			return nil, asmErr(f.line, "undefined label %q", f.label)
+		}
+		p.Instrs[f.instr].Target = tgt
+	}
+	if maxReg+1 > MaxRegs {
+		return nil, fmt.Errorf("sass: %s: uses %d registers, max %d", p.Name, maxReg+1, MaxRegs)
+	}
+	p.NumRegs = maxReg + 1
+	if p.NumRegs == 0 {
+		p.NumRegs = 1
+	}
+	p.NumParams = maxParam + 1
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for static kernel tables.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func asmErr(line int, format string, args ...any) error {
+	return fmt.Errorf("sass: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, ";"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits "R1, [R2+4], 0x10" into top-level comma fields
+// (commas inside brackets do not occur in this ISA, but be safe).
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToUpper(s)
+	if s == "RZ" {
+		return RZ, nil
+	}
+	if len(s) < 2 || s[0] != 'R' {
+		return 0, fmt.Errorf("not a register: %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= MaxRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parsePred(s string) (uint8, error) {
+	s = strings.ToUpper(s)
+	if s == "PT" {
+		return PT, nil
+	}
+	if len(s) < 2 || s[0] != 'P' {
+		return 0, fmt.Errorf("not a predicate: %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumPreds {
+		return 0, fmt.Errorf("bad predicate %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseSrc(s string) (Operand, error) {
+	if s == "" {
+		return Operand{}, fmt.Errorf("empty operand")
+	}
+	up := strings.ToUpper(s)
+	// Constant bank: c[n]
+	if strings.HasPrefix(up, "C[") && strings.HasSuffix(up, "]") {
+		n, err := strconv.Atoi(s[2 : len(s)-1])
+		if err != nil || n < 0 || n > 0xffff {
+			return Operand{}, fmt.Errorf("bad constant operand %q", s)
+		}
+		return C(n), nil
+	}
+	// Register.
+	if up == "RZ" || (len(up) >= 2 && up[0] == 'R' && up[1] >= '0' && up[1] <= '9') {
+		r, err := parseReg(up)
+		if err != nil {
+			return Operand{}, err
+		}
+		return R(int(r)), nil
+	}
+	// Float immediate: trailing 'f'.
+	if (strings.HasSuffix(s, "f") || strings.HasSuffix(s, "F")) && !strings.HasPrefix(up, "0X") {
+		v, err := strconv.ParseFloat(s[:len(s)-1], 32)
+		if err != nil {
+			return Operand{}, fmt.Errorf("bad float immediate %q", s)
+		}
+		return ImmF(float32(v)), nil
+	}
+	// Integer immediate: decimal or hex, signed allowed.
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return Operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return Operand{}, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return Imm(uint32(v)), nil
+}
+
+// parseMem parses "[Rn]", "[Rn+imm]" or "[Rn-imm]".
+func parseMem(s string) (base uint8, off int32, err error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("not a memory operand: %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	sign := int32(1)
+	idx := strings.IndexAny(inner, "+-")
+	// A leading '-' would belong to the register, which is invalid anyway.
+	regPart, offPart := inner, ""
+	if idx > 0 {
+		if inner[idx] == '-' {
+			sign = -1
+		}
+		regPart = strings.TrimSpace(inner[:idx])
+		offPart = strings.TrimSpace(inner[idx+1:])
+	}
+	base, err = parseReg(regPart)
+	if err != nil {
+		return 0, 0, err
+	}
+	if offPart != "" {
+		v, perr := strconv.ParseInt(offPart, 0, 32)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("bad memory offset %q", offPart)
+		}
+		off = sign * int32(v)
+	}
+	return base, off, nil
+}
+
+func parseCmpSuffix(s string) (Cmp, error) {
+	for i, n := range cmpNames {
+		if s == n {
+			return Cmp(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown comparison %q", s)
+}
+
+func parseSR(s string) (SpecialReg, error) {
+	up := strings.ToUpper(s)
+	for i, n := range srNames {
+		if up == n {
+			return SpecialReg(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown special register %q", s)
+}
+
+// parseInstr fills in from the mnemonic and operand strings; it returns a
+// label name when the instruction needs branch-target fixup.
+func parseInstr(in *Instr, mn string, args []string, ln int) (string, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return asmErr(ln, "%s expects %d operands, got %d", mn, n, len(args))
+		}
+		return nil
+	}
+	dstReg := func(i int) error {
+		r, err := parseReg(args[i])
+		if err != nil {
+			return asmErr(ln, "%s: %v", mn, err)
+		}
+		in.Dst = r
+		return nil
+	}
+	src := func(i, slot int) error {
+		o, err := parseSrc(args[i])
+		if err != nil {
+			return asmErr(ln, "%s: %v", mn, err)
+		}
+		in.Src[slot] = o
+		return nil
+	}
+
+	// Two-source ALU ops share one shape: OP Rd, Ra, src.
+	binOps := map[string]Opcode{
+		"IADD": OpIADD, "ISUB": OpISUB, "IMUL": OpIMUL,
+		"IMIN": OpIMIN, "IMAX": OpIMAX,
+		"AND": OpAND, "OR": OpOR, "XOR": OpXOR, "SHL": OpSHL, "SHR": OpSHR,
+		"FADD": OpFADD, "FSUB": OpFSUB, "FMUL": OpFMUL,
+		"FMIN": OpFMIN, "FMAX": OpFMAX,
+	}
+	// One-source ops: OP Rd, src.
+	unOps := map[string]Opcode{
+		"MOV": OpMOV, "MOV32I": OpMOV,
+		"MUFU.RCP": OpRCP, "MUFU.EX2": OpEX2, "MUFU.LG2": OpLG2,
+		"MUFU.SQRT": OpSQRT,
+		"RCP":       OpRCP, "EX2": OpEX2, "LG2": OpLG2, "SQRT": OpSQRT,
+		"I2F": OpI2F, "F2I": OpF2I,
+	}
+
+	switch {
+	case mn == "NOP" || mn == "SYNC" || mn == "EXIT":
+		if err := need(0); err != nil {
+			return "", err
+		}
+		switch mn {
+		case "NOP":
+			in.Op = OpNOP
+		case "SYNC":
+			in.Op = OpSYNC
+		default:
+			in.Op = OpEXIT
+		}
+	case mn == "BAR.SYNC" || mn == "BAR":
+		if err := need(0); err != nil {
+			return "", err
+		}
+		in.Op = OpBAR
+	case mn == "BRA" || mn == "SSY":
+		if err := need(1); err != nil {
+			return "", err
+		}
+		if !isIdent(args[0]) {
+			return "", asmErr(ln, "%s: bad label %q", mn, args[0])
+		}
+		if mn == "BRA" {
+			in.Op = OpBRA
+		} else {
+			in.Op = OpSSY
+		}
+		return args[0], nil
+	case mn == "S2R":
+		if err := need(2); err != nil {
+			return "", err
+		}
+		if err := dstReg(0); err != nil {
+			return "", err
+		}
+		sr, err := parseSR(args[1])
+		if err != nil {
+			return "", asmErr(ln, "S2R: %v", err)
+		}
+		in.Op = OpS2R
+		in.SR = sr
+	case mn == "IMAD" || mn == "FFMA":
+		if err := need(4); err != nil {
+			return "", err
+		}
+		if err := dstReg(0); err != nil {
+			return "", err
+		}
+		for i := 0; i < 3; i++ {
+			if err := src(i+1, i); err != nil {
+				return "", err
+			}
+		}
+		if mn == "IMAD" {
+			in.Op = OpIMAD
+		} else {
+			in.Op = OpFFMA
+		}
+	case mn == "SEL":
+		if err := need(4); err != nil {
+			return "", err
+		}
+		if err := dstReg(0); err != nil {
+			return "", err
+		}
+		if err := src(1, 0); err != nil {
+			return "", err
+		}
+		if err := src(2, 1); err != nil {
+			return "", err
+		}
+		pr, err := parsePred(args[3])
+		if err != nil {
+			return "", asmErr(ln, "SEL: %v", err)
+		}
+		in.Op = OpSEL
+		in.PSrc = pr
+	case strings.HasPrefix(mn, "ISETP.") || strings.HasPrefix(mn, "FSETP."):
+		if err := need(3); err != nil {
+			return "", err
+		}
+		cc, err := parseCmpSuffix(mn[6:])
+		if err != nil {
+			return "", asmErr(ln, "%s: %v", mn, err)
+		}
+		pd, err := parsePred(args[0])
+		if err != nil {
+			return "", asmErr(ln, "%s: %v", mn, err)
+		}
+		if pd == PT {
+			return "", asmErr(ln, "%s: cannot write PT", mn)
+		}
+		if err := src(1, 0); err != nil {
+			return "", err
+		}
+		if err := src(2, 1); err != nil {
+			return "", err
+		}
+		if strings.HasPrefix(mn, "I") {
+			in.Op = OpISETP
+		} else {
+			in.Op = OpFSETP
+		}
+		in.Cmp = cc
+		in.PDst = pd
+	case mn == "LDG" || mn == "LDS":
+		if err := need(2); err != nil {
+			return "", err
+		}
+		if err := dstReg(0); err != nil {
+			return "", err
+		}
+		base, off, err := parseMem(args[1])
+		if err != nil {
+			return "", asmErr(ln, "%s: %v", mn, err)
+		}
+		if mn == "LDG" {
+			in.Op = OpLDG
+		} else {
+			in.Op = OpLDS
+		}
+		in.MemBase, in.MemOff = base, off
+	case mn == "STG" || mn == "STS":
+		if err := need(2); err != nil {
+			return "", err
+		}
+		base, off, err := parseMem(args[0])
+		if err != nil {
+			return "", asmErr(ln, "%s: %v", mn, err)
+		}
+		if err := src(1, 0); err != nil {
+			return "", err
+		}
+		if mn == "STG" {
+			in.Op = OpSTG
+		} else {
+			in.Op = OpSTS
+		}
+		in.MemBase, in.MemOff = base, off
+	default:
+		if op, ok := binOps[mn]; ok {
+			if err := need(3); err != nil {
+				return "", err
+			}
+			if err := dstReg(0); err != nil {
+				return "", err
+			}
+			if err := src(1, 0); err != nil {
+				return "", err
+			}
+			if err := src(2, 1); err != nil {
+				return "", err
+			}
+			in.Op = op
+			return "", nil
+		}
+		if op, ok := unOps[mn]; ok {
+			if err := need(2); err != nil {
+				return "", err
+			}
+			if err := dstReg(0); err != nil {
+				return "", err
+			}
+			if err := src(1, 0); err != nil {
+				return "", err
+			}
+			in.Op = op
+			return "", nil
+		}
+		return "", asmErr(ln, "unknown mnemonic %q", mn)
+	}
+	return "", nil
+}

@@ -1,0 +1,733 @@
+package siasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// shape describes the operand pattern of a mnemonic.
+type shape int
+
+const (
+	shape0        shape = iota // no operands
+	shapeUnS                   // sdst, ssrc
+	shapeBinS                  // sdst, ssrc, ssrc
+	shapeUn64                  // d64, s64
+	shapeBin64                 // d64, s64, s64
+	shapeSaveexec              // d64, s64
+	shapeBranch                // label
+	shapeUnV                   // vdst, src
+	shapeBinV                  // vdst, src, src
+	shapeMacV                  // vdst (read-modify-write), src, src
+	shapeCndmask               // vdst, src, src, vcc
+	shapeDSRead                // vdst, vaddr[, off]
+	shapeDSWrite               // vaddr, vsrc[, off]
+	shapeBufLoad               // vdst, vaddr[, off]
+	shapeBufStore              // vsrc, vaddr[, off]
+)
+
+type mnSpec struct {
+	op    Opcode
+	shape shape
+}
+
+var mnemonics = map[string]mnSpec{
+	"s_nop":     {OpSNop, shape0},
+	"s_waitcnt": {OpSWaitcnt, shape0},
+	"s_barrier": {OpSBarrier, shape0},
+	"s_endpgm":  {OpSEndpgm, shape0},
+
+	"s_mov_b32":  {OpSMov32, shapeUnS},
+	"s_add_i32":  {OpSAdd, shapeBinS},
+	"s_sub_i32":  {OpSSub, shapeBinS},
+	"s_mul_i32":  {OpSMul, shapeBinS},
+	"s_and_b32":  {OpSAnd32, shapeBinS},
+	"s_or_b32":   {OpSOr32, shapeBinS},
+	"s_xor_b32":  {OpSXor32, shapeBinS},
+	"s_lshl_b32": {OpSLshl, shapeBinS},
+	"s_lshr_b32": {OpSLshr, shapeBinS},
+	"s_min_i32":  {OpSMin, shapeBinS},
+	"s_max_i32":  {OpSMax, shapeBinS},
+
+	"s_mov_b64":          {OpSMov64, shapeUn64},
+	"s_not_b64":          {OpSNot64, shapeUn64},
+	"s_and_b64":          {OpSAnd64, shapeBin64},
+	"s_or_b64":           {OpSOr64, shapeBin64},
+	"s_xor_b64":          {OpSXor64, shapeBin64},
+	"s_andn2_b64":        {OpSAndn264, shapeBin64},
+	"s_and_saveexec_b64": {OpSAndSaveexec, shapeSaveexec},
+	"s_or_saveexec_b64":  {OpSOrSaveexec, shapeSaveexec},
+
+	"s_branch": {OpSBranch, shapeBranch},
+
+	"v_mov_b32":     {OpVMov, shapeUnV},
+	"v_rcp_f32":     {OpVRcpF, shapeUnV},
+	"v_sqrt_f32":    {OpVSqrtF, shapeUnV},
+	"v_exp_f32":     {OpVExpF, shapeUnV},
+	"v_log_f32":     {OpVLogF, shapeUnV},
+	"v_cvt_f32_i32": {OpVCvtFI, shapeUnV},
+	"v_cvt_i32_f32": {OpVCvtIF, shapeUnV},
+
+	"v_add_i32":     {OpVAddI, shapeBinV},
+	"v_sub_i32":     {OpVSubI, shapeBinV},
+	"v_mul_i32":     {OpVMulI, shapeBinV},
+	"v_mul_lo_i32":  {OpVMulI, shapeBinV},
+	"v_mul_lo_u32":  {OpVMulI, shapeBinV},
+	"v_min_i32":     {OpVMinI, shapeBinV},
+	"v_max_i32":     {OpVMaxI, shapeBinV},
+	"v_and_b32":     {OpVAnd, shapeBinV},
+	"v_or_b32":      {OpVOr, shapeBinV},
+	"v_xor_b32":     {OpVXor, shapeBinV},
+	"v_lshlrev_b32": {OpVLshlrev, shapeBinV},
+	"v_lshrrev_b32": {OpVLshrrev, shapeBinV},
+	"v_add_f32":     {OpVAddF, shapeBinV},
+	"v_sub_f32":     {OpVSubF, shapeBinV},
+	"v_mul_f32":     {OpVMulF, shapeBinV},
+	"v_min_f32":     {OpVMinF, shapeBinV},
+	"v_max_f32":     {OpVMaxF, shapeBinV},
+	"v_mac_f32":     {OpVMacF, shapeMacV},
+
+	"v_cndmask_b32": {OpVCndmask, shapeCndmask},
+
+	"ds_read_b32":        {OpDSRead, shapeDSRead},
+	"ds_write_b32":       {OpDSWrite, shapeDSWrite},
+	"buffer_load_dword":  {OpBufLoad, shapeBufLoad},
+	"buffer_store_dword": {OpBufStor, shapeBufStore},
+}
+
+// mnemonicOf is the reverse map used by the disassembler.
+var mnemonicOf = func() map[Opcode]string {
+	m := make(map[Opcode]string, len(mnemonics))
+	for name, sp := range mnemonics {
+		if _, dup := m[sp.op]; !dup {
+			m[sp.op] = name
+		}
+	}
+	return m
+}()
+
+// Assemble parses an SI-like kernel source into a Program. Grammar, line
+// oriented: ".kernel <name>" (required first), ".lds <bytes>" (optional),
+// "<label>:", and instructions with comma-separated operands. Comments
+// start with ';' or '//'. Operands: vN, sN, s[N:N+1], vcc, exec, integer
+// literals (decimal or 0x hex), float literals with an 'f' suffix, and
+// karg[i] for s_load_dword.
+func Assemble(src string) (*Program, error) {
+	p := &Program{}
+	labels := make(map[string]int)
+	type fixup struct {
+		instr int
+		label string
+		line  int
+	}
+	var fixups []fixup
+	maxV, maxS := -1, -1
+	maxK := -1
+	sawKernel := false
+	hasEnd := false
+
+	note := func(o Operand) {
+		switch o.Kind {
+		case OperandVReg:
+			if int(o.Reg) > maxV {
+				maxV = int(o.Reg)
+			}
+		case OperandSReg:
+			if int(o.Reg) > maxS {
+				maxS = int(o.Reg)
+			}
+		case OperandSReg64:
+			if int(o.Reg)+1 > maxS {
+				maxS = int(o.Reg) + 1
+			}
+		}
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ln := lineNo + 1
+
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".kernel":
+				if len(fields) != 2 {
+					return nil, siErr(ln, ".kernel needs exactly one name")
+				}
+				if sawKernel {
+					return nil, siErr(ln, "duplicate .kernel")
+				}
+				p.Name = fields[1]
+				sawKernel = true
+			case ".lds":
+				if len(fields) != 2 {
+					return nil, siErr(ln, ".lds needs exactly one byte count")
+				}
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n < 0 {
+					return nil, siErr(ln, "invalid .lds size %q", fields[1])
+				}
+				p.LDSBytes = n
+			default:
+				return nil, siErr(ln, "unknown directive %s", fields[0])
+			}
+			continue
+		}
+
+		// Labels.
+		for {
+			idx := strings.Index(line, ":")
+			// Don't confuse s[10:11] with a label.
+			if idx < 0 || strings.Contains(line[:idx], "[") {
+				break
+			}
+			name := strings.TrimSpace(line[:idx])
+			if !isIdent(name) {
+				return nil, siErr(ln, "invalid label %q", name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, siErr(ln, "duplicate label %q", name)
+			}
+			labels[name] = len(p.Instrs)
+			line = strings.TrimSpace(line[idx+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if !sawKernel {
+			return nil, siErr(ln, "instruction before .kernel")
+		}
+
+		mn := line
+		ops := ""
+		if sp := strings.IndexAny(line, " \t"); sp >= 0 {
+			mn = line[:sp]
+			ops = strings.TrimSpace(line[sp+1:])
+		}
+		mn = strings.ToLower(mn)
+		args := splitOperands(ops)
+
+		in := Instr{Line: ln}
+		label, err := parseInstr(&in, mn, args, ln)
+		if err != nil {
+			return nil, err
+		}
+		if label != "" {
+			fixups = append(fixups, fixup{len(p.Instrs), label, ln})
+		}
+		note(in.Dst)
+		for _, o := range in.Src {
+			note(o)
+		}
+		if in.Op == OpSLoadDW && int(in.KArg) > maxK {
+			maxK = int(in.KArg)
+		}
+		if in.Op == OpSEndpgm {
+			hasEnd = true
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	if !sawKernel {
+		return nil, fmt.Errorf("siasm: missing .kernel directive")
+	}
+	if len(p.Instrs) == 0 {
+		return nil, fmt.Errorf("siasm: %s: empty program", p.Name)
+	}
+	if !hasEnd {
+		return nil, fmt.Errorf("siasm: %s: program has no s_endpgm", p.Name)
+	}
+	for _, f := range fixups {
+		tgt, ok := labels[f.label]
+		if !ok {
+			return nil, siErr(f.line, "undefined label %q", f.label)
+		}
+		p.Instrs[f.instr].Target = tgt
+	}
+	if maxV+1 > MaxVGPRs {
+		return nil, fmt.Errorf("siasm: %s: uses %d VGPRs, max %d", p.Name, maxV+1, MaxVGPRs)
+	}
+	if maxS+1 > MaxSGPRs {
+		return nil, fmt.Errorf("siasm: %s: uses %d SGPRs, max %d", p.Name, maxS+1, MaxSGPRs)
+	}
+	// v0 (local id) and s12/s13 (workgroup id) are always materialized.
+	p.NumVGPRs = maxIntSI(maxV+1, 1)
+	p.NumSGPRs = maxIntSI(maxS+1, SRegWGIDY+1)
+	p.NumKArgs = maxK + 1
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for static kernel tables.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func maxIntSI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func siErr(line int, format string, args ...any) error {
+	return fmt.Errorf("siasm: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	return append(out, strings.TrimSpace(s[start:]))
+}
+
+// parseOperand parses any operand form except karg[i].
+func parseOperand(s string) (Operand, error) {
+	low := strings.ToLower(s)
+	switch low {
+	case "":
+		return Operand{}, fmt.Errorf("empty operand")
+	case "vcc":
+		return Operand{Kind: OperandVCC}, nil
+	case "exec":
+		return Operand{Kind: OperandEXEC}, nil
+	}
+	// s[N:M] pair.
+	if strings.HasPrefix(low, "s[") && strings.HasSuffix(low, "]") {
+		inner := low[2 : len(low)-1]
+		parts := strings.Split(inner, ":")
+		if len(parts) != 2 {
+			return Operand{}, fmt.Errorf("bad register pair %q", s)
+		}
+		a, err1 := strconv.Atoi(parts[0])
+		b, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || b != a+1 || a < 0 || b >= MaxSGPRs {
+			return Operand{}, fmt.Errorf("bad register pair %q", s)
+		}
+		return Operand{Kind: OperandSReg64, Reg: uint8(a)}, nil
+	}
+	// vN / sN.
+	if len(low) >= 2 && (low[0] == 'v' || low[0] == 's') && low[1] >= '0' && low[1] <= '9' {
+		n, err := strconv.Atoi(low[1:])
+		if err != nil {
+			return Operand{}, fmt.Errorf("bad register %q", s)
+		}
+		if low[0] == 'v' {
+			if n < 0 || n >= MaxVGPRs {
+				return Operand{}, fmt.Errorf("VGPR %q out of range", s)
+			}
+			return V(n), nil
+		}
+		if n < 0 || n >= MaxSGPRs {
+			return Operand{}, fmt.Errorf("SGPR %q out of range", s)
+		}
+		return S(n), nil
+	}
+	// Float literal with 'f' suffix.
+	if (strings.HasSuffix(s, "f") || strings.HasSuffix(s, "F")) && !strings.HasPrefix(low, "0x") {
+		v, err := strconv.ParseFloat(s[:len(s)-1], 32)
+		if err != nil {
+			return Operand{}, fmt.Errorf("bad float literal %q", s)
+		}
+		return ImmF(float32(v)), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return Operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return Operand{}, fmt.Errorf("literal %q out of 32-bit range", s)
+	}
+	return Imm(uint32(v)), nil
+}
+
+func parseVReg(s string) (Operand, error) {
+	o, err := parseOperand(s)
+	if err != nil {
+		return o, err
+	}
+	if o.Kind != OperandVReg {
+		return o, fmt.Errorf("operand %q must be a VGPR", s)
+	}
+	return o, nil
+}
+
+func parse64(s string) (Operand, error) {
+	o, err := parseOperand(s)
+	if err != nil {
+		return o, err
+	}
+	switch o.Kind {
+	case OperandSReg64, OperandVCC, OperandEXEC:
+		return o, nil
+	case OperandImm:
+		return o, nil // sign/zero-extended 64-bit literal
+	default:
+		return o, fmt.Errorf("operand %q is not a 64-bit scalar", s)
+	}
+}
+
+// parseCmpMnemonic decodes "s_cmp_<cc>_<ty>" / "v_cmp_<cc>_<ty>".
+func parseCmpMnemonic(mn string) (Cond, CmpType, bool) {
+	rest, ok := strings.CutPrefix(mn, "s_cmp_")
+	if !ok {
+		rest, ok = strings.CutPrefix(mn, "v_cmp_")
+		if !ok {
+			return 0, 0, false
+		}
+	}
+	parts := strings.SplitN(rest, "_", 2)
+	if len(parts) != 2 {
+		return 0, 0, false
+	}
+	var cond Cond
+	switch parts[0] {
+	case "eq":
+		cond = CondEQ
+	case "ne", "lg":
+		cond = CondNE
+	case "lt":
+		cond = CondLT
+	case "le":
+		cond = CondLE
+	case "gt":
+		cond = CondGT
+	case "ge":
+		cond = CondGE
+	default:
+		return 0, 0, false
+	}
+	var ty CmpType
+	switch parts[1] {
+	case "i32":
+		ty = CmpI32
+	case "u32":
+		ty = CmpU32
+	case "f32":
+		ty = CmpF32
+	default:
+		return 0, 0, false
+	}
+	return cond, ty, true
+}
+
+func parseInstr(in *Instr, mn string, args []string, ln int) (string, error) {
+	need := func(lo, hi int) error {
+		if len(args) < lo || len(args) > hi {
+			return siErr(ln, "%s expects %d-%d operands, got %d", mn, lo, hi, len(args))
+		}
+		return nil
+	}
+	memOff := func(i int) error {
+		if len(args) <= i {
+			return nil
+		}
+		v, err := strconv.ParseInt(args[i], 0, 32)
+		if err != nil {
+			return siErr(ln, "%s: bad offset %q", mn, args[i])
+		}
+		in.MemOff = int32(v)
+		return nil
+	}
+
+	// s_cbranch_* family.
+	if rest, ok := strings.CutPrefix(mn, "s_cbranch_"); ok {
+		if err := need(1, 1); err != nil {
+			return "", err
+		}
+		for i, n := range brNames {
+			if rest == n {
+				in.Op = OpSCBranch
+				in.BrCond = BranchCond(i)
+				if !isIdent(args[0]) {
+					return "", siErr(ln, "%s: bad label %q", mn, args[0])
+				}
+				return args[0], nil
+			}
+		}
+		return "", siErr(ln, "unknown branch condition in %q", mn)
+	}
+
+	// Comparison families.
+	if cond, ty, ok := parseCmpMnemonic(mn); ok {
+		if strings.HasPrefix(mn, "s_cmp_") {
+			if ty == CmpF32 {
+				return "", siErr(ln, "%s: scalar float compare unsupported", mn)
+			}
+			if err := need(2, 2); err != nil {
+				return "", err
+			}
+			a, err := parseOperand(args[0])
+			if err != nil {
+				return "", siErr(ln, "%s: %v", mn, err)
+			}
+			b, err := parseOperand(args[1])
+			if err != nil {
+				return "", siErr(ln, "%s: %v", mn, err)
+			}
+			in.Op, in.Cond, in.CmpTy = OpSCmp, cond, ty
+			in.Src[0], in.Src[1] = a, b
+			return "", nil
+		}
+		// v_cmp: first operand must be vcc.
+		if err := need(3, 3); err != nil {
+			return "", err
+		}
+		if strings.ToLower(args[0]) != "vcc" {
+			return "", siErr(ln, "%s: destination must be vcc", mn)
+		}
+		a, err := parseOperand(args[1])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		b, err := parseOperand(args[2])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		in.Op, in.Cond, in.CmpTy = OpVCmp, cond, ty
+		in.Src[0], in.Src[1] = a, b
+		return "", nil
+	}
+
+	// s_load_dword sN, karg[i].
+	if mn == "s_load_dword" {
+		if err := need(2, 2); err != nil {
+			return "", err
+		}
+		d, err := parseOperand(args[0])
+		if err != nil || d.Kind != OperandSReg {
+			return "", siErr(ln, "s_load_dword: destination must be an SGPR")
+		}
+		low := strings.ToLower(args[1])
+		if !strings.HasPrefix(low, "karg[") || !strings.HasSuffix(low, "]") {
+			return "", siErr(ln, "s_load_dword: source must be karg[i], got %q", args[1])
+		}
+		k, err := strconv.Atoi(low[5 : len(low)-1])
+		if err != nil || k < 0 || k > 0xffff {
+			return "", siErr(ln, "s_load_dword: bad kernarg index %q", args[1])
+		}
+		in.Op = OpSLoadDW
+		in.Dst = d
+		in.KArg = uint16(k)
+		return "", nil
+	}
+
+	sp, ok := mnemonics[mn]
+	if !ok {
+		return "", siErr(ln, "unknown mnemonic %q", mn)
+	}
+	in.Op = sp.op
+
+	switch sp.shape {
+	case shape0:
+		// s_waitcnt may carry count operands; they are timing hints only.
+		if mn != "s_waitcnt" && mn != "s_nop" {
+			if err := need(0, 0); err != nil {
+				return "", err
+			}
+		}
+	case shapeBranch:
+		if err := need(1, 1); err != nil {
+			return "", err
+		}
+		if !isIdent(args[0]) {
+			return "", siErr(ln, "%s: bad label %q", mn, args[0])
+		}
+		return args[0], nil
+	case shapeUnS:
+		if err := need(2, 2); err != nil {
+			return "", err
+		}
+		d, err := parseOperand(args[0])
+		if err != nil || (d.Kind != OperandSReg) {
+			return "", siErr(ln, "%s: destination must be an SGPR", mn)
+		}
+		s0, err := parseOperand(args[1])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		in.Dst, in.Src[0] = d, s0
+	case shapeBinS:
+		if err := need(3, 3); err != nil {
+			return "", err
+		}
+		d, err := parseOperand(args[0])
+		if err != nil || d.Kind != OperandSReg {
+			return "", siErr(ln, "%s: destination must be an SGPR", mn)
+		}
+		s0, err := parseOperand(args[1])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		s1, err := parseOperand(args[2])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		in.Dst, in.Src[0], in.Src[1] = d, s0, s1
+	case shapeUn64, shapeSaveexec:
+		if err := need(2, 2); err != nil {
+			return "", err
+		}
+		d, err := parse64(args[0])
+		if err != nil || d.Kind == OperandImm {
+			return "", siErr(ln, "%s: destination must be a 64-bit scalar", mn)
+		}
+		s0, err := parse64(args[1])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		in.Dst, in.Src[0] = d, s0
+	case shapeBin64:
+		if err := need(3, 3); err != nil {
+			return "", err
+		}
+		d, err := parse64(args[0])
+		if err != nil || d.Kind == OperandImm {
+			return "", siErr(ln, "%s: destination must be a 64-bit scalar", mn)
+		}
+		s0, err := parse64(args[1])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		s1, err := parse64(args[2])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		in.Dst, in.Src[0], in.Src[1] = d, s0, s1
+	case shapeUnV:
+		if err := need(2, 2); err != nil {
+			return "", err
+		}
+		d, err := parseVReg(args[0])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		s0, err := parseOperand(args[1])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		in.Dst, in.Src[0] = d, s0
+	case shapeBinV, shapeMacV:
+		if err := need(3, 3); err != nil {
+			return "", err
+		}
+		d, err := parseVReg(args[0])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		s0, err := parseOperand(args[1])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		s1, err := parseOperand(args[2])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		in.Dst, in.Src[0], in.Src[1] = d, s0, s1
+	case shapeCndmask:
+		if err := need(4, 4); err != nil {
+			return "", err
+		}
+		if strings.ToLower(args[3]) != "vcc" {
+			return "", siErr(ln, "%s: selector must be vcc", mn)
+		}
+		d, err := parseVReg(args[0])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		s0, err := parseOperand(args[1])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		s1, err := parseOperand(args[2])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		in.Dst, in.Src[0], in.Src[1] = d, s0, s1
+	case shapeDSRead, shapeBufLoad:
+		if err := need(2, 3); err != nil {
+			return "", err
+		}
+		d, err := parseVReg(args[0])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		a, err := parseVReg(args[1])
+		if err != nil {
+			return "", siErr(ln, "%s: address %v", mn, err)
+		}
+		in.Dst, in.Src[0] = d, a
+		if err := memOff(2); err != nil {
+			return "", err
+		}
+	case shapeDSWrite, shapeBufStore:
+		if err := need(2, 3); err != nil {
+			return "", err
+		}
+		// ds_write_b32 vaddr, vsrc / buffer_store_dword vsrc, vaddr.
+		a0, err := parseVReg(args[0])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		a1, err := parseOperand(args[1])
+		if err != nil {
+			return "", siErr(ln, "%s: %v", mn, err)
+		}
+		in.Src[0], in.Src[1] = a0, a1
+		if err := memOff(2); err != nil {
+			return "", err
+		}
+	}
+	return "", nil
+}

@@ -1,0 +1,189 @@
+package siasm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const testKernel = `
+.kernel k
+.lds 256
+    s_load_dword s4, karg[0]
+    s_load_dword s5, karg[1]
+    s_mul_i32 s6, s12, 64
+    v_add_i32 v2, v0, s6
+    v_cmp_lt_i32 vcc, v2, s5
+    s_and_saveexec_b64 s[10:11], vcc
+    s_cbranch_execz done
+    v_lshlrev_b32 v3, 2, v2
+    v_add_i32 v3, v3, s4
+    buffer_load_dword v4, v3, 0
+    v_mul_f32 v5, v4, 2.0f
+    ds_write_b32 v3, v5, 16
+    s_barrier
+    ds_read_b32 v6, v3, 16
+    buffer_store_dword v6, v3, 0
+done:
+    s_mov_b64 exec, s[10:11]
+    s_endpgm
+`
+
+func TestAssembleBasics(t *testing.T) {
+	p, err := Assemble(testKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "k" || p.LDSBytes != 256 {
+		t.Fatalf("metadata: %q %d", p.Name, p.LDSBytes)
+	}
+	if p.NumVGPRs != 7 {
+		t.Fatalf("NumVGPRs = %d, want 7", p.NumVGPRs)
+	}
+	if p.NumKArgs != 2 {
+		t.Fatalf("NumKArgs = %d, want 2", p.NumKArgs)
+	}
+	if p.NumSGPRs < 12 {
+		t.Fatalf("NumSGPRs = %d must cover the preloaded workgroup ids", p.NumSGPRs)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing kernel":  "s_endpgm\n",
+		"no endpgm":       ".kernel k\ns_nop\n",
+		"bad mnemonic":    ".kernel k\nv_frob_b32 v0, v1\ns_endpgm\n",
+		"bad pair":        ".kernel k\ns_mov_b64 s[3:5], exec\ns_endpgm\n",
+		"undefined label": ".kernel k\ns_branch off\ns_endpgm\n",
+		"vgpr range":      ".kernel k\nv_mov_b32 v300, 0\ns_endpgm\n",
+		"sgpr range":      ".kernel k\ns_mov_b32 s200, 0\ns_endpgm\n",
+		"vcmp not vcc":    ".kernel k\nv_cmp_lt_i32 s0, v0, v1\ns_endpgm\n",
+		"scalar f32 cmp":  ".kernel k\ns_cmp_lt_f32 s0, s1\ns_endpgm\n",
+		"bad karg":        ".kernel k\ns_load_dword s0, s1\ns_endpgm\n",
+		"imm dest 64":     ".kernel k\ns_mov_b64 5, exec\ns_endpgm\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: expected assembly error", name)
+		}
+	}
+}
+
+func TestCmpMnemonicVariants(t *testing.T) {
+	p, err := Assemble(".kernel k\nv_cmp_lg_u32 vcc, v0, v1\ns_endpgm\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Cond != CondNE || p.Instrs[0].CmpTy != CmpU32 {
+		t.Fatalf("lg/u32 parsed as %v/%v", p.Instrs[0].Cond, p.Instrs[0].CmpTy)
+	}
+}
+
+func TestFloatLiteral(t *testing.T) {
+	p, err := Assemble(".kernel k\nv_mov_b32 v1, -2.5f\ns_endpgm\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float32frombits(p.Instrs[0].Src[0].Imm); got != -2.5 {
+		t.Fatalf("-2.5f parsed as %v", got)
+	}
+}
+
+func TestMemOffsets(t *testing.T) {
+	p, err := Assemble(".kernel k\nds_read_b32 v1, v2, 64\nbuffer_store_dword v1, v2, -4\ns_endpgm\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].MemOff != 64 || p.Instrs[1].MemOff != -4 {
+		t.Fatalf("offsets %d %d", p.Instrs[0].MemOff, p.Instrs[1].MemOff)
+	}
+}
+
+func TestWaitcntAccepted(t *testing.T) {
+	// s_waitcnt carries count syntax on real SI; it must parse as a hint.
+	if _, err := Assemble(".kernel k\ns_waitcnt vmcnt(0)\ns_endpgm\n"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelVsRegisterPair(t *testing.T) {
+	// The ':' inside s[10:11] must not be parsed as a label.
+	p, err := Assemble(".kernel k\nl:\ns_mov_b64 s[10:11], exec\ns_branch l\ns_endpgm\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[1].Target != 0 {
+		t.Fatalf("branch target %d, want 0", p.Instrs[1].Target)
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	if !CondLT.Eval(CmpI32, uint32(0xFFFFFFFF), 1) { // -1 < 1 signed
+		t.Fatal("signed compare broken")
+	}
+	if CondLT.Eval(CmpU32, 0xFFFFFFFF, 1) { // max > 1 unsigned
+		t.Fatal("unsigned compare broken")
+	}
+	nan := math.Float32bits(float32(math.NaN()))
+	one := math.Float32bits(1)
+	if CondEQ.Eval(CmpF32, nan, one) || CondLT.Eval(CmpF32, nan, one) {
+		t.Fatal("NaN ordered compare must be false")
+	}
+	if !CondNE.Eval(CmpF32, nan, one) {
+		t.Fatal("NaN NE must be true")
+	}
+}
+
+func TestCondEvalProperty(t *testing.T) {
+	if err := quick.Check(func(a, b uint32) bool {
+		for _, ty := range []CmpType{CmpI32, CmpU32} {
+			if CondLT.Eval(ty, a, b) != !CondGE.Eval(ty, a, b) {
+				return false
+			}
+			if CondEQ.Eval(ty, a, b) != !CondNE.Eval(ty, a, b) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassembleStable(t *testing.T) {
+	p, err := Assemble(testKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.Disassemble()
+	for i, in := range p.Instrs {
+		if !strings.Contains(text, in.String()) {
+			t.Fatalf("disassembly missing instruction %d: %s", i, in.String())
+		}
+	}
+}
+
+func TestOpClassCoverage(t *testing.T) {
+	want := map[Opcode]Class{
+		OpVRcpF: ClassSFU, OpVExpF: ClassSFU,
+		OpDSRead: ClassLDS, OpDSWrite: ClassLDS,
+		OpBufLoad: ClassGlobal, OpSLoadDW: ClassGlobal,
+		OpSBranch: ClassControl, OpSBarrier: ClassBarrier,
+		OpVAddF: ClassVector, OpSAdd: ClassScalar,
+	}
+	for op, cl := range want {
+		if OpClass(op) != cl {
+			t.Errorf("OpClass(%v) = %v, want %v", op, OpClass(op), cl)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("nope")
+}

@@ -1,0 +1,41 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// The paper's footnote 4: 2,000 injections give a 2.88% worst-case error
+// margin at 99% confidence.
+func ExampleMarginOfError() {
+	m, err := stats.MarginOfError(2000, 0, 0.99)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("±%.2f%%\n", 100*m)
+	// Output: ±2.88%
+}
+
+// Planning a campaign: how many injections buy a 5% margin at 95%
+// confidence over an effectively infinite fault population?
+func ExampleSampleSize() {
+	n, err := stats.SampleSize(0, 0.05, 0.95)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n)
+	// Output: 385
+}
+
+// A campaign observed 110 failures in 2,000 injections; report the AVF
+// with its Wilson interval.
+func ExampleProportion_Interval() {
+	p := stats.Proportion{Successes: 110, Trials: 2000}
+	lo, hi, err := p.Interval(0.99)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("AVF %.2f%% [%.2f%%, %.2f%%]\n", 100*p.Value(), 100*lo, 100*hi)
+	// Output: AVF 5.50% [4.33%, 6.97%]
+}

@@ -1,0 +1,83 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/amdsim"
+	"repro/internal/chips"
+	"repro/internal/gpu"
+	"repro/internal/nvsim"
+)
+
+// TestGTOSchedulerCorrectness runs the whole suite under the
+// greedy-then-oldest scheduler on both vendors: architectural results
+// must be identical to the round-robin runs (Verify passes), only timing
+// may differ.
+func TestGTOSchedulerCorrectness(t *testing.T) {
+	nvChip := chips.MiniNVIDIA()
+	nvChip.Scheduler = chips.SchedGTO
+	amdChip := chips.MiniAMD()
+	amdChip.Scheduler = chips.SchedGTO
+
+	for _, b := range All() {
+		for _, v := range []gpu.Vendor{gpu.NVIDIA, gpu.AMD} {
+			b, v := b, v
+			t.Run(b.Name+"/"+v.String(), func(t *testing.T) {
+				hp, err := b.New(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var d gpu.Device
+				if v == gpu.NVIDIA {
+					d, err = nvsim.New(nvChip)
+				} else {
+					d, err = amdsim.New(amdChip)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := hp.Run(d); err != nil {
+					t.Fatalf("Run under GTO: %v", err)
+				}
+				if err := hp.Verify(d); err != nil {
+					t.Fatalf("Verify under GTO: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestSchedulerAffectsTimingOnly compares cycle counts between policies
+// on a multi-warp benchmark; they may differ, but both must be positive
+// and within a sane band of one another.
+func TestSchedulerAffectsTimingOnly(t *testing.T) {
+	b, err := ByName("matrixMul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := func(pol chips.SchedulerPolicy) int64 {
+		chip := chips.MiniNVIDIA()
+		chip.Scheduler = pol
+		d, err := nvsim.New(chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hp, err := b.New(gpu.NVIDIA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hp.Run(d); err != nil {
+			t.Fatal(err)
+		}
+		return d.Stats().Cycles
+	}
+	rr := cycles(chips.SchedRR)
+	gto := cycles(chips.SchedGTO)
+	if rr <= 0 || gto <= 0 {
+		t.Fatalf("cycles rr=%d gto=%d", rr, gto)
+	}
+	ratio := float64(gto) / float64(rr)
+	if ratio < 0.2 || ratio > 5 {
+		t.Fatalf("policies diverge implausibly: rr=%d gto=%d", rr, gto)
+	}
+}

@@ -1,0 +1,153 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/amdsim"
+	"repro/internal/chips"
+	"repro/internal/gpu"
+	"repro/internal/nvsim"
+)
+
+func miniDevice(t *testing.T, v gpu.Vendor) gpu.Device {
+	t.Helper()
+	switch v {
+	case gpu.NVIDIA:
+		d, err := nvsim.New(chips.MiniNVIDIA())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	default:
+		d, err := amdsim.New(chips.MiniAMD())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+}
+
+// TestAllBenchmarksVerify runs every benchmark in both ISA dialects and
+// checks the device output against the CPU golden model bit-for-bit.
+func TestAllBenchmarksVerify(t *testing.T) {
+	for _, b := range All() {
+		for _, v := range []gpu.Vendor{gpu.NVIDIA, gpu.AMD} {
+			b, v := b, v
+			t.Run(b.Name+"/"+v.String(), func(t *testing.T) {
+				hp, err := b.New(v)
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				d := miniDevice(t, v)
+				if err := hp.Run(d); err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if err := hp.Verify(d); err != nil {
+					t.Fatalf("Verify: %v", err)
+				}
+				if len(hp.Outputs()) == 0 {
+					t.Fatal("no output regions")
+				}
+				st := d.Stats()
+				if st.Cycles <= 0 || st.Instructions <= 0 {
+					t.Fatalf("implausible stats: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestLocalMemorySubset checks the Fig. 2 membership matches the paper:
+// exactly backprop, dwtHaar1D, histogram, matrixMul, reduction, scan,
+// transpose.
+func TestLocalMemorySubset(t *testing.T) {
+	want := map[string]bool{
+		"backprop": true, "dwtHaar1D": true, "histogram": true,
+		"matrixMul": true, "reduction": true, "scan": true, "transpose": true,
+	}
+	sub := LocalMemorySubset()
+	if len(sub) != len(want) {
+		t.Fatalf("subset size %d, want %d", len(sub), len(want))
+	}
+	for _, b := range sub {
+		if !want[b.Name] {
+			t.Fatalf("unexpected local-memory benchmark %s", b.Name)
+		}
+		hp, err := b.New(gpu.NVIDIA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hp.Name != b.Name {
+			t.Fatalf("host program name %q != benchmark name %q", hp.Name, b.Name)
+		}
+	}
+}
+
+// TestLocalUsersDeclareShared cross-checks UsesLocal against the kernels'
+// actual shared-memory footprints.
+func TestLocalUsersDeclareShared(t *testing.T) {
+	progs := map[string]gpu.Kernel{
+		"backprop": backpropSASS, "dwtHaar1D": dwtSASS, "gaussian": gaussFan1SASS,
+		"histogram": histogramSASS, "kmeans": kmeansSASS, "matrixMul": matrixMulSASS,
+		"reduction": reductionSASS, "scan": scanSASS, "transpose": transposeSASS,
+		"vectoradd": vectorAddSASS,
+	}
+	for _, b := range All() {
+		k := progs[b.Name]
+		if k == nil {
+			t.Fatalf("no kernel table entry for %s", b.Name)
+		}
+		hasShared := k.LocalBytesPerGroup() > 0
+		if hasShared != b.UsesLocal {
+			t.Errorf("%s: UsesLocal=%v but kernel shared bytes=%d",
+				b.Name, b.UsesLocal, k.LocalBytesPerGroup())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("matrixMul"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+// TestDeterministicRuns: two runs on fresh devices produce bit-identical
+// output regions (the foundation of the FI golden comparison).
+func TestDeterministicRuns(t *testing.T) {
+	for _, v := range []gpu.Vendor{gpu.NVIDIA, gpu.AMD} {
+		b, err := ByName("reduction")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hp, err := b.New(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		read := func() ([]byte, int64) {
+			d := miniDevice(t, v)
+			if err := hp.Run(d); err != nil {
+				t.Fatal(err)
+			}
+			var all []byte
+			for _, r := range hp.Outputs() {
+				bs, err := d.Mem().ReadBytes(r.Addr, int(r.Size))
+				if err != nil {
+					t.Fatal(err)
+				}
+				all = append(all, bs...)
+			}
+			return all, d.Stats().Cycles
+		}
+		b1, c1 := read()
+		b2, c2 := read()
+		if string(b1) != string(b2) {
+			t.Fatalf("%v: runs differ", v)
+		}
+		if c1 != c2 {
+			t.Fatalf("%v: cycle counts differ: %d vs %d", v, c1, c2)
+		}
+	}
+}
