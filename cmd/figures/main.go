@@ -6,17 +6,24 @@
 //	figures -fig all          everything
 //
 // Useful knobs: -n (injections per campaign; the paper uses 2000),
-// -seed, -bench (comma-separated subset), -chips (comma-separated subset).
+// -seed, -bench (comma-separated subset), -chips (comma-separated subset),
+// -store (persistent result cache; warm reruns perform zero injections).
+//
+// All figures of one invocation share a campaign scheduler, so Fig. 3
+// reuses every cell Figs. 1 and 2 already measured.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/chips"
 	"repro/internal/core"
 	"repro/internal/finject"
@@ -28,17 +35,31 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
-		n       = flag.Int("n", finject.DefaultInjections, "fault injections per campaign")
-		seed    = flag.Uint64("seed", 1, "campaign seed")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: figure-appropriate suite)")
-		chipSel = flag.String("chips", "", "comma-separated chip subset (default: the paper's four)")
-		workers = flag.Int("workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
-		asJSON  = flag.Bool("json", false, "emit figures as JSON instead of tables")
+		fig       = flag.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
+		n         = flag.Int("n", finject.DefaultInjections, "fault injections per campaign")
+		seed      = flag.Uint64("seed", 1, "campaign seed")
+		benches   = flag.String("bench", "", "comma-separated benchmark subset (default: figure-appropriate suite)")
+		chipSel   = flag.String("chips", "", "comma-separated chip subset (default: the paper's four)")
+		workers   = flag.Int("workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
+		storePath = flag.String("store", "", "JSON-lines result store path (in-memory only when empty)")
+		asJSON    = flag.Bool("json", false, "emit figures as JSON instead of tables")
 	)
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	opts := core.Options{Injections: *n, Seed: *seed, Workers: *workers}
+	var store campaign.Store
+	if *storePath != "" {
+		ds, err := campaign.OpenDiskStore(*storePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ds.Close()
+		log.Printf("store %s: %d cells", ds.Path(), ds.Len())
+		store = ds
+	}
+	sched := campaign.New(campaign.Config{Store: store, CampaignWorkers: *workers})
+	opts := core.Options{Injections: *n, Seed: *seed, Workers: *workers, Scheduler: sched}
 	if *chipSel != "" {
 		for _, name := range strings.Split(*chipSel, ",") {
 			c, err := chips.ByName(strings.TrimSpace(name))
@@ -67,7 +88,7 @@ func main() {
 
 	if run1 {
 		start := time.Now()
-		f, err := core.FigureRegisterFile(opts)
+		f, err := core.FigureRegisterFileContext(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -79,7 +100,7 @@ func main() {
 	}
 	if run2 {
 		start := time.Now()
-		f, err := core.FigureLocalMemory(opts)
+		f, err := core.FigureLocalMemoryContext(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -91,7 +112,7 @@ func main() {
 	}
 	if run3 {
 		start := time.Now()
-		f, err := core.FigureEPF(opts)
+		f, err := core.FigureEPFContext(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -107,6 +128,8 @@ func main() {
 		}
 		fmt.Printf("\n(fig 3 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+	st := sched.Stats()
+	log.Printf("campaigns: %d executed, %d served from store, %d goldens", st.Runs, st.Hits+st.Joins, st.GoldenRuns)
 }
 
 // writeFigure renders an AVF figure as a table or as JSON.

@@ -1,0 +1,80 @@
+// Command fiserver serves the campaign orchestration subsystem over
+// HTTP: clients submit batches of fault-injection cells, poll status,
+// fetch results, and run whole figures with streamed progress. All
+// requests share one scheduler and one store, so identical cells are
+// computed once ever — across requests, clients and (with -store)
+// process restarts.
+//
+//	fiserver -addr :8080 -store cells.jsonl
+//
+//	curl -s localhost:8080/v1/figure?fig=1\&n=100 | tail -1
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"cells":[{"chip":"GeForce GTX 480","benchmark":"vectoradd","structure":"register-file","injections":200,"seed":1}]}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/v1/jobs/job-000001/result
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fiserver: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		storePath = flag.String("store", "", "JSON-lines result store path (in-memory only when empty)")
+		memCap    = flag.Int("mem-cap", 0, "in-memory store capacity in cells (0 = unbounded; ignored with -store)")
+		workers   = flag.Int("workers", 0, "concurrently executing cells (default GOMAXPROCS)")
+		campWorks = flag.Int("campaign-workers", 0, "parallel simulations inside one campaign (default GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	var store campaign.Store
+	if *storePath != "" {
+		ds, err := campaign.OpenDiskStore(*storePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ds.Close()
+		log.Printf("store %s: %d cells", ds.Path(), ds.Len())
+		store = ds
+	} else {
+		store = campaign.NewMemoryStore(*memCap)
+	}
+	sched := campaign.New(campaign.Config{
+		Store:           store,
+		Workers:         *workers,
+		CampaignWorkers: *campWorks,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     service.NewServer(sched),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("shut down")
+}

@@ -6,6 +6,11 @@
 // showing how the metric folds execution time, structure capacity and
 // measured AVF into a single decision-making number (Fig. 3).
 //
+// It also demonstrates the campaign orchestration layer: Fig. 1's
+// register-file cells are measured first, and because both figure drivers
+// share one scheduler, the EPF computation reuses them from the store
+// instead of re-running half its campaigns.
+//
 //	go run ./examples/epf_compare
 package main
 
@@ -13,7 +18,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/chips"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/workloads"
 )
@@ -24,22 +29,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	data, err := core.FigureEPF(core.Options{
+	sched := campaign.New(campaign.Config{})
+	opts := core.Options{
 		Injections: 400,
 		Seed:       23,
 		Benchmarks: []*workloads.Benchmark{bench},
-	})
+		Scheduler:  sched,
+	}
+
+	// Fig. 1 slice: register-file AVF for this benchmark on all chips.
+	fig, err := core.FigureRegisterFile(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println("reduction: register-file AVF by chip (Fig. 1 slice)")
+	for ci, name := range fig.ChipNames {
+		fmt.Printf("  %-16s AVF(FI) %6.2f%%\n", name, 100*fig.Cells[0][ci].AVFFI)
+	}
 
-	fmt.Println("reduction: Executions Per Failure by chip")
+	// Fig. 3: the register-file campaigns above are reused from the
+	// scheduler's store; only the local-memory campaigns run now.
+	data, err := core.FigureEPF(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nreduction: Executions Per Failure by chip")
 	fmt.Printf("\n%-16s %12s %12s %9s %9s\n", "chip", "EPF", "exec (s)", "AVF-RF", "AVF-LM")
 	for ci, name := range data.ChipNames {
 		r := data.Rows[0][ci]
 		fmt.Printf("%-16s %12.3e %12.3e %8.2f%% %8.2f%%\n",
 			name, r.EPF, r.Seconds, 100*r.RegAVF, 100*r.LocalAVF)
 	}
-	_ = chips.Evaluated()
-	fmt.Println("\nLarger EPF = more correct executions between failures.")
+	st := sched.Stats()
+	fmt.Printf("\ncampaigns executed %d, served from store %d (Fig. 3 reused Fig. 1's cells)\n",
+		st.Runs, st.Hits+st.Joins)
+	fmt.Println("Larger EPF = more correct executions between failures.")
 }

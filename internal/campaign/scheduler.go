@@ -1,0 +1,331 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/chips"
+	"repro/internal/finject"
+	"repro/internal/workloads"
+)
+
+// Config configures a Scheduler.
+type Config struct {
+	// Store caches finished cells; an unbounded MemoryStore when nil.
+	Store Store
+	// Workers bounds concurrently executing cells (GOMAXPROCS when 0).
+	Workers int
+	// CampaignWorkers bounds the parallel simulations inside one
+	// campaign. When 0, each campaign adaptively gets GOMAXPROCS divided
+	// by the number of concurrently executing cells, so cell-level and
+	// campaign-level parallelism never multiply beyond the machine.
+	CampaignWorkers int
+}
+
+// Stats counts scheduler activity since construction.
+type Stats struct {
+	// Hits is the number of cells served straight from the store.
+	Hits int64
+	// Runs is the number of campaigns actually executed to completion.
+	Runs int64
+	// Joins is the number of requests that coalesced onto an in-flight
+	// execution of the same cell instead of starting their own.
+	Joins int64
+	// GoldenRuns is the number of golden reference simulations executed;
+	// one per (chip, benchmark) pair regardless of structure or campaign
+	// count.
+	GoldenRuns int64
+}
+
+// Progress reports one cell served by the scheduler — computed, joined or
+// answered from the store.
+type Progress struct {
+	Spec CellSpec
+	Key  CellKey
+	// Cached is true when the cell was served without running a campaign.
+	Cached bool
+}
+
+// Scheduler is a deduplicating, cancelable campaign executor: it answers
+// from its Store when possible, coalesces concurrent requests for the
+// same cell onto one execution (singleflight), bounds concurrency with a
+// worker pool, and shares one golden reference run per (chip, benchmark)
+// across all structures and campaigns.
+type Scheduler struct {
+	store           Store
+	sem             chan struct{}
+	campaignWorkers int
+
+	mu       sync.Mutex
+	inflight map[CellKey]*call
+
+	gmu    sync.Mutex
+	golden map[string]*goldenCall
+
+	subMu sync.Mutex
+	subID int
+	subs  map[int]func(Progress)
+
+	hits, runs, joins, goldenRuns atomic.Int64
+}
+
+// call is one in-flight cell execution others may join.
+type call struct {
+	done chan struct{}
+	res  *finject.Result
+	err  error
+}
+
+// goldenCall is one in-flight golden reference run others may join.
+type goldenCall struct {
+	done chan struct{}
+	g    *finject.Golden
+	err  error
+}
+
+// New builds a Scheduler.
+func New(cfg Config) *Scheduler {
+	if cfg.Store == nil {
+		cfg.Store = NewMemoryStore(0)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{
+		store:           cfg.Store,
+		sem:             make(chan struct{}, cfg.Workers),
+		campaignWorkers: cfg.CampaignWorkers,
+		inflight:        make(map[CellKey]*call),
+		golden:          make(map[string]*goldenCall),
+		subs:            make(map[int]func(Progress)),
+	}
+}
+
+// Store returns the scheduler's result store.
+func (s *Scheduler) Store() Store { return s.store }
+
+// Stats returns a snapshot of the activity counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Hits:       s.hits.Load(),
+		Runs:       s.runs.Load(),
+		Joins:      s.joins.Load(),
+		GoldenRuns: s.goldenRuns.Load(),
+	}
+}
+
+// Subscribe registers fn to receive a Progress event for every cell the
+// scheduler serves — computed, joined or answered from the store. The
+// returned cancel removes the subscription. fn is called synchronously on
+// the serving goroutine; keep it fast.
+func (s *Scheduler) Subscribe(fn func(Progress)) (cancel func()) {
+	s.subMu.Lock()
+	id := s.subID
+	s.subID++
+	s.subs[id] = fn
+	s.subMu.Unlock()
+	return func() {
+		s.subMu.Lock()
+		delete(s.subs, id)
+		s.subMu.Unlock()
+	}
+}
+
+// notify fans one progress event out to the subscribers.
+func (s *Scheduler) notify(p Progress) {
+	s.subMu.Lock()
+	fns := make([]func(Progress), 0, len(s.subs))
+	for _, fn := range s.subs {
+		fns = append(fns, fn)
+	}
+	s.subMu.Unlock()
+	for _, fn := range fns {
+		fn(p)
+	}
+}
+
+// Run serves one campaign cell: from the store if present, by joining an
+// in-flight execution of the same cell if one exists, and by executing
+// the campaign otherwise. Scheduling parameters that don't affect results
+// (Workers, Detail, Golden) are owned by the scheduler: Workers follows
+// Config.CampaignWorkers, Detail records are never stored, and the golden
+// reference comes from the shared per-(chip, benchmark) cache.
+func (s *Scheduler) Run(ctx context.Context, c finject.Campaign) (*finject.Result, error) {
+	res, _, err := s.run(ctx, c)
+	return res, err
+}
+
+// run is Run plus a cached flag (true when no campaign was executed for
+// this request).
+func (s *Scheduler) run(ctx context.Context, c finject.Campaign) (*finject.Result, bool, error) {
+	if c.Chip == nil || c.Benchmark == nil {
+		return nil, false, errors.New("campaign: cell needs a chip and a benchmark")
+	}
+	spec := SpecOf(c)
+	key := spec.Key()
+	for {
+		if res, ok, err := s.store.Get(key); err != nil {
+			return nil, false, err
+		} else if ok {
+			s.hits.Add(1)
+			s.notify(Progress{Spec: spec, Key: key, Cached: true})
+			return res, true, nil
+		}
+		s.mu.Lock()
+		if cl, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-cl.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if cl.err == nil {
+				s.joins.Add(1)
+				s.notify(Progress{Spec: spec, Key: key, Cached: true})
+				return cl.res, true, nil
+			}
+			// The leader failed. If it was canceled while we are still
+			// live, loop and try to become the leader ourselves.
+			if ctx.Err() != nil {
+				return nil, false, ctx.Err()
+			}
+			if !errors.Is(cl.err, context.Canceled) && !errors.Is(cl.err, context.DeadlineExceeded) {
+				return nil, false, cl.err
+			}
+			continue
+		}
+		cl := &call{done: make(chan struct{})}
+		s.inflight[key] = cl
+		s.mu.Unlock()
+
+		cl.res, cl.err = s.execute(ctx, c, spec, key)
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(cl.done)
+		if cl.err != nil {
+			return nil, false, cl.err
+		}
+		s.notify(Progress{Spec: spec, Key: key})
+		return cl.res, false, nil
+	}
+}
+
+// execute runs one campaign under the worker pool with the shared golden.
+func (s *Scheduler) execute(ctx context.Context, c finject.Campaign, spec CellSpec, key CellKey) (*finject.Result, error) {
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	g, err := s.goldenFor(ctx, c.Chip, c.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	// Pin the result-determining fields to the normalized spec so the
+	// stored value always matches its key, and strip what must not vary.
+	c.Injections = spec.Injections
+	c.FaultWidth = spec.FaultWidth
+	c.WatchdogFactor = spec.WatchdogFactor
+	c.Workers = s.campaignWorkers
+	if c.Workers <= 0 {
+		// Split the machine across the currently executing cells so the
+		// two parallelism levels don't multiply: a lone cell gets every
+		// core, a full grid runs one simulation per cell at a time.
+		c.Workers = runtime.GOMAXPROCS(0) / len(s.sem)
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	c.Detail = false
+	c.Golden = g
+	res, err := finject.RunContext(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	s.runs.Add(1)
+	if err := s.store.Put(key, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// goldenFor returns the shared golden reference run for (chip, benchmark),
+// executing it at most once across all concurrent campaigns. Failed runs
+// are not cached; a later request retries.
+func (s *Scheduler) goldenFor(ctx context.Context, chip *chips.Chip, bench *workloads.Benchmark) (*finject.Golden, error) {
+	gkey := chip.Name + "\x00" + bench.Name
+	for {
+		s.gmu.Lock()
+		if gc, ok := s.golden[gkey]; ok {
+			s.gmu.Unlock()
+			select {
+			case <-gc.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if gc.err == nil {
+				return gc.g, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		gc := &goldenCall{done: make(chan struct{})}
+		s.golden[gkey] = gc
+		s.gmu.Unlock()
+
+		gc.g, gc.err = finject.NewGolden(chip, bench)
+		if gc.err == nil {
+			s.goldenRuns.Add(1)
+			close(gc.done)
+			return gc.g, nil
+		}
+		// Drop the failed entry so the next request retries.
+		s.gmu.Lock()
+		delete(s.golden, gkey)
+		s.gmu.Unlock()
+		close(gc.done)
+		return nil, gc.err
+	}
+}
+
+// RunBatch schedules every campaign of the batch across the worker pool
+// and returns the results in input order. onCell, when non-nil, is called
+// once per cell as it completes (from any goroutine, one call at a time).
+// The first failure cancels the remaining cells and is returned; cells
+// already finished keep their results in the slice.
+func (s *Scheduler) RunBatch(ctx context.Context, batch []finject.Campaign, onCell func(i int, res *finject.Result, cached bool, err error)) ([]*finject.Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*finject.Result, len(batch))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, c := range batch {
+		wg.Add(1)
+		go func(i int, c finject.Campaign) {
+			defer wg.Done()
+			res, cached, err := s.run(ctx, c)
+			mu.Lock()
+			defer mu.Unlock()
+			results[i] = res
+			if err != nil && firstErr == nil {
+				firstErr = err
+				cancel()
+			}
+			if onCell != nil {
+				onCell(i, res, cached, err)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	return results, firstErr
+}

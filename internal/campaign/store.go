@@ -1,0 +1,175 @@
+package campaign
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/finject"
+)
+
+// Store is a campaign-result cache keyed by cell identity. Implementations
+// must be safe for concurrent use. Results are shared by pointer: callers
+// must treat results obtained from a store as immutable.
+type Store interface {
+	// Get returns the stored result for key, if any.
+	Get(key CellKey) (*finject.Result, bool, error)
+	// Put records the result for key, replacing any previous value.
+	Put(key CellKey, res *finject.Result) error
+	// Len reports the number of cells currently stored.
+	Len() int
+}
+
+// MemoryStore is an in-memory LRU Store.
+type MemoryStore struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	idx map[CellKey]*list.Element
+}
+
+type memEntry struct {
+	key CellKey
+	res *finject.Result
+}
+
+// NewMemoryStore builds an LRU store holding at most capacity cells;
+// capacity <= 0 means unbounded.
+func NewMemoryStore(capacity int) *MemoryStore {
+	return &MemoryStore{
+		cap: capacity,
+		ll:  list.New(),
+		idx: make(map[CellKey]*list.Element),
+	}
+}
+
+// Get implements Store, refreshing the entry's recency.
+func (m *MemoryStore) Get(key CellKey) (*finject.Result, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.idx[key]
+	if !ok {
+		return nil, false, nil
+	}
+	m.ll.MoveToFront(el)
+	return el.Value.(*memEntry).res, true, nil
+}
+
+// Put implements Store, evicting the least recently used cell when over
+// capacity.
+func (m *MemoryStore) Put(key CellKey, res *finject.Result) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.idx[key]; ok {
+		el.Value.(*memEntry).res = res
+		m.ll.MoveToFront(el)
+		return nil
+	}
+	m.idx[key] = m.ll.PushFront(&memEntry{key: key, res: res})
+	if m.cap > 0 && m.ll.Len() > m.cap {
+		last := m.ll.Back()
+		m.ll.Remove(last)
+		delete(m.idx, last.Value.(*memEntry).key)
+	}
+	return nil
+}
+
+// Len implements Store.
+func (m *MemoryStore) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}
+
+// DiskStore is a persistent Store: one JSON record per line, appended on
+// Put, with the whole file indexed in memory on open. Later records for
+// the same key shadow earlier ones, so overwrites are appends too — the
+// file is never rewritten in place.
+type DiskStore struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	enc  *json.Encoder
+	idx  map[CellKey]*finject.Result
+}
+
+// diskRecord is the JSON-lines row format.
+type diskRecord struct {
+	Key    CellKey         `json:"key"`
+	Result *finject.Result `json:"result"`
+}
+
+// OpenDiskStore opens (creating if absent) the JSON-lines store at path
+// and loads its index.
+func OpenDiskStore(path string) (*DiskStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open store: %w", err)
+	}
+	d := &DiskStore{path: path, f: f, idx: make(map[CellKey]*finject.Result)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec diskRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("campaign: store %s line %d: %w", path, line, err)
+		}
+		if rec.Key == "" || rec.Result == nil {
+			f.Close()
+			return nil, fmt.Errorf("campaign: store %s line %d: incomplete record", path, line)
+		}
+		d.idx[rec.Key] = rec.Result
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: store %s: %w", path, err)
+	}
+	d.enc = json.NewEncoder(f)
+	return d, nil
+}
+
+// Get implements Store from the in-memory index.
+func (d *DiskStore) Get(key CellKey) (*finject.Result, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	res, ok := d.idx[key]
+	return res, ok, nil
+}
+
+// Put implements Store, appending one JSON line.
+func (d *DiskStore) Put(key CellKey, res *finject.Result) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.enc.Encode(diskRecord{Key: key, Result: res}); err != nil {
+		return fmt.Errorf("campaign: store append: %w", err)
+	}
+	d.idx[key] = res
+	return nil
+}
+
+// Len implements Store.
+func (d *DiskStore) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.idx)
+}
+
+// Path returns the backing file's path.
+func (d *DiskStore) Path() string { return d.path }
+
+// Close flushes and closes the backing file. The store must not be used
+// afterwards.
+func (d *DiskStore) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}

@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/finject"
+	"repro/internal/gpu"
+)
+
+func fakeResult(n int) *finject.Result {
+	res := &finject.Result{Injections: n, Occupancy: 0.5}
+	res.Outcomes[gpu.OutcomeMasked] = n - 3
+	res.Outcomes[gpu.OutcomeSDC] = 2
+	res.Outcomes[gpu.OutcomeDUE] = 1
+	res.GoldenStats = gpu.RunStats{Cycles: 1234, Instructions: 99, Launches: 1}
+	return res
+}
+
+func TestMemoryStoreLRU(t *testing.T) {
+	m := NewMemoryStore(2)
+	k := func(i uint64) CellKey {
+		return CellSpec{Chip: "c", Benchmark: "b", Seed: i}.Key()
+	}
+	for i := uint64(0); i < 3; i++ {
+		if err := m.Put(k(i), fakeResult(int(10+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 2 {
+		t.Fatalf("capacity 2 store holds %d", m.Len())
+	}
+	if _, ok, _ := m.Get(k(0)); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	// Touch k(1) so k(2) becomes the eviction candidate.
+	if _, ok, _ := m.Get(k(1)); !ok {
+		t.Fatal("k1 missing")
+	}
+	if err := m.Put(k(3), fakeResult(13)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := m.Get(k(1)); !ok {
+		t.Fatal("recently used k1 was evicted")
+	}
+	if _, ok, _ := m.Get(k(2)); ok {
+		t.Fatal("least recently used k2 survived")
+	}
+}
+
+func TestMemoryStoreOverwrite(t *testing.T) {
+	m := NewMemoryStore(0)
+	key := CellSpec{Chip: "c", Benchmark: "b"}.Key()
+	if err := m.Put(key, fakeResult(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(key, fakeResult(20)); err != nil {
+		t.Fatal(err)
+	}
+	res, ok, err := m.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("get: %v %v", ok, err)
+	}
+	if res.Injections != 20 {
+		t.Fatalf("overwrite lost: %d", res.Injections)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len %d after overwrite", m.Len())
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	d, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := CellSpec{Chip: "c", Benchmark: "b", Seed: 1}.Key()
+	k2 := CellSpec{Chip: "c", Benchmark: "b", Seed: 2}.Key()
+	want1, want2 := fakeResult(50), fakeResult(60)
+	if err := d.Put(k1, want1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(k2, want2); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite k1; the newest record must win after reopen.
+	want1b := fakeResult(70)
+	if err := d.Put(k1, want1b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != 2 {
+		t.Fatalf("reopened store holds %d cells, want 2", d2.Len())
+	}
+	got, ok, err := d2.Get(k1)
+	if err != nil || !ok {
+		t.Fatalf("k1 after reopen: %v %v", ok, err)
+	}
+	if got.Injections != want1b.Injections || got.Outcomes != want1b.Outcomes ||
+		got.GoldenStats != want1b.GoldenStats || got.Occupancy != want1b.Occupancy {
+		t.Fatalf("k1 round trip: got %+v want %+v", got, want1b)
+	}
+	if got, ok, _ := d2.Get(k2); !ok || got.Injections != 60 {
+		t.Fatalf("k2 round trip: %v %+v", ok, got)
+	}
+}
+
+func TestDiskStoreRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	if err := os.WriteFile(path, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskStore(path); err == nil {
+		t.Fatal("corrupt store opened cleanly")
+	}
+}

@@ -3,13 +3,16 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/chips"
 	"repro/internal/core"
 	"repro/internal/finject"
@@ -20,17 +23,24 @@ import (
 )
 
 // Main runs one campaign tool with os-level arguments, exiting non-zero
-// on error.
+// on error. Interrupts cancel the campaign promptly.
 func Main(tool string, vendor gpu.Vendor) {
-	if err := Run(tool, vendor, os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := RunContext(ctx, tool, vendor, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
 		os.Exit(1)
 	}
 }
 
 // Run executes one campaign for the given tool name, vendor, argument
-// list and output stream. It is Main's testable core.
+// list and output stream.
 func Run(tool string, vendor gpu.Vendor, args []string, w io.Writer) error {
+	return RunContext(context.Background(), tool, vendor, args, w)
+}
+
+// RunContext is Run under a context; it is Main's testable core.
+func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
 	defaultChip := "HD Radeon 7970"
 	if vendor == gpu.NVIDIA {
@@ -43,6 +53,7 @@ func Run(tool string, vendor gpu.Vendor, args []string, w io.Writer) error {
 		n         = fs.Int("n", finject.DefaultInjections, "fault injections")
 		seed      = fs.Uint64("seed", 1, "campaign seed")
 		workers   = fs.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
+		storePath = fs.String("store", "", "JSON-lines result store; repeated identical campaigns are served from it")
 		listFlag  = fs.Bool("list", false, "list chips and benchmarks, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -92,10 +103,20 @@ func Run(tool string, vendor gpu.Vendor, args []string, w io.Writer) error {
 		return fmt.Errorf("benchmark %s does not use local memory (the paper's Fig. 2 covers only the 7 shared-memory benchmarks)", bench.Name)
 	}
 
+	opts := core.Options{Injections: *n, Seed: *seed, Workers: *workers}
+	var sched *campaign.Scheduler
+	if *storePath != "" {
+		store, err := campaign.OpenDiskStore(*storePath)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		sched = campaign.New(campaign.Config{Store: store, CampaignWorkers: *workers})
+		opts.Scheduler = sched
+	}
+
 	start := time.Now()
-	cell, err := core.MeasureCell(chip, bench, st, core.Options{
-		Injections: *n, Seed: *seed, Workers: *workers,
-	})
+	cell, err := core.MeasureCellContext(ctx, chip, bench, st, opts)
 	if err != nil {
 		return err
 	}
@@ -120,5 +141,9 @@ func Run(tool string, vendor gpu.Vendor, args []string, w io.Writer) error {
 		cell.Outcomes[gpu.OutcomeMasked], cell.Outcomes[gpu.OutcomeSDC],
 		cell.Outcomes[gpu.OutcomeDUE], cell.Outcomes[gpu.OutcomeTimeout])
 	fmt.Fprintf(w, "  wall time         %v\n", elapsed.Round(time.Millisecond))
+	if sched != nil {
+		st := sched.Stats()
+		fmt.Fprintf(w, "  store             %s (hits=%d runs=%d)\n", *storePath, st.Hits, st.Runs)
+	}
 	return nil
 }

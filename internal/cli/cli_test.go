@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -34,6 +35,40 @@ func TestRunCampaign(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("campaign output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRunWithStore(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "cells.jsonl")
+	args := []string{"-bench", "vectoradd", "-n", "30", "-seed", "8", "-store", store}
+
+	var cold strings.Builder
+	if err := Run("gufi", gpu.NVIDIA, args, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cold.String(), "hits=0 runs=1") {
+		t.Fatalf("cold run should execute the campaign:\n%s", cold.String())
+	}
+
+	var warm strings.Builder
+	if err := Run("gufi", gpu.NVIDIA, args, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "hits=1 runs=0") {
+		t.Fatalf("warm run should be served from the store:\n%s", warm.String())
+	}
+	// The numbers must match between cold and warm runs.
+	extract := func(out, label string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, label) {
+				return line
+			}
+		}
+		t.Fatalf("no %q line in:\n%s", label, out)
+		return ""
+	}
+	if extract(cold.String(), "AVF (FI)") != extract(warm.String(), "AVF (FI)") {
+		t.Fatal("stored result differs from computed result")
 	}
 }
 

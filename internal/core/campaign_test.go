@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/chips"
+	"repro/internal/workloads"
+)
+
+// TestFiguresShareScheduler is the orchestration acceptance test: running
+// Fig. 1, Fig. 2 and then Fig. 3 against one shared scheduler must
+// execute every unique (chip, benchmark, structure) campaign exactly
+// once, and a warm-store rerun of Fig. 3 must perform zero new
+// injections.
+func TestFiguresShareScheduler(t *testing.T) {
+	sched := campaign.New(campaign.Config{})
+	opts := Options{
+		Injections: 10,
+		Seed:       9,
+		Chips:      []*chips.Chip{chips.MiniNVIDIA(), chips.MiniAMD()},
+		Scheduler:  sched,
+	}
+	nChips := len(opts.Chips)
+	nAll := len(workloads.All())
+	nLocal := len(workloads.LocalMemorySubset())
+
+	if _, err := FigureRegisterFile(opts); err != nil {
+		t.Fatal(err)
+	}
+	afterFig1 := sched.Stats()
+	if want := int64(nAll * nChips); afterFig1.Runs != want {
+		t.Fatalf("fig 1 executed %d campaigns, want %d", afterFig1.Runs, want)
+	}
+	if want := int64(nAll * nChips); afterFig1.GoldenRuns != want {
+		t.Fatalf("fig 1 ran %d goldens, want one per (chip, benchmark) = %d", afterFig1.GoldenRuns, want)
+	}
+
+	if _, err := FigureLocalMemory(opts); err != nil {
+		t.Fatal(err)
+	}
+	afterFig2 := sched.Stats()
+	if want := int64((nAll + nLocal) * nChips); afterFig2.Runs != want {
+		t.Fatalf("figs 1+2 executed %d campaigns, want %d", afterFig2.Runs, want)
+	}
+	// Fig. 2's local-memory campaigns reuse Fig. 1's golden runs.
+	if afterFig2.GoldenRuns != afterFig1.GoldenRuns {
+		t.Fatalf("fig 2 ran %d extra goldens", afterFig2.GoldenRuns-afterFig1.GoldenRuns)
+	}
+
+	epf, err := FigureEPF(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFig3 := sched.Stats()
+	// Fig. 3 needs both structures for all benchmarks: the register-file
+	// cells and the 7 local-memory cells already exist, so only the
+	// local-memory campaigns of the non-local benchmarks are new.
+	if want := int64(2 * nAll * nChips); afterFig3.Runs != want {
+		t.Fatalf("figs 1+2+3 executed %d campaigns, want %d unique cells", afterFig3.Runs, want)
+	}
+	if afterFig3.Hits <= afterFig2.Hits {
+		t.Fatal("fig 3 never hit the store despite overlapping figs 1 and 2")
+	}
+
+	// Warm rerun: zero new campaign executions, zero new goldens.
+	epf2, err := FigureEPF(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := sched.Stats()
+	if warm.Runs != afterFig3.Runs {
+		t.Fatalf("warm FigureEPF executed %d new campaigns", warm.Runs-afterFig3.Runs)
+	}
+	if warm.GoldenRuns != afterFig3.GoldenRuns {
+		t.Fatalf("warm FigureEPF ran %d new goldens", warm.GoldenRuns-afterFig3.GoldenRuns)
+	}
+	// And it reproduces the same figure.
+	for bi := range epf.Rows {
+		for ci := range epf.Rows[bi] {
+			if *epf.Rows[bi][ci] != *epf2.Rows[bi][ci] {
+				t.Fatalf("warm rerun changed row %d/%d", bi, ci)
+			}
+		}
+	}
+}
+
+// TestMeasureEPFReusesStore pins the satellite fix: measureEPF no longer
+// re-runs campaigns privately but goes through the store, so repeating a
+// cell is free.
+func TestMeasureEPFReusesStore(t *testing.T) {
+	sched := campaign.New(campaign.Config{})
+	b, err := workloads.ByName("reduction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Injections: 12,
+		Seed:       4,
+		Chips:      []*chips.Chip{chips.MiniNVIDIA()},
+		Benchmarks: []*workloads.Benchmark{b},
+		Scheduler:  sched,
+	}
+	if _, err := FigureEPF(opts); err != nil {
+		t.Fatal(err)
+	}
+	first := sched.Stats()
+	if first.Runs != 2 {
+		t.Fatalf("one (chip, benchmark) EPF row executed %d campaigns, want 2", first.Runs)
+	}
+	if first.GoldenRuns != 1 {
+		t.Fatalf("both structures should share one golden, ran %d", first.GoldenRuns)
+	}
+	if _, err := FigureEPF(opts); err != nil {
+		t.Fatal(err)
+	}
+	if again := sched.Stats(); again.Runs != first.Runs {
+		t.Fatalf("repeated EPF re-executed campaigns: %+v", again)
+	}
+}
+
+func TestFigureCells(t *testing.T) {
+	opts := Options{Injections: 10, Chips: []*chips.Chip{chips.MiniNVIDIA()}}
+	counts := map[int]int{
+		1: len(workloads.All()),
+		2: len(workloads.LocalMemorySubset()),
+		3: 2 * len(workloads.All()),
+	}
+	for fig, want := range counts {
+		specs, err := FigureCells(fig, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(specs) != want {
+			t.Fatalf("fig %d: %d cells, want %d", fig, len(specs), want)
+		}
+		for _, s := range specs {
+			if s.Injections != 10 || s.Chip != "Mini NVIDIA" {
+				t.Fatalf("fig %d spec not normalized: %+v", fig, s)
+			}
+		}
+	}
+	if _, err := FigureCells(4, opts); err == nil {
+		t.Fatal("figure 4 accepted")
+	}
+}
+
+func TestFigureCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{
+		Injections: 10,
+		Seed:       2,
+		Chips:      []*chips.Chip{chips.MiniNVIDIA()},
+	}
+	if _, err := FigureRegisterFileContext(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -4,13 +4,22 @@
 // simulators (via internal/devices), the benchmark suite, the
 // fault-injection engine and the ACE analysis into per-(chip, benchmark,
 // structure) measurement cells and whole-figure experiments.
+//
+// All fault-injection campaigns are routed through a campaign.Scheduler
+// (Options.Scheduler), which deduplicates identical cells, bounds
+// concurrency and caches results: running FigureRegisterFile,
+// FigureLocalMemory and FigureEPF against one shared scheduler executes
+// every unique (chip, benchmark, structure) campaign exactly once —
+// Fig. 3 reuses the cells Figs. 1 and 2 already measured.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/ace"
+	"repro/internal/campaign"
 	"repro/internal/chips"
 	"repro/internal/devices"
 	"repro/internal/finject"
@@ -35,6 +44,11 @@ type Options struct {
 	RawFITPerMbit float64
 	// Confidence level for AVF intervals (default 0.99, as the paper).
 	Confidence float64
+	// Scheduler executes and caches the FI campaigns. Sharing one
+	// scheduler across figure calls lets later figures reuse earlier
+	// cells (Fig. 3 gets Figs. 1 and 2 for free). A private scheduler is
+	// created when nil.
+	Scheduler *campaign.Scheduler
 }
 
 func (o Options) withDefaults(benches []*workloads.Benchmark) Options {
@@ -53,7 +67,53 @@ func (o Options) withDefaults(benches []*workloads.Benchmark) Options {
 	if o.Confidence <= 0 || o.Confidence >= 1 {
 		o.Confidence = 0.99
 	}
+	if o.Scheduler == nil {
+		o.Scheduler = campaign.New(campaign.Config{CampaignWorkers: o.Workers})
+	}
 	return o
+}
+
+// campaignFor builds the canonical campaign of one cell; every driver
+// goes through this so equal cells always carry equal seeds and hit the
+// same store key.
+func (o Options) campaignFor(chip *chips.Chip, bench *workloads.Benchmark, st gpu.Structure) finject.Campaign {
+	return finject.Campaign{
+		Chip:       chip,
+		Benchmark:  bench,
+		Structure:  st,
+		Injections: o.Injections,
+		Seed:       cellSeed(o.Seed, chip.Name, bench.Name, st),
+		Workers:    o.Workers,
+	}
+}
+
+// FigureCells returns the normalized specs of every campaign cell figure
+// fig (1, 2 or 3) schedules under opts — the exact work list, usable for
+// progress accounting before or during a figure run.
+func FigureCells(fig int, opts Options) ([]campaign.CellSpec, error) {
+	var structures []gpu.Structure
+	switch fig {
+	case 1:
+		opts = opts.withDefaults(workloads.All())
+		structures = []gpu.Structure{gpu.RegisterFile}
+	case 2:
+		opts = opts.withDefaults(workloads.LocalMemorySubset())
+		structures = []gpu.Structure{gpu.LocalMemory}
+	case 3:
+		opts = opts.withDefaults(workloads.All())
+		structures = []gpu.Structure{gpu.RegisterFile, gpu.LocalMemory}
+	default:
+		return nil, fmt.Errorf("core: unknown figure %d (want 1, 2 or 3)", fig)
+	}
+	var specs []campaign.CellSpec
+	for _, b := range opts.Benchmarks {
+		for _, c := range opts.Chips {
+			for _, st := range structures {
+				specs = append(specs, campaign.SpecOf(opts.campaignFor(c, b, st)))
+			}
+		}
+	}
+	return specs, nil
 }
 
 // Cell is one (chip, benchmark, structure) measurement: both
@@ -94,15 +154,15 @@ func cellSeed(base uint64, chip, bench string, st gpu.Structure) uint64 {
 // MeasureCell runs both methodologies for one cell: a statistical FI
 // campaign and a traced ACE run.
 func MeasureCell(chip *chips.Chip, bench *workloads.Benchmark, st gpu.Structure, opts Options) (*Cell, error) {
+	return MeasureCellContext(context.Background(), chip, bench, st, opts)
+}
+
+// MeasureCellContext is MeasureCell under a context: the FI campaign is
+// served by the scheduler (cached cells cost nothing) and cancellation
+// stops the campaign promptly.
+func MeasureCellContext(ctx context.Context, chip *chips.Chip, bench *workloads.Benchmark, st gpu.Structure, opts Options) (*Cell, error) {
 	opts = opts.withDefaults(workloads.All())
-	res, err := finject.Run(finject.Campaign{
-		Chip:       chip,
-		Benchmark:  bench,
-		Structure:  st,
-		Injections: opts.Injections,
-		Seed:       cellSeed(opts.Seed, chip.Name, bench.Name, st),
-		Workers:    opts.Workers,
-	})
+	res, err := opts.Scheduler.Run(ctx, opts.campaignFor(chip, bench, st))
 	if err != nil {
 		return nil, fmt.Errorf("core: FI campaign %s/%s/%s: %w", chip.Name, bench.Name, st, err)
 	}
@@ -152,11 +212,23 @@ type Figure struct {
 	Averages []*Cell
 }
 
-// measureFigure runs the full grid for one structure.
-func measureFigure(st gpu.Structure, defaultBenches []*workloads.Benchmark, opts Options) (*Figure, error) {
+// measureFigure runs the full grid for one structure: the FI campaigns of
+// all cells are scheduled as one batch (deduplicated and executed across
+// the scheduler's worker pool), then the per-cell measurements assemble
+// from the warm store.
+func measureFigure(ctx context.Context, st gpu.Structure, defaultBenches []*workloads.Benchmark, opts Options) (*Figure, error) {
 	opts = opts.withDefaults(defaultBenches)
 	if len(opts.Chips) == 0 || len(opts.Benchmarks) == 0 {
 		return nil, errors.New("core: empty chip or benchmark set")
+	}
+	var batch []finject.Campaign
+	for _, b := range opts.Benchmarks {
+		for _, c := range opts.Chips {
+			batch = append(batch, opts.campaignFor(c, b, st))
+		}
+	}
+	if _, err := opts.Scheduler.RunBatch(ctx, batch, nil); err != nil {
+		return nil, err
 	}
 	fig := &Figure{Structure: st}
 	for _, c := range opts.Chips {
@@ -169,7 +241,7 @@ func measureFigure(st gpu.Structure, defaultBenches []*workloads.Benchmark, opts
 	for bi, b := range opts.Benchmarks {
 		fig.Cells[bi] = make([]*Cell, len(opts.Chips))
 		for ci, c := range opts.Chips {
-			cell, err := MeasureCell(c, b, st, opts)
+			cell, err := MeasureCellContext(ctx, c, b, st, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -197,13 +269,23 @@ func measureFigure(st gpu.Structure, defaultBenches []*workloads.Benchmark, opts
 // FigureRegisterFile reproduces Fig. 1: register-file AVF by FI and ACE
 // with occupancy, for all 10 benchmarks on all 4 chips.
 func FigureRegisterFile(opts Options) (*Figure, error) {
-	return measureFigure(gpu.RegisterFile, workloads.All(), opts)
+	return FigureRegisterFileContext(context.Background(), opts)
+}
+
+// FigureRegisterFileContext is FigureRegisterFile under a context.
+func FigureRegisterFileContext(ctx context.Context, opts Options) (*Figure, error) {
+	return measureFigure(ctx, gpu.RegisterFile, workloads.All(), opts)
 }
 
 // FigureLocalMemory reproduces Fig. 2: local-memory AVF for the 7
 // shared-memory benchmarks.
 func FigureLocalMemory(opts Options) (*Figure, error) {
-	return measureFigure(gpu.LocalMemory, workloads.LocalMemorySubset(), opts)
+	return FigureLocalMemoryContext(context.Background(), opts)
+}
+
+// FigureLocalMemoryContext is FigureLocalMemory under a context.
+func FigureLocalMemoryContext(ctx context.Context, opts Options) (*Figure, error) {
+	return measureFigure(ctx, gpu.LocalMemory, workloads.LocalMemorySubset(), opts)
 }
 
 // EPFRow is one bar of Fig. 3.
@@ -231,7 +313,25 @@ type FigureEPFData struct {
 // FigureEPF reproduces Fig. 3: EPF for every benchmark on every chip,
 // combining the FI AVFs of both structures with the performance model.
 func FigureEPF(opts Options) (*FigureEPFData, error) {
+	return FigureEPFContext(context.Background(), opts)
+}
+
+// FigureEPFContext is FigureEPF under a context. Both structures'
+// campaigns go through the scheduler, so any cell already measured for
+// Fig. 1 or Fig. 2 on the same scheduler is reused instead of re-run.
+func FigureEPFContext(ctx context.Context, opts Options) (*FigureEPFData, error) {
 	opts = opts.withDefaults(workloads.All())
+	var batch []finject.Campaign
+	for _, b := range opts.Benchmarks {
+		for _, c := range opts.Chips {
+			for _, st := range []gpu.Structure{gpu.RegisterFile, gpu.LocalMemory} {
+				batch = append(batch, opts.campaignFor(c, b, st))
+			}
+		}
+	}
+	if _, err := opts.Scheduler.RunBatch(ctx, batch, nil); err != nil {
+		return nil, err
+	}
 	data := &FigureEPFData{}
 	for _, c := range opts.Chips {
 		data.ChipNames = append(data.ChipNames, c.Name)
@@ -243,7 +343,7 @@ func FigureEPF(opts Options) (*FigureEPFData, error) {
 	for bi, b := range opts.Benchmarks {
 		data.Rows[bi] = make([]*EPFRow, len(opts.Chips))
 		for ci, c := range opts.Chips {
-			row, err := measureEPF(c, b, opts)
+			row, err := measureEPF(ctx, c, b, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -253,19 +353,13 @@ func FigureEPF(opts Options) (*FigureEPFData, error) {
 	return data, nil
 }
 
-// measureEPF runs both structures' FI campaigns for one (chip, benchmark)
-// and combines them into an EPF value.
-func measureEPF(chip *chips.Chip, bench *workloads.Benchmark, opts Options) (*EPFRow, error) {
+// measureEPF combines both structures' FI campaigns of one (chip,
+// benchmark) into an EPF value. The campaigns are served by the
+// scheduler's store, so cells shared with Figs. 1 and 2 are never re-run.
+func measureEPF(ctx context.Context, chip *chips.Chip, bench *workloads.Benchmark, opts Options) (*EPFRow, error) {
 	avfs := make(map[gpu.Structure]*finject.Result, 2)
 	for _, st := range []gpu.Structure{gpu.RegisterFile, gpu.LocalMemory} {
-		res, err := finject.Run(finject.Campaign{
-			Chip:       chip,
-			Benchmark:  bench,
-			Structure:  st,
-			Injections: opts.Injections,
-			Seed:       cellSeed(opts.Seed, chip.Name, bench.Name, st),
-			Workers:    opts.Workers,
-		})
+		res, err := opts.Scheduler.Run(ctx, opts.campaignFor(chip, bench, st))
 		if err != nil {
 			return nil, fmt.Errorf("core: EPF campaign %s/%s/%s: %w", chip.Name, bench.Name, st, err)
 		}

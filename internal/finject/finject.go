@@ -13,6 +13,7 @@ package finject
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -53,6 +54,12 @@ type Campaign struct {
 	// FaultWidth sets the burst width in adjacent bits (values < 2 give
 	// the paper's single-bit model).
 	FaultWidth uint
+	// Golden supplies a precomputed fault-free reference run (see
+	// NewGolden). It must come from the same chip and benchmark as the
+	// campaign; when nil the campaign executes its own reference run.
+	// Sharing one Golden across the campaigns of all structures of a
+	// (chip, benchmark) pair removes the redundant reference simulations.
+	Golden *Golden
 }
 
 // Record is one injection's detailed result (Campaign.Detail).
@@ -98,6 +105,42 @@ func (r *Result) AVFInterval(confidence float64) (lo, hi float64, err error) {
 	}
 	return p.Interval(confidence)
 }
+
+// Golden is a reusable fault-free reference run of one (chip, benchmark)
+// pair. Every campaign needs one to classify outcomes against; campaigns
+// that target different structures of the same pair can share a single
+// Golden through Campaign.Golden instead of each re-simulating the
+// reference execution.
+type Golden struct {
+	chip  string
+	bench string
+	g     *golden
+}
+
+// NewGolden executes the fault-free reference run once, for reuse across
+// campaigns via Campaign.Golden.
+func NewGolden(chip *chips.Chip, bench *workloads.Benchmark) (*Golden, error) {
+	if chip == nil || bench == nil {
+		return nil, errors.New("finject: golden run needs a chip and a benchmark")
+	}
+	g, err := runGolden(chip, bench)
+	if err != nil {
+		return nil, err
+	}
+	return &Golden{chip: chip.Name, bench: bench.Name, g: g}, nil
+}
+
+// Chip returns the name of the chip the reference was run on.
+func (g *Golden) Chip() string { return g.chip }
+
+// Benchmark returns the name of the benchmark the reference executed.
+func (g *Golden) Benchmark() string { return g.bench }
+
+// Cycles returns the reference execution length in device cycles.
+func (g *Golden) Cycles() int64 { return g.g.cycles }
+
+// Stats returns the reference execution's statistics.
+func (g *Golden) Stats() gpu.RunStats { return g.g.stats }
 
 // golden holds the reference run against which outcomes are classified.
 type golden struct {
@@ -193,8 +236,19 @@ func diffBytes(a, b []byte) int {
 	return n
 }
 
-// Run executes the campaign.
+// Run executes the campaign to completion.
 func Run(c Campaign) (*Result, error) {
+	return RunContext(context.Background(), c)
+}
+
+// RunContext executes the campaign, stopping promptly when ctx is
+// canceled: no further injections are scheduled once cancellation is
+// observed. On cancellation it returns the partial result accumulated so
+// far (nil when canceled before the reference run) together with an error
+// wrapping ctx.Err(); Result.Injections then reflects the number of
+// injections actually performed, and with Campaign.Detail set the Records
+// entries of injections that never ran are zero.
+func RunContext(ctx context.Context, c Campaign) (*Result, error) {
 	if c.Chip == nil || c.Benchmark == nil {
 		return nil, errors.New("finject: campaign needs a chip and a benchmark")
 	}
@@ -213,10 +267,22 @@ func Run(c Campaign) (*Result, error) {
 	if wdFactor <= 0 {
 		wdFactor = DefaultWatchdogFactor
 	}
-
-	g, err := runGolden(c.Chip, c.Benchmark)
-	if err != nil {
-		return nil, err
+	var g *golden
+	if c.Golden != nil {
+		if c.Golden.chip != c.Chip.Name || c.Golden.bench != c.Benchmark.Name {
+			return nil, fmt.Errorf("finject: golden run is for %s/%s, campaign targets %s/%s",
+				c.Golden.chip, c.Golden.bench, c.Chip.Name, c.Benchmark.Name)
+		}
+		g = c.Golden.g
+	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("finject: campaign canceled before the reference run: %w", err)
+		}
+		var err error
+		g, err = runGolden(c.Chip, c.Benchmark)
+		if err != nil {
+			return nil, err
+		}
 	}
 	watchdog := g.cycles*int64(wdFactor) + 10_000
 
@@ -264,7 +330,13 @@ func Run(c Campaign) (*Result, error) {
 				return
 			}
 			var local [gpu.NumOutcomes]int
+		loop:
 			for i := range next {
+				select {
+				case <-ctx.Done():
+					break loop
+				default:
+				}
 				f := sampleFault(baseRNG, c, g.cycles, uint64(i))
 				o, corrupt := classify(d, hp, g, f, watchdog)
 				local[o]++
@@ -282,6 +354,14 @@ func Run(c Campaign) (*Result, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	done := 0
+	for _, cnt := range res.Outcomes {
+		done += cnt
+	}
+	if done < n {
+		res.Injections = done
+		return res, fmt.Errorf("finject: campaign canceled after %d/%d injections: %w", done, n, ctx.Err())
 	}
 	return res, nil
 }

@@ -119,6 +119,23 @@ func (o Outcome) Failure() bool { return o != OutcomeMasked }
 // MarshalText renders the outcome name in JSON/text encodings.
 func (o Outcome) MarshalText() ([]byte, error) { return []byte(o.String()), nil }
 
+// UnmarshalText parses an outcome name produced by MarshalText.
+func (o *Outcome) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "masked":
+		*o = OutcomeMasked
+	case "sdc":
+		*o = OutcomeSDC
+	case "due":
+		*o = OutcomeDUE
+	case "timeout":
+		*o = OutcomeTimeout
+	default:
+		return fmt.Errorf("gpu: unknown outcome %q", b)
+	}
+	return nil
+}
+
 // Dim3 is a 3-dimensional launch extent (grid or workgroup geometry).
 type Dim3 struct {
 	X, Y, Z int

@@ -1,0 +1,446 @@
+// Package service implements the fiserver HTTP API: asynchronous
+// campaign-batch jobs (submit / status / result / cancel), streamed
+// whole-figure experiments, and scheduler statistics — all JSON over
+// net/http, sharing one campaign.Scheduler so every client benefits from
+// every other client's finished cells.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs              submit a batch of cells; returns {id}
+//	GET    /v1/jobs/{id}         job status with per-cell states
+//	GET    /v1/jobs/{id}/result  results (409 until the job is done)
+//	DELETE /v1/jobs/{id}         cancel a running job
+//	GET    /v1/figure            run Fig. 1/2/3, streaming NDJSON progress
+//	GET    /v1/stats             scheduler counters and store size
+//	GET    /healthz              liveness probe
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/finject"
+	"repro/internal/workloads"
+)
+
+// maxRetainedJobs bounds the finished jobs kept for result retrieval;
+// the oldest finished jobs are evicted first.
+const maxRetainedJobs = 256
+
+// Server is the fiserver request handler. Create one with NewServer and
+// mount it as an http.Handler.
+type Server struct {
+	sched *campaign.Scheduler
+	mux   *http.ServeMux
+
+	mu     sync.Mutex
+	nextID int
+	jobs   map[string]*job
+	order  []string // job ids in submission order, for eviction
+}
+
+// job tracks one submitted batch.
+type job struct {
+	id     string
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	state   string // "running", "done", "failed", "canceled"
+	done    int
+	cells   []cellState
+	results []*finject.Result
+	errMsg  string
+}
+
+// cellState is the per-cell view inside a job status.
+type cellState struct {
+	Spec   campaign.CellSpec `json:"spec"`
+	State  string            `json:"state"` // "pending", "done", "failed"
+	Cached bool              `json:"cached"`
+	Error  string            `json:"error,omitempty"`
+}
+
+// NewServer builds a Server around the scheduler.
+func NewServer(sched *campaign.Scheduler) *Server {
+	s := &Server{
+		sched: sched,
+		mux:   http.NewServeMux(),
+		jobs:  make(map[string]*job),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/figure", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON writes one JSON response with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Cells []campaign.CellSpec `json:"cells"`
+}
+
+// handleSubmit validates the batch, registers a job and runs it
+// asynchronously.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	batch := make([]finject.Campaign, len(req.Cells))
+	cells := make([]cellState, len(req.Cells))
+	for i, spec := range req.Cells {
+		c, err := spec.Campaign()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "cell %d: %v", i, err)
+			return
+		}
+		batch[i] = c
+		cells[i] = cellState{Spec: spec.Normalize(), State: "pending"}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", s.nextID),
+		cancel:  cancel,
+		state:   "running",
+		cells:   cells,
+		results: make([]*finject.Result, len(batch)),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	go func() {
+		// Release the context's resources once the batch settles; DELETE
+		// uses the same cancel to abort early.
+		defer cancel()
+		results, err := s.sched.RunBatch(ctx, batch, func(i int, res *finject.Result, cached bool, cellErr error) {
+			j.mu.Lock()
+			defer j.mu.Unlock()
+			j.done++
+			if cellErr != nil {
+				j.cells[i].State = "failed"
+				j.cells[i].Error = cellErr.Error()
+				return
+			}
+			j.cells[i].State = "done"
+			j.cells[i].Cached = cached
+		})
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.results = results
+		switch {
+		case err == nil:
+			j.state = "done"
+		case ctx.Err() != nil:
+			j.state = "canceled"
+			j.errMsg = err.Error()
+		default:
+			j.state = "failed"
+			j.errMsg = err.Error()
+		}
+	}()
+
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": j.id, "total": len(batch)})
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention bound.
+// Callers hold s.mu.
+func (s *Server) evictLocked() {
+	for i := 0; len(s.jobs) > maxRetainedJobs && i < len(s.order); {
+		id := s.order[i]
+		j := s.jobs[id]
+		if j == nil {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			continue
+		}
+		j.mu.Lock()
+		finished := j.state != "running"
+		j.mu.Unlock()
+		if !finished {
+			i++
+			continue
+		}
+		delete(s.jobs, id)
+		s.order = append(s.order[:i], s.order[i+1:]...)
+	}
+}
+
+// jobByID resolves the {id} path value.
+func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+// handleStatus reports a job's progress.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":    j.id,
+		"state": j.state,
+		"done":  j.done,
+		"total": len(j.cells),
+		"cells": j.cells,
+		"error": j.errMsg,
+	})
+}
+
+// jobResultRow pairs a cell spec with its result.
+type jobResultRow struct {
+	Spec   campaign.CellSpec `json:"spec"`
+	Result *finject.Result   `json:"result"`
+}
+
+// handleResult returns the full results once the job is done.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == "running" {
+		httpError(w, http.StatusConflict, "job %s still running (%d/%d cells)", j.id, j.done, len(j.cells))
+		return
+	}
+	if j.state != "done" {
+		httpError(w, http.StatusConflict, "job %s %s: %s", j.id, j.state, j.errMsg)
+		return
+	}
+	rows := make([]jobResultRow, len(j.cells))
+	for i := range j.cells {
+		rows[i] = jobResultRow{Spec: j.cells[i].Spec, Result: j.results[i]}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.id, "cells": rows})
+}
+
+// handleCancel cancels a running job.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, map[string]string{"id": j.id, "state": "canceling"})
+}
+
+// handleStats reports scheduler counters and store size.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.sched.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"hits":        st.Hits,
+		"runs":        st.Runs,
+		"joins":       st.Joins,
+		"golden_runs": st.GoldenRuns,
+		"store_cells": s.sched.Store().Len(),
+	})
+}
+
+// figureOptions parses the shared figure query parameters.
+func figureOptions(r *http.Request, sched *campaign.Scheduler) (core.Options, error) {
+	opts := core.Options{Scheduler: sched}
+	q := r.URL.Query()
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return opts, fmt.Errorf("bad n %q", v)
+		}
+		opts.Injections = n
+	}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return opts, fmt.Errorf("bad seed %q", v)
+		}
+		opts.Seed = seed
+	}
+	if v := q.Get("chips"); v != "" {
+		for _, name := range strings.Split(v, ",") {
+			c, err := chips.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return opts, err
+			}
+			opts.Chips = append(opts.Chips, c)
+		}
+	}
+	if v := q.Get("bench"); v != "" {
+		for _, name := range strings.Split(v, ",") {
+			b, err := workloads.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return opts, err
+			}
+			opts.Benchmarks = append(opts.Benchmarks, b)
+		}
+	}
+	return opts, nil
+}
+
+// figureEvent is one NDJSON line of the figure stream.
+type figureEvent struct {
+	Event     string `json:"event"` // "cell" or "result"
+	Chip      string `json:"chip,omitempty"`
+	Benchmark string `json:"benchmark,omitempty"`
+	Structure string `json:"structure,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+	Done      int    `json:"done,omitempty"`
+	Total     int    `json:"total,omitempty"`
+	Fig       string `json:"fig,omitempty"`
+	Figure    any    `json:"figure,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// handleFigure runs one of the paper's figures through the shared
+// scheduler, streaming per-cell progress as NDJSON lines followed by one
+// final result event. Query: fig=1|2|3 plus n, seed, chips, bench and
+// stream=0 to suppress progress lines.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	figNum := 0
+	switch r.URL.Query().Get("fig") {
+	case "1":
+		figNum = 1
+	case "2":
+		figNum = 2
+	case "3":
+		figNum = 3
+	default:
+		httpError(w, http.StatusBadRequest, "fig must be 1, 2 or 3")
+		return
+	}
+	opts, err := figureOptions(r, s.sched)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	stream := r.URL.Query().Get("stream") != "0"
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// emitMu also guards closed: once the handler returns, a late
+	// scheduler notification must not touch the recycled ResponseWriter.
+	var (
+		emitMu sync.Mutex
+		closed bool
+	)
+	emit := func(ev figureEvent) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if closed {
+			return
+		}
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	defer func() {
+		emitMu.Lock()
+		closed = true
+		emitMu.Unlock()
+	}()
+
+	if stream {
+		// This figure's exact work list: progress is restricted to these
+		// keys (the scheduler is shared, so other requests' cells also
+		// notify) and each unique cell counts once even though prewarm
+		// batches and per-cell assembly both touch the scheduler.
+		specs, err := core.FigureCells(figNum, opts)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		total := 0
+		pending := make(map[campaign.CellKey]bool, len(specs))
+		for _, spec := range specs {
+			if !pending[spec.Key()] {
+				pending[spec.Key()] = true
+				total++
+			}
+		}
+		var seenMu sync.Mutex
+		done := 0
+		unsub := s.sched.Subscribe(func(p campaign.Progress) {
+			seenMu.Lock()
+			if !pending[p.Key] {
+				seenMu.Unlock()
+				return
+			}
+			delete(pending, p.Key)
+			done++
+			d := done
+			seenMu.Unlock()
+			emit(figureEvent{
+				Event:     "cell",
+				Chip:      p.Spec.Chip,
+				Benchmark: p.Spec.Benchmark,
+				Structure: p.Spec.Structure.String(),
+				Cached:    p.Cached,
+				Done:      d,
+				Total:     total,
+			})
+		})
+		defer unsub()
+	}
+
+	ctx := r.Context()
+	var result any
+	switch figNum {
+	case 1:
+		result, err = core.FigureRegisterFileContext(ctx, opts)
+	case 2:
+		result, err = core.FigureLocalMemoryContext(ctx, opts)
+	case 3:
+		result, err = core.FigureEPFContext(ctx, opts)
+	}
+	if err != nil {
+		emit(figureEvent{Event: "error", Error: err.Error()})
+		return
+	}
+	emit(figureEvent{Event: "result", Fig: strconv.Itoa(figNum), Figure: result})
+}

@@ -1,0 +1,275 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func newTestServer(t *testing.T) (*Server, *campaign.Scheduler) {
+	t.Helper()
+	sched := campaign.New(campaign.Config{})
+	return NewServer(sched), sched
+}
+
+// postJSON posts v and decodes the JSON response into out.
+func postJSON(t *testing.T, ts *httptest.Server, path string, v any, out any, wantCode int) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: status %d, want %d", path, resp.StatusCode, wantCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// getJSON fetches path and decodes into out, returning the status code.
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func miniSpec(bench string, seed uint64) campaign.CellSpec {
+	return campaign.CellSpec{
+		Chip:       "Mini NVIDIA",
+		Benchmark:  bench,
+		Injections: 20,
+		Seed:       seed,
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	srv, sched := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var submitted struct {
+		ID    string `json:"id"`
+		Total int    `json:"total"`
+	}
+	req := map[string]any{"cells": []campaign.CellSpec{
+		miniSpec("vectoradd", 1),
+		miniSpec("transpose", 1),
+		miniSpec("vectoradd", 1), // duplicate: must dedup, not re-run
+	}}
+	postJSON(t, ts, "/v1/jobs", req, &submitted, http.StatusAccepted)
+	if submitted.ID == "" || submitted.Total != 3 {
+		t.Fatalf("submit response %+v", submitted)
+	}
+
+	var status struct {
+		State string      `json:"state"`
+		Done  int         `json:"done"`
+		Total int         `json:"total"`
+		Cells []cellState `json:"cells"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if getJSON(t, ts, "/v1/jobs/"+submitted.ID, &status) != http.StatusOK {
+			t.Fatal("status not OK")
+		}
+		if status.State != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if status.State != "done" || status.Done != 3 {
+		t.Fatalf("final status %+v", status)
+	}
+	for i, c := range status.Cells {
+		if c.State != "done" {
+			t.Fatalf("cell %d: %+v", i, c)
+		}
+	}
+
+	var result struct {
+		Cells []jobResultRow `json:"cells"`
+	}
+	if getJSON(t, ts, "/v1/jobs/"+submitted.ID+"/result", &result) != http.StatusOK {
+		t.Fatal("result not OK")
+	}
+	if len(result.Cells) != 3 {
+		t.Fatalf("%d result rows", len(result.Cells))
+	}
+	for i, row := range result.Cells {
+		if row.Result == nil || row.Result.Injections != 20 {
+			t.Fatalf("row %d: %+v", i, row.Result)
+		}
+	}
+	if result.Cells[0].Result.Outcomes != result.Cells[2].Result.Outcomes {
+		t.Fatal("duplicate cells disagree")
+	}
+	if runs := sched.Stats().Runs; runs != 2 {
+		t.Fatalf("3 cells (1 duplicate) caused %d executions, want 2", runs)
+	}
+
+	var stats struct {
+		Runs       int64 `json:"runs"`
+		StoreCells int   `json:"store_cells"`
+	}
+	if getJSON(t, ts, "/v1/stats", &stats) != http.StatusOK {
+		t.Fatal("stats not OK")
+	}
+	if stats.Runs != 2 || stats.StoreCells != 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	postJSON(t, ts, "/v1/jobs", map[string]any{"cells": []campaign.CellSpec{}}, nil, http.StatusBadRequest)
+	postJSON(t, ts, "/v1/jobs",
+		map[string]any{"cells": []campaign.CellSpec{{Chip: "no such chip", Benchmark: "vectoradd"}}},
+		nil, http.StatusBadRequest)
+	if getJSON(t, ts, "/v1/jobs/job-999999", nil) != http.StatusNotFound {
+		t.Fatal("unknown job not 404")
+	}
+}
+
+func TestResultConflictWhileRunning(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	// A batch big enough to still be running when we poll the result.
+	var cells []campaign.CellSpec
+	for i := uint64(0); i < 6; i++ {
+		s := miniSpec("matrixMul", 100+i)
+		s.Injections = 150
+		cells = append(cells, s)
+	}
+	postJSON(t, ts, "/v1/jobs", map[string]any{"cells": cells}, &submitted, http.StatusAccepted)
+	code := getJSON(t, ts, "/v1/jobs/"+submitted.ID+"/result", nil)
+	if code != http.StatusConflict && code != http.StatusOK {
+		t.Fatalf("result while running: status %d", code)
+	}
+	// Cancel to avoid burning the rest of the batch.
+	reqCancel, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+submitted.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(reqCancel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+}
+
+func TestFigureStream(t *testing.T) {
+	srv, sched := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	url := ts.URL + "/v1/figure?fig=1&n=10&seed=3&chips=Mini+NVIDIA&bench=vectoradd,transpose"
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("figure status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Fatalf("content type %q", ct)
+	}
+	var cellEvents int
+	var last figureEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		var ev figureEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if ev.Event == "cell" {
+			cellEvents++
+		}
+		last = ev
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cellEvents != 2 {
+		t.Fatalf("%d cell events, want 2 (2 benchmarks x 1 chip)", cellEvents)
+	}
+	if last.Event != "result" || last.Fig != "1" || last.Figure == nil {
+		t.Fatalf("final event %+v", last)
+	}
+	if sched.Stats().Runs != 2 {
+		t.Fatalf("figure ran %d campaigns, want 2", sched.Stats().Runs)
+	}
+
+	// A warm, unstreamed rerun answers entirely from the store.
+	resp2, err := http.Get(url + "&stream=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := bufio.NewScanner(resp2.Body)
+	lines := 0
+	for body.Scan() {
+		lines++
+	}
+	resp2.Body.Close()
+	if lines != 1 {
+		t.Fatalf("stream=0 emitted %d lines, want only the result", lines)
+	}
+	if sched.Stats().Runs != 2 {
+		t.Fatal("warm figure rerun executed new campaigns")
+	}
+}
+
+func TestFigureValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, path := range []string{
+		"/v1/figure?fig=9",
+		"/v1/figure?fig=1&n=bogus",
+		"/v1/figure?fig=1&chips=no+such+chip",
+		"/v1/figure?fig=1&bench=no-such-bench",
+	} {
+		if code := getJSON(t, ts, path, nil); code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", path, code)
+		}
+	}
+}
