@@ -368,6 +368,85 @@ func BenchmarkAblationFaultWidth(b *testing.B) {
 	}
 }
 
+// BenchmarkInjectionLoop measures the parallel injection hot path at a
+// fixed sample size across worker counts; the shared golden keeps the
+// reference run out of the loop, so the metric is pure injection
+// throughput. Multi-worker runs must beat serial wall-clock while
+// producing bit-identical results (enforced by finject's determinism
+// tests).
+func BenchmarkInjectionLoop(b *testing.B) {
+	bench, err := workloads.ByName("matrixMul")
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip := chips.MiniNVIDIA()
+	golden, err := finject.NewGolden(chip, bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 400
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := finject.Run(finject.Campaign{
+					Chip: chip, Benchmark: bench, Structure: gpu.RegisterFile,
+					Injections: n, Seed: 11, Golden: golden,
+					Policy: finject.Policy{Workers: workers},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Injections != n {
+					b.Fatalf("ran %d injections, want %d", res.Injections, n)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "inj/s")
+		})
+	}
+}
+
+// BenchmarkAdaptiveVsFixed contrasts the adaptive stopping rule against
+// the fixed sample size on the same cell: the adaptive run must reach
+// the requested margin with a fraction of the injections (reported as
+// the realized-n metric).
+func BenchmarkAdaptiveVsFixed(b *testing.B) {
+	bench, err := workloads.ByName("matrixMul")
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip := chips.MiniNVIDIA()
+	golden, err := finject.NewGolden(chip, bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const cap = 2000
+	campaign := func(pol finject.Policy) finject.Campaign {
+		return finject.Campaign{
+			Chip: chip, Benchmark: bench, Structure: gpu.RegisterFile,
+			Injections: cap, Seed: 17, Golden: golden, Policy: pol,
+		}
+	}
+	b.Run("fixed-n", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := finject.Run(campaign(finject.Policy{})); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(cap, "realized-n")
+	})
+	b.Run("adaptive-margin=5%", func(b *testing.B) {
+		realized := 0
+		for i := 0; i < b.N; i++ {
+			res, err := finject.Run(campaign(finject.Policy{Margin: 0.05}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			realized = res.Injections
+		}
+		b.ReportMetric(float64(realized), "realized-n")
+	})
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (lane
 // instructions per second) for both vendors' simulators — the analysis
 // time side of the paper's accuracy/time trade-off discussion.

@@ -5,9 +5,12 @@
 //	figures -fig 3            EPF (executions per failure, both structures)
 //	figures -fig all          everything
 //
-// Useful knobs: -n (injections per campaign; the paper uses 2000),
-// -seed, -bench (comma-separated subset), -chips (comma-separated subset),
-// -store (persistent result cache; warm reruns perform zero injections).
+// Useful knobs: -n (injections per campaign; the paper uses 2000, and it
+// becomes the cap when -margin is set), -margin/-confidence (adaptive
+// sampling: stop each campaign once its AVF interval is tight enough),
+// -workers, -seed, -bench (comma-separated subset), -chips
+// (comma-separated subset), -store (persistent result cache; warm reruns
+// perform zero injections).
 //
 // All figures of one invocation share a campaign scheduler, so Fig. 3
 // reuses every cell Figs. 1 and 2 already measured.
@@ -15,9 +18,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,40 +35,74 @@ import (
 	"repro/internal/workloads"
 )
 
+// errUsage marks argument errors the FlagSet has already reported on
+// stderr; main exits non-zero without printing them again.
+var errUsage = errors.New("usage error")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("figures: ")
-	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
-		n         = flag.Int("n", finject.DefaultInjections, "fault injections per campaign")
-		seed      = flag.Uint64("seed", 1, "campaign seed")
-		benches   = flag.String("bench", "", "comma-separated benchmark subset (default: figure-appropriate suite)")
-		chipSel   = flag.String("chips", "", "comma-separated chip subset (default: the paper's four)")
-		workers   = flag.Int("workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
-		storePath = flag.String("store", "", "JSON-lines result store path (in-memory only when empty)")
-		asJSON    = flag.Bool("json", false, "emit figures as JSON instead of tables")
-	)
-	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is main's testable core: it parses args, runs the requested
+// figures and writes tables (or JSON) to stdout and progress notes to
+// stderr.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		fig        = fs.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
+		n          = fs.Int("n", finject.DefaultInjections, "fault injections per campaign (the cap when -margin is set)")
+		seed       = fs.Uint64("seed", 1, "campaign seed")
+		benches    = fs.String("bench", "", "comma-separated benchmark subset (default: figure-appropriate suite)")
+		chipSel    = fs.String("chips", "", "comma-separated chip subset (default: the paper's four)")
+		workers    = fs.Int("workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
+		confidence = fs.Float64("confidence", finject.DefaultConfidence, "confidence level for AVF intervals and adaptive stopping")
+		margin     = fs.Float64("margin", 0, "adaptive mode: stop each campaign once the AVF interval half-width reaches this (0 = run exactly -n injections)")
+		storePath  = fs.String("store", "", "JSON-lines result store path (in-memory only when empty)")
+		asJSON     = fs.Bool("json", false, "emit figures as JSON instead of tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// The FlagSet already reported the problem on stderr.
+		return errUsage
+	}
+
+	if *margin < 0 || *margin >= 1 {
+		return fmt.Errorf("margin %v outside [0,1)", *margin)
+	}
+	if *confidence <= 0 || *confidence >= 1 {
+		return fmt.Errorf("confidence %v outside (0,1)", *confidence)
+	}
 
 	var store campaign.Store
 	if *storePath != "" {
 		ds, err := campaign.OpenDiskStore(*storePath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer ds.Close()
-		log.Printf("store %s: %d cells", ds.Path(), ds.Len())
+		fmt.Fprintf(stderr, "figures: store %s: %d cells\n", ds.Path(), ds.Len())
 		store = ds
 	}
 	sched := campaign.New(campaign.Config{Store: store, CampaignWorkers: *workers})
-	opts := core.Options{Injections: *n, Seed: *seed, Workers: *workers, Scheduler: sched}
+	opts := core.Options{
+		Injections: *n, Seed: *seed, Workers: *workers,
+		Confidence: *confidence, Margin: *margin, Scheduler: sched,
+	}
 	if *chipSel != "" {
 		for _, name := range strings.Split(*chipSel, ",") {
 			c, err := chips.ByName(strings.TrimSpace(name))
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			opts.Chips = append(opts.Chips, c)
 		}
@@ -73,7 +111,7 @@ func main() {
 		for _, name := range strings.Split(*benches, ",") {
 			b, err := workloads.ByName(strings.TrimSpace(name))
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			opts.Benchmarks = append(opts.Benchmarks, b)
 		}
@@ -83,59 +121,61 @@ func main() {
 	run2 := *fig == "2" || *fig == "all"
 	run3 := *fig == "3" || *fig == "all"
 	if !run1 && !run2 && !run3 {
-		log.Fatalf("unknown figure %q (want 1, 2, 3 or all)", *fig)
+		return fmt.Errorf("unknown figure %q (want 1, 2, 3 or all)", *fig)
 	}
 
 	if run1 {
 		start := time.Now()
 		f, err := core.FigureRegisterFileContext(ctx, opts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		title := fmt.Sprintf("Fig. 1 — Register File AVF (FI + ACE), %d injections/campaign", opts.Injections)
-		if err := writeFigure(f, title, *asJSON); err != nil {
-			log.Fatal(err)
+		if err := writeFigure(stdout, f, title, *asJSON); err != nil {
+			return err
 		}
-		fmt.Printf("\n(fig 1 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "\n(fig 1 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if run2 {
 		start := time.Now()
 		f, err := core.FigureLocalMemoryContext(ctx, opts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		title := fmt.Sprintf("Fig. 2 — Local Memory AVF (FI + ACE), %d injections/campaign", opts.Injections)
-		if err := writeFigure(f, title, *asJSON); err != nil {
-			log.Fatal(err)
+		if err := writeFigure(stdout, f, title, *asJSON); err != nil {
+			return err
 		}
-		fmt.Printf("\n(fig 2 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "\n(fig 2 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if run3 {
 		start := time.Now()
 		f, err := core.FigureEPFContext(ctx, opts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		title := "Fig. 3 — Executions per Failure (EPF)"
 		var werr error
 		if *asJSON {
-			werr = report.WriteEPFJSON(os.Stdout, f, title)
+			werr = report.WriteEPFJSON(stdout, f, title)
 		} else {
-			werr = report.WriteEPF(os.Stdout, f, title)
+			werr = report.WriteEPF(stdout, f, title)
 		}
 		if werr != nil {
-			log.Fatal(werr)
+			return werr
 		}
-		fmt.Printf("\n(fig 3 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "\n(fig 3 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	st := sched.Stats()
-	log.Printf("campaigns: %d executed, %d served from store, %d goldens", st.Runs, st.Hits+st.Joins, st.GoldenRuns)
+	fmt.Fprintf(stderr, "figures: campaigns: %d executed (%d injections), %d served from store, %d upgraded, %d goldens\n",
+		st.Runs, st.Injections, st.Hits+st.Joins, st.Upgrades, st.GoldenRuns)
+	return nil
 }
 
 // writeFigure renders an AVF figure as a table or as JSON.
-func writeFigure(f *core.Figure, title string, asJSON bool) error {
+func writeFigure(w io.Writer, f *core.Figure, title string, asJSON bool) error {
 	if asJSON {
-		return report.WriteFigureJSON(os.Stdout, f, title)
+		return report.WriteFigureJSON(w, f, title)
 	}
-	return report.WriteFigure(os.Stdout, f, title)
+	return report.WriteFigure(w, f, title)
 }

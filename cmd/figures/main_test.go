@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunTinyFigure(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-fig", "1", "-chips", "Mini NVIDIA", "-bench", "vectoradd", "-n", "20", "-seed", "5"}
+	if err := run(context.Background(), args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 1") || !strings.Contains(out.String(), "vectoradd") {
+		t.Fatalf("figure output:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "campaigns: 1 executed") {
+		t.Fatalf("campaign summary missing:\n%s", errOut.String())
+	}
+}
+
+func TestRunTinyFigureJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-fig", "2", "-chips", "Mini AMD", "-bench", "reduction", "-n", "20", "-json"}
+	if err := run(context.Background(), args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	// The JSON document comes first; the wall-time note follows it.
+	var doc map[string]any
+	if err := json.NewDecoder(strings.NewReader(out.String())).Decode(&doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if doc["structure"] != "local-memory" {
+		t.Fatalf("figure document: %v", doc)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-fig", "9"},
+		{"-chips", "No Such GPU"},
+		{"-bench", "nope"},
+		{"-margin", "1.5"},
+		{"-confidence", "0"},
+	} {
+		var out, errOut strings.Builder
+		if err := run(context.Background(), args, &out, &errOut); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(context.Background(), []string{"-h"}, &out, &errOut); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+	if !strings.Contains(errOut.String(), "-fig") {
+		t.Fatalf("usage text missing:\n%s", errOut.String())
+	}
+}

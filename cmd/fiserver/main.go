@@ -3,12 +3,14 @@
 // fetch results, and run whole figures with streamed progress. All
 // requests share one scheduler and one store, so identical cells are
 // computed once ever — across requests, clients and (with -store)
-// process restarts.
+// process restarts. Jobs may carry an execution policy (adaptive margin,
+// confidence, injection cap) and figure runs accept margin= and
+// confidence= query parameters.
 //
 //	fiserver -addr :8080 -store cells.jsonl
 //
-//	curl -s localhost:8080/v1/figure?fig=1\&n=100 | tail -1
-//	curl -s -X POST localhost:8080/v1/jobs -d '{"cells":[{"chip":"GeForce GTX 480","benchmark":"vectoradd","structure":"register-file","injections":200,"seed":1}]}'
+//	curl -s localhost:8080/v1/figure?fig=1\&n=100\&margin=0.03 | tail -1
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"cells":[{"chip":"GeForce GTX 480","benchmark":"vectoradd","structure":"register-file","injections":200,"seed":1}],"policy":{"margin":0.05}}'
 //	curl -s localhost:8080/v1/jobs/job-000001
 //	curl -s localhost:8080/v1/jobs/job-000001/result
 //	curl -s localhost:8080/v1/stats
@@ -18,7 +20,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -29,26 +32,50 @@ import (
 	"repro/internal/service"
 )
 
+// errUsage marks argument errors the FlagSet has already reported on
+// stderr; main exits non-zero without printing them again.
+var errUsage = errors.New("usage error")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("fiserver: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintf(os.Stderr, "fiserver: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is main's testable core: it binds the listener, reports the bound
+// address on stdout ("listening on ..."), and serves until ctx is
+// canceled, then shuts down gracefully.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fiserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		storePath = flag.String("store", "", "JSON-lines result store path (in-memory only when empty)")
-		memCap    = flag.Int("mem-cap", 0, "in-memory store capacity in cells (0 = unbounded; ignored with -store)")
-		workers   = flag.Int("workers", 0, "concurrently executing cells (default GOMAXPROCS)")
-		campWorks = flag.Int("campaign-workers", 0, "parallel simulations inside one campaign (default GOMAXPROCS)")
+		addr      = fs.String("addr", ":8080", "listen address")
+		storePath = fs.String("store", "", "JSON-lines result store path (in-memory only when empty)")
+		memCap    = fs.Int("mem-cap", 0, "in-memory store capacity in cells (0 = unbounded; ignored with -store)")
+		workers   = fs.Int("workers", 0, "concurrently executing cells (default GOMAXPROCS)")
+		campWorks = fs.Int("campaign-workers", 0, "parallel simulations inside one campaign (default GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// The FlagSet already reported the problem on stderr.
+		return errUsage
+	}
 
 	var store campaign.Store
 	if *storePath != "" {
 		ds, err := campaign.OpenDiskStore(*storePath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer ds.Close()
-		log.Printf("store %s: %d cells", ds.Path(), ds.Len())
+		fmt.Fprintf(stdout, "store %s: %d cells\n", ds.Path(), ds.Len())
 		store = ds
 	} else {
 		store = campaign.NewMemoryStore(*memCap)
@@ -59,10 +86,11 @@ func main() {
 		CampaignWorkers: *campWorks,
 	})
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
-		Addr:        *addr,
 		Handler:     service.NewServer(sched),
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
@@ -72,9 +100,10 @@ func main() {
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 	}()
-	log.Printf("listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
 	}
-	log.Print("shut down")
+	fmt.Fprintln(stdout, "shut down")
+	return nil
 }

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a strings.Builder safe for the concurrent writes of the
+// server goroutine and the polling test.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+// startServer runs fiserver on an ephemeral port and returns its base
+// URL plus a stop function that shuts it down and checks the exit error.
+func startServer(t *testing.T, extraArgs ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errOut syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, extraArgs...), &out, &errOut)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for addr == "" {
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("server never reported its address:\n%s\n%s", out.String(), errOut.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+				addr = rest
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return "http://" + addr, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("server exit: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("server did not shut down")
+		}
+		if !strings.Contains(out.String(), "shut down") {
+			t.Errorf("missing shutdown notice:\n%s", out.String())
+		}
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "cells.jsonl")
+	base, stop := startServer(t, "-store", store)
+	defer stop()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// A tiny job through the full submit/status/result cycle.
+	body := `{"cells":[{"chip":"Mini NVIDIA","benchmark":"vectoradd","structure":"register-file","injections":15,"seed":2}]}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+	if err != nil || submitted.ID == "" {
+		t.Fatalf("submit: %v (%+v)", err, submitted)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, submitted.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var status struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.State == "done" {
+			break
+		}
+		if status.State != "running" || time.Now().After(deadline) {
+			t.Fatalf("job state %q", status.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/result", base, submitted.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d", resp.StatusCode)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errOut syncBuffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out, &errOut); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "not-an-address:::"}, &out, &errOut); err == nil {
+		t.Error("bad address accepted")
+	}
+}

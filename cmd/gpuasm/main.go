@@ -11,68 +11,89 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 
 	"repro/internal/sass"
 	"repro/internal/siasm"
 )
 
+// errUsage marks argument errors the FlagSet has already reported on
+// stderr; main exits non-zero without printing them again.
+var errUsage = errors.New("usage error")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("gpuasm: ")
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintf(os.Stderr, "gpuasm: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is main's testable core.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gpuasm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dialect = flag.String("dialect", "sass", "ISA dialect: sass (NVIDIA) or si (AMD)")
-		dis     = flag.Bool("dis", false, "dump the resolved instruction stream")
+		dialect = fs.String("dialect", "sass", "ISA dialect: sass (NVIDIA) or si (AMD)")
+		dis     = fs.Bool("dis", false, "dump the resolved instruction stream")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		log.Fatal("usage: gpuasm [-dialect sass|si] [-dis] <file|->")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// The FlagSet already reported the problem on stderr.
+		return errUsage
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: gpuasm [-dialect sass|si] [-dis] <file|->")
 	}
 
 	var src []byte
 	var err error
-	if flag.Arg(0) == "-" {
-		src, err = io.ReadAll(os.Stdin)
+	if fs.Arg(0) == "-" {
+		src, err = io.ReadAll(stdin)
 	} else {
-		src, err = os.ReadFile(flag.Arg(0))
+		src, err = os.ReadFile(fs.Arg(0))
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	switch *dialect {
 	case "sass":
 		p, err := sass.Assemble(string(src))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("kernel        %s\n", p.Name)
-		fmt.Printf("instructions  %d\n", len(p.Instrs))
-		fmt.Printf("regs/thread   %d\n", p.NumRegs)
-		fmt.Printf("shared bytes  %d\n", p.SharedBytes)
-		fmt.Printf("params        %d\n", p.NumParams)
+		fmt.Fprintf(stdout, "kernel        %s\n", p.Name)
+		fmt.Fprintf(stdout, "instructions  %d\n", len(p.Instrs))
+		fmt.Fprintf(stdout, "regs/thread   %d\n", p.NumRegs)
+		fmt.Fprintf(stdout, "shared bytes  %d\n", p.SharedBytes)
+		fmt.Fprintf(stdout, "params        %d\n", p.NumParams)
 		if *dis {
-			fmt.Print(p.Disassemble())
+			fmt.Fprint(stdout, p.Disassemble())
 		}
 	case "si":
 		p, err := siasm.Assemble(string(src))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("kernel        %s\n", p.Name)
-		fmt.Printf("instructions  %d\n", len(p.Instrs))
-		fmt.Printf("vgprs/item    %d\n", p.NumVGPRs)
-		fmt.Printf("sgprs/wave    %d\n", p.NumSGPRs)
-		fmt.Printf("lds bytes     %d\n", p.LDSBytes)
-		fmt.Printf("kernargs      %d\n", p.NumKArgs)
+		fmt.Fprintf(stdout, "kernel        %s\n", p.Name)
+		fmt.Fprintf(stdout, "instructions  %d\n", len(p.Instrs))
+		fmt.Fprintf(stdout, "vgprs/item    %d\n", p.NumVGPRs)
+		fmt.Fprintf(stdout, "sgprs/wave    %d\n", p.NumSGPRs)
+		fmt.Fprintf(stdout, "lds bytes     %d\n", p.LDSBytes)
+		fmt.Fprintf(stdout, "kernargs      %d\n", p.NumKArgs)
 		if *dis {
-			fmt.Print(p.Disassemble())
+			fmt.Fprint(stdout, p.Disassemble())
 		}
 	default:
-		log.Fatalf("unknown dialect %q (want sass or si)", *dialect)
+		return fmt.Errorf("unknown dialect %q (want sass or si)", *dialect)
 	}
+	return nil
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sassKernel = ".kernel k\n    S2R R0, SR_TID.X\n    EXIT\n"
+const siKernel = ".kernel k\n    s_endpgm\n"
+
+func TestRunSASSFromStdin(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-"}, strings.NewReader(sassKernel), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"kernel        k", "instructions  2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSIFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "k.s")
+	if err := os.WriteFile(path, []byte(siKernel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if err := run([]string{"-dialect", "si", "-dis", path}, nil, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "s_endpgm") {
+		t.Fatalf("disassembly missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, tc := range []struct {
+		args  []string
+		stdin string
+	}{
+		{[]string{"-no-such-flag"}, ""},
+		{[]string{}, ""},                                 // no input file
+		{[]string{"-dialect", "arm", "-"}, sassKernel},   // unknown dialect
+		{[]string{"/no/such/file.sass"}, ""},             // unreadable file
+		{[]string{"-"}, "BOGUS_OPCODE R0\n"},             // parse error
+		{[]string{"-dialect", "si", "-"}, "v_nope v0\n"}, // parse error
+	} {
+		var out, errOut strings.Builder
+		if err := run(tc.args, strings.NewReader(tc.stdin), &out, &errOut); err == nil {
+			t.Errorf("args %v accepted", tc.args)
+		}
+	}
+}

@@ -4,13 +4,34 @@
 // file or shared memory.
 //
 //	gufi -chip "GeForce GTX 480" -bench matrixMul -structure regfile -n 2000
+//
+// With -margin set, -n becomes the cap and the campaign stops as soon as
+// the AVF interval is tight enough (adaptive statistical sampling).
 package main
 
 import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+
 	"repro/internal/cli"
 	"repro/internal/gpu"
 )
 
 func main() {
-	cli.Main("gufi", gpu.NVIDIA)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "gufi: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is main's testable core. Interrupting ctx cancels the campaign
+// promptly.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	_ = stderr // errors surface through the return value
+	return cli.RunContext(ctx, "gufi", gpu.NVIDIA, args, stdout)
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(context.Background(), []string{"-list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GeForce GTX 480", "benchmarks:", "vectoradd"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunTinyCampaign(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-chip", "Mini NVIDIA", "-bench", "vectoradd", "-n", "25", "-seed", "3"}
+	if err := run(context.Background(), args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gufi campaign: Mini NVIDIA / vectoradd", "AVF (FI)", "masked="} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("campaign output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunAdaptiveCampaign(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-chip", "Mini NVIDIA", "-bench", "vectoradd", "-n", "2000", "-margin", "0.1"}
+	if err := run(context.Background(), args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "adaptive") || strings.Contains(out.String(), "injections        2000 of cap") {
+		t.Fatalf("adaptive campaign should stop below the cap:\n%s", out.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-chip", "No Such GPU"},
+		{"-chip", "HD Radeon 7970"}, // AMD part under the NVIDIA tool
+		{"-structure", "l2cache"},
+		{"-margin", "5"},        // out of [0,1)
+		{"-confidence", "1.01"}, // out of (0,1)
+	} {
+		var out, errOut strings.Builder
+		if err := run(context.Background(), args, &out, &errOut); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(context.Background(), []string{"-h"}, &out, &errOut); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(context.Background(), []string{"-list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"HD Radeon 7970", "benchmarks:", "reduction"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "GeForce") {
+		t.Fatal("sifi listed an NVIDIA chip")
+	}
+}
+
+func TestRunTinyCampaign(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-chip", "Mini AMD", "-bench", "vectoradd", "-n", "25", "-seed", "3"}
+	if err := run(context.Background(), args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sifi campaign: Mini AMD / vectoradd", "AVF (FI)", "masked="} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("campaign output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-chip", "GeForce GTX 480"}, // NVIDIA part under the AMD tool
+		{"-bench", "nope"},
+	} {
+		var out, errOut strings.Builder
+		if err := run(context.Background(), args, &out, &errOut); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -54,10 +54,14 @@ func (s CellSpec) Normalize() CellSpec {
 }
 
 // SpecOf derives the cell identity of a campaign. The campaign must carry
-// a chip and a benchmark.
+// a chip and a benchmark. The injection count recorded is the campaign's
+// cap (Policy.MaxInjections when set): an adaptive policy's Margin and
+// Confidence are a stopping rule, not part of the fault sample, so they
+// stay out of the identity — the scheduler instead checks whether a
+// cached cell's realized sample satisfies the requesting policy.
 func SpecOf(c finject.Campaign) CellSpec {
 	s := CellSpec{
-		Injections:     c.Injections,
+		Injections:     c.Policy.Cap(c.Injections),
 		Seed:           c.Seed,
 		FaultWidth:     c.FaultWidth,
 		WatchdogFactor: c.WatchdogFactor,

@@ -38,6 +38,13 @@ type Stats struct {
 	// one per (chip, benchmark) pair regardless of structure or campaign
 	// count.
 	GoldenRuns int64
+	// Injections is the total number of injections actually executed
+	// across all campaign runs (adaptive campaigns stop below the cap, so
+	// this is usually less than Runs x the cap).
+	Injections int64
+	// Upgrades is the number of campaigns re-executed because the cached
+	// cell had stopped at a looser margin than the request demanded.
+	Upgrades int64
 }
 
 // Progress reports one cell served by the scheduler — computed, joined or
@@ -70,6 +77,7 @@ type Scheduler struct {
 	subs  map[int]func(Progress)
 
 	hits, runs, joins, goldenRuns atomic.Int64
+	injections, upgrades          atomic.Int64
 }
 
 // call is one in-flight cell execution others may join.
@@ -114,6 +122,8 @@ func (s *Scheduler) Stats() Stats {
 		Runs:       s.runs.Load(),
 		Joins:      s.joins.Load(),
 		GoldenRuns: s.goldenRuns.Load(),
+		Injections: s.injections.Load(),
+		Upgrades:   s.upgrades.Load(),
 	}
 }
 
@@ -167,12 +177,21 @@ func (s *Scheduler) run(ctx context.Context, c finject.Campaign) (*finject.Resul
 	spec := SpecOf(c)
 	key := spec.Key()
 	for {
+		// A cached cell answers the request only if it satisfies the
+		// request's policy: an adaptive cell that stopped early cannot
+		// serve a fixed-size request (or a tighter margin) for the same
+		// cap — the campaign re-runs with the tighter policy and the Put
+		// overwrites the looser result.
+		stale := false
 		if res, ok, err := s.store.Get(key); err != nil {
 			return nil, false, err
 		} else if ok {
-			s.hits.Add(1)
-			s.notify(Progress{Spec: spec, Key: key, Cached: true})
-			return res, true, nil
+			if c.Policy.SatisfiedBy(res, spec.Injections) {
+				s.hits.Add(1)
+				s.notify(Progress{Spec: spec, Key: key, Cached: true})
+				return res, true, nil
+			}
+			stale = true
 		}
 		s.mu.Lock()
 		if cl, ok := s.inflight[key]; ok {
@@ -183,6 +202,10 @@ func (s *Scheduler) run(ctx context.Context, c finject.Campaign) (*finject.Resul
 				return nil, false, ctx.Err()
 			}
 			if cl.err == nil {
+				if !c.Policy.SatisfiedBy(cl.res, spec.Injections) {
+					// The leader ran a looser policy; try again as leader.
+					continue
+				}
 				s.joins.Add(1)
 				s.notify(Progress{Spec: spec, Key: key, Cached: true})
 				return cl.res, true, nil
@@ -209,6 +232,9 @@ func (s *Scheduler) run(ctx context.Context, c finject.Campaign) (*finject.Resul
 		if cl.err != nil {
 			return nil, false, cl.err
 		}
+		if stale {
+			s.upgrades.Add(1)
+		}
 		s.notify(Progress{Spec: spec, Key: key})
 		return cl.res, false, nil
 	}
@@ -228,17 +254,21 @@ func (s *Scheduler) execute(ctx context.Context, c finject.Campaign, spec CellSp
 	}
 	// Pin the result-determining fields to the normalized spec so the
 	// stored value always matches its key, and strip what must not vary.
+	// The policy's Margin and Confidence ride along untouched (they are
+	// the request's stopping rule); the cap moves into Injections and the
+	// worker count is scheduler-owned.
 	c.Injections = spec.Injections
+	c.Policy.MaxInjections = 0
 	c.FaultWidth = spec.FaultWidth
 	c.WatchdogFactor = spec.WatchdogFactor
-	c.Workers = s.campaignWorkers
-	if c.Workers <= 0 {
+	c.Policy.Workers = s.campaignWorkers
+	if c.Policy.Workers <= 0 {
 		// Split the machine across the currently executing cells so the
 		// two parallelism levels don't multiply: a lone cell gets every
 		// core, a full grid runs one simulation per cell at a time.
-		c.Workers = runtime.GOMAXPROCS(0) / len(s.sem)
-		if c.Workers < 1 {
-			c.Workers = 1
+		c.Policy.Workers = runtime.GOMAXPROCS(0) / len(s.sem)
+		if c.Policy.Workers < 1 {
+			c.Policy.Workers = 1
 		}
 	}
 	c.Detail = false
@@ -248,6 +278,7 @@ func (s *Scheduler) execute(ctx context.Context, c finject.Campaign, spec CellSp
 		return nil, err
 	}
 	s.runs.Add(1)
+	s.injections.Add(int64(res.Injections))
 	if err := s.store.Put(key, res); err != nil {
 		return nil, err
 	}

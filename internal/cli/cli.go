@@ -4,11 +4,10 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"os"
-	"os/signal"
 	"strings"
 	"time"
 
@@ -22,24 +21,14 @@ import (
 	"repro/internal/workloads"
 )
 
-// Main runs one campaign tool with os-level arguments, exiting non-zero
-// on error. Interrupts cancel the campaign promptly.
-func Main(tool string, vendor gpu.Vendor) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	if err := RunContext(ctx, tool, vendor, os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
-		os.Exit(1)
-	}
-}
-
 // Run executes one campaign for the given tool name, vendor, argument
 // list and output stream.
 func Run(tool string, vendor gpu.Vendor, args []string, w io.Writer) error {
 	return RunContext(context.Background(), tool, vendor, args, w)
 }
 
-// RunContext is Run under a context; it is Main's testable core.
+// RunContext is Run under a context; the gufi and sifi mains call it
+// with a signal-canceled context so interrupts stop the campaign.
 func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
 	defaultChip := "HD Radeon 7970"
@@ -47,17 +36,30 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		defaultChip = "GeForce GTX 480"
 	}
 	var (
-		chipName  = fs.String("chip", defaultChip, "chip to simulate")
-		benchName = fs.String("bench", "vectoradd", "benchmark to run")
-		structSel = fs.String("structure", "regfile", "structure: regfile or local")
-		n         = fs.Int("n", finject.DefaultInjections, "fault injections")
-		seed      = fs.Uint64("seed", 1, "campaign seed")
-		workers   = fs.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
-		storePath = fs.String("store", "", "JSON-lines result store; repeated identical campaigns are served from it")
-		listFlag  = fs.Bool("list", false, "list chips and benchmarks, then exit")
+		chipName   = fs.String("chip", defaultChip, "chip to simulate")
+		benchName  = fs.String("bench", "vectoradd", "benchmark to run")
+		structSel  = fs.String("structure", "regfile", "structure: regfile or local")
+		n          = fs.Int("n", finject.DefaultInjections, "fault injections (the cap when -margin is set)")
+		seed       = fs.Uint64("seed", 1, "campaign seed")
+		workers    = fs.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
+		confidence = fs.Float64("confidence", finject.DefaultConfidence, "confidence level for AVF intervals and adaptive stopping")
+		margin     = fs.Float64("margin", 0, "adaptive mode: stop once the AVF interval half-width reaches this (0 = run exactly -n injections)")
+		storePath  = fs.String("store", "", "JSON-lines result store; repeated identical campaigns are served from it")
+		listFlag   = fs.Bool("list", false, "list chips and benchmarks, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// Usage was printed; asking for help is not a failure.
+			return nil
+		}
 		return err
+	}
+
+	if *margin < 0 || *margin >= 1 {
+		return fmt.Errorf("margin %v outside [0,1)", *margin)
+	}
+	if *confidence <= 0 || *confidence >= 1 {
+		return fmt.Errorf("confidence %v outside (0,1)", *confidence)
 	}
 
 	if *listFlag {
@@ -103,7 +105,7 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		return fmt.Errorf("benchmark %s does not use local memory (the paper's Fig. 2 covers only the 7 shared-memory benchmarks)", bench.Name)
 	}
 
-	opts := core.Options{Injections: *n, Seed: *seed, Workers: *workers}
+	opts := core.Options{Injections: *n, Seed: *seed, Workers: *workers, Confidence: *confidence, Margin: *margin}
 	var sched *campaign.Scheduler
 	if *storePath != "" {
 		store, err := campaign.OpenDiskStore(*storePath)
@@ -122,7 +124,7 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 	}
 	elapsed := time.Since(start)
 
-	margin, err := stats.MarginOfError(*n, 0, 0.99)
+	worstCase, err := stats.MarginOfError(cell.Injections, 0, *confidence)
 	if err != nil {
 		return err
 	}
@@ -132,10 +134,15 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 	}
 
 	fmt.Fprintf(w, "%s campaign: %s / %s / %s\n", tool, chip.Name, bench.Name, st)
-	fmt.Fprintf(w, "  injections        %d (worst-case margin ±%.2f%% at 99%% confidence)\n", *n, 100*margin)
+	if *margin > 0 {
+		fmt.Fprintf(w, "  injections        %d of cap %d (adaptive: half-width %.2f%% <= margin %.2f%% at %.0f%% confidence, or cap)\n",
+			cell.Injections, *n, 100*(cell.AVFFIHi-cell.AVFFILo)/2, 100**margin, 100**confidence)
+	} else {
+		fmt.Fprintf(w, "  injections        %d (worst-case margin ±%.2f%% at %.0f%% confidence)\n", cell.Injections, 100*worstCase, 100**confidence)
+	}
 	fmt.Fprintf(w, "  golden cycles     %d  (%.3e s at %.3f GHz)\n", cell.Cycles, secs, chip.ClockGHz)
 	fmt.Fprintf(w, "  occupancy         %.2f%%\n", 100*cell.Occupancy)
-	fmt.Fprintf(w, "  AVF (FI)          %.2f%%  [%.2f%%, %.2f%%] @99%%\n", 100*cell.AVFFI, 100*cell.AVFFILo, 100*cell.AVFFIHi)
+	fmt.Fprintf(w, "  AVF (FI)          %.2f%%  [%.2f%%, %.2f%%] @%.0f%%\n", 100*cell.AVFFI, 100*cell.AVFFILo, 100*cell.AVFFIHi, 100**confidence)
 	fmt.Fprintf(w, "  AVF (ACE)         %.2f%%\n", 100*cell.AVFACE)
 	fmt.Fprintf(w, "  outcomes          masked=%d sdc=%d due=%d timeout=%d\n",
 		cell.Outcomes[gpu.OutcomeMasked], cell.Outcomes[gpu.OutcomeSDC],

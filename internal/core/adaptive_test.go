@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestFigureAdaptiveStopsBelowCap: an attainable margin must save
+// injections on every cell of a figure run, and the realized count is
+// surfaced on the cell.
+func TestFigureAdaptiveStopsBelowCap(t *testing.T) {
+	b, err := workloads.ByName("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := miniOpts(2000)
+	opts.Benchmarks = []*workloads.Benchmark{b}
+	opts.Margin = 0.1
+	fig, err := FigureRegisterFile(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range fig.Cells {
+		for _, cell := range row {
+			if cell.Injections <= 0 || cell.Injections >= 2000 {
+				t.Fatalf("cell %s/%s realized %d injections, want early stop below the cap",
+					cell.Chip, cell.Benchmark, cell.Injections)
+			}
+		}
+	}
+}

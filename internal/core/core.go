@@ -31,11 +31,16 @@ import (
 // Options configures an experiment.
 type Options struct {
 	// Injections per fault-injection campaign (paper default 2,000).
+	// With Margin set this is the adaptive cap, not an exact count.
 	Injections int
 	// Seed makes every campaign reproducible.
 	Seed uint64
 	// Workers bounds each campaign's parallel simulations.
 	Workers int
+	// Margin, when > 0, runs every campaign adaptively: injections stop
+	// once the AVF interval half-width reaches Margin at Confidence,
+	// capped at Injections.
+	Margin float64
 	// Chips defaults to the paper's four evaluated GPUs.
 	Chips []*chips.Chip
 	// Benchmarks defaults to the figure-appropriate suite.
@@ -83,7 +88,11 @@ func (o Options) campaignFor(chip *chips.Chip, bench *workloads.Benchmark, st gp
 		Structure:  st,
 		Injections: o.Injections,
 		Seed:       cellSeed(o.Seed, chip.Name, bench.Name, st),
-		Workers:    o.Workers,
+		Policy: finject.Policy{
+			Workers:    o.Workers,
+			Margin:     o.Margin,
+			Confidence: o.Confidence,
+		},
 	}
 }
 
@@ -132,6 +141,9 @@ type Cell struct {
 	Occupancy float64
 	// Cycles is the golden execution length.
 	Cycles int64
+	// Injections is the realized FI sample size (an adaptive campaign
+	// stops below the cap once its interval is tight enough).
+	Injections int
 	// Outcomes breaks the injections down by class.
 	Outcomes [gpu.NumOutcomes]int
 }
@@ -187,16 +199,17 @@ func MeasureCellContext(ctx context.Context, chip *chips.Chip, bench *workloads.
 		return nil, err
 	}
 	return &Cell{
-		Chip:      chip.Name,
-		Benchmark: bench.Name,
-		Structure: st,
-		AVFFI:     res.AVF(),
-		AVFFILo:   lo,
-		AVFFIHi:   hi,
-		AVFACE:    aceAVF,
-		Occupancy: res.Occupancy,
-		Cycles:    runStats.Cycles,
-		Outcomes:  res.Outcomes,
+		Chip:       chip.Name,
+		Benchmark:  bench.Name,
+		Structure:  st,
+		AVFFI:      res.AVF(),
+		AVFFILo:    lo,
+		AVFFIHi:    hi,
+		AVFACE:     aceAVF,
+		Occupancy:  res.Occupancy,
+		Cycles:     runStats.Cycles,
+		Injections: res.Injections,
+		Outcomes:   res.Outcomes,
 	}, nil
 }
 

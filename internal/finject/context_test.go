@@ -41,7 +41,7 @@ func TestRunContextCanceledBeforeStart(t *testing.T) {
 
 func TestRunContextCancelMidCampaign(t *testing.T) {
 	c := miniCampaign(t, 200)
-	c.Workers = 1
+	c.Policy.Workers = 1
 	// Cancel from a fault-classification hook is not available, so use a
 	// context that a goroutine cancels once the first injections land:
 	// run the golden up front so the campaign body is all that races.

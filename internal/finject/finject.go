@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/chips"
 	"repro/internal/devices"
@@ -34,18 +35,96 @@ const DefaultInjections = 2000
 // golden cycle count before declaring a hang.
 const DefaultWatchdogFactor = 20
 
+// DefaultConfidence is the confidence level of the adaptive stopping
+// rule when Policy.Confidence is unset (the paper evaluates at 99%).
+const DefaultConfidence = 0.99
+
+// adaptiveFirstRound is the size of the first adaptive round. Later
+// rounds double the completed count, so the interval is recomputed at
+// 100, 200, 400, ... injections — a deterministic schedule that does not
+// depend on the worker count.
+const adaptiveFirstRound = 100
+
+// Policy controls how a campaign executes its injections: the size of
+// the worker pool and, when Margin is set, adaptive sampling. A policy
+// never changes which fault injection #i draws — that is fixed by
+// (Seed, i) — so two policies that end up running the same number of
+// injections produce bit-identical results.
+type Policy struct {
+	// Workers bounds the parallel simulations (GOMAXPROCS when 0).
+	Workers int
+	// Margin, when > 0, enables adaptive sampling: injections run in
+	// deterministic rounds and the campaign stops at the end of the first
+	// round whose Wilson interval half-width is at most Margin at the
+	// policy's confidence level, or at the cap.
+	Margin float64
+	// Confidence is the adaptive stopping rule's confidence level
+	// (DefaultConfidence when 0).
+	Confidence float64
+	// MaxInjections caps the campaign; when 0 the cap is
+	// Campaign.Injections (DefaultInjections when that is also 0).
+	MaxInjections int
+}
+
+// Adaptive reports whether the policy requests adaptive sampling.
+func (p Policy) Adaptive() bool { return p.Margin > 0 }
+
+// Cap resolves the campaign's injection budget against the campaign's
+// own Injections field: MaxInjections wins, then injections, then
+// DefaultInjections.
+func (p Policy) Cap(injections int) int {
+	if p.MaxInjections > 0 {
+		return p.MaxInjections
+	}
+	if injections > 0 {
+		return injections
+	}
+	return DefaultInjections
+}
+
+// confidence resolves the stopping rule's confidence level.
+func (p Policy) confidence() float64 {
+	if p.Confidence <= 0 || p.Confidence >= 1 {
+		return DefaultConfidence
+	}
+	return p.Confidence
+}
+
+// SatisfiedBy reports whether an existing result already answers a
+// request for this policy with the given cap: a fixed-size request needs
+// the full cap, while an adaptive request also accepts any result whose
+// interval half-width is within the margin. This is what lets a cached
+// cell measured at a tighter margin serve looser requests without
+// re-running.
+func (p Policy) SatisfiedBy(res *Result, limit int) bool {
+	if res == nil {
+		return false
+	}
+	if res.Injections >= limit {
+		return true
+	}
+	if !p.Adaptive() {
+		return false
+	}
+	hw, err := res.HalfWidth(p.confidence())
+	return err == nil && hw <= p.Margin
+}
+
 // Campaign describes one statistical fault-injection experiment.
 type Campaign struct {
 	Chip      *chips.Chip
 	Benchmark *workloads.Benchmark
 	Structure gpu.Structure
-	// Injections is the number of faults (DefaultInjections when 0).
+	// Injections is the number of faults (DefaultInjections when 0). An
+	// adaptive policy treats it as the hard cap and may stop earlier.
 	Injections int
 	// Seed selects the fault sample; campaigns with equal seeds are
 	// bit-for-bit reproducible.
 	Seed uint64
-	// Workers bounds the parallel simulations (GOMAXPROCS when 0).
-	Workers int
+	// Policy sets the execution policy: worker pool size and, when its
+	// Margin is set, adaptive early stopping. The zero Policy runs
+	// exactly Injections faults on GOMAXPROCS workers.
+	Policy Policy
 	// WatchdogFactor overrides DefaultWatchdogFactor when > 0.
 	WatchdogFactor int
 	// Detail records every injection's fault site, outcome and SDC
@@ -104,6 +183,16 @@ func (r *Result) AVFInterval(confidence float64) (lo, hi float64, err error) {
 		Trials:    r.Injections,
 	}
 	return p.Interval(confidence)
+}
+
+// HalfWidth returns the half-width of the AVF's Wilson interval — the
+// quantity the adaptive stopping rule drives below Policy.Margin.
+func (r *Result) HalfWidth(confidence float64) (float64, error) {
+	p := stats.Proportion{
+		Successes: r.Injections - r.Outcomes[gpu.OutcomeMasked],
+		Trials:    r.Injections,
+	}
+	return p.HalfWidth(confidence)
 }
 
 // Golden is a reusable fault-free reference run of one (chip, benchmark)
@@ -241,27 +330,38 @@ func Run(c Campaign) (*Result, error) {
 	return RunContext(context.Background(), c)
 }
 
+// injector is one worker's private simulation state, reused across every
+// injection (and every adaptive round) the worker executes.
+type injector struct {
+	d  gpu.Device
+	hp *gpu.HostProgram
+}
+
 // RunContext executes the campaign, stopping promptly when ctx is
 // canceled: no further injections are scheduled once cancellation is
 // observed. On cancellation it returns the partial result accumulated so
 // far (nil when canceled before the reference run) together with an error
 // wrapping ctx.Err(); Result.Injections then reflects the number of
-// injections actually performed, and with Campaign.Detail set the Records
-// entries of injections that never ran are zero.
+// injections actually performed, and with Campaign.Detail set Records is
+// truncated to the injections that ran.
+//
+// With an adaptive policy (Policy.Margin > 0) injections run in
+// deterministic rounds; after each round the AVF's Wilson interval is
+// recomputed and the campaign stops once its half-width reaches the
+// margin, or at the cap. The round schedule depends only on completed
+// injection counts, never on the worker count, so a fixed seed yields
+// bit-identical results for any Policy.Workers.
 func RunContext(ctx context.Context, c Campaign) (*Result, error) {
 	if c.Chip == nil || c.Benchmark == nil {
 		return nil, errors.New("finject: campaign needs a chip and a benchmark")
 	}
-	n := c.Injections
-	if n <= 0 {
-		n = DefaultInjections
-	}
-	workers := c.Workers
+	limit := c.Policy.Cap(c.Injections)
+	workers := c.Policy.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if workers > limit {
+		workers = limit
 	}
 	wdFactor := c.WatchdogFactor
 	if wdFactor <= 0 {
@@ -287,59 +387,94 @@ func RunContext(ctx context.Context, c Campaign) (*Result, error) {
 	watchdog := g.cycles*int64(wdFactor) + 10_000
 
 	res := &Result{
-		Injections:  n,
 		GoldenStats: g.stats,
 		Occupancy:   g.stats.Occupancy(c.Structure, int64(c.Chip.Units)*int64(c.Chip.StructSize(c.Structure))),
 	}
 	if c.Detail {
-		res.Records = make([]Record, n)
+		res.Records = make([]Record, limit)
 	}
 	baseRNG := stats.NewRNG(c.Seed)
 
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-		next     = make(chan int, n)
-	)
-	for i := 0; i < n; i++ {
-		next <- i
+	pool := make([]*injector, workers)
+	for i := range pool {
+		d, err := devices.New(c.Chip)
+		if err != nil {
+			return nil, err
+		}
+		hp, err := c.Benchmark.New(c.Chip.Vendor)
+		if err != nil {
+			return nil, err
+		}
+		pool[i] = &injector{d: d, hp: hp}
 	}
-	close(next)
 
-	for w := 0; w < workers; w++ {
+	done := 0
+	for done < limit {
+		end := limit
+		if c.Policy.Adaptive() {
+			end = done * 2
+			if end < adaptiveFirstRound {
+				end = adaptiveFirstRound
+			}
+			if end > limit {
+				end = limit
+			}
+		}
+		ran := runRound(ctx, c, pool, g, watchdog, baseRNG, done, end, res)
+		done += ran
+		if done < end {
+			res.Injections = done
+			if res.Records != nil {
+				res.Records = res.Records[:done]
+			}
+			return res, fmt.Errorf("finject: campaign canceled after %d/%d injections: %w", done, limit, ctx.Err())
+		}
+		if c.Policy.Adaptive() {
+			res.Injections = done
+			hw, err := res.HalfWidth(c.Policy.confidence())
+			if err != nil {
+				return nil, err
+			}
+			if hw <= c.Policy.Margin {
+				break
+			}
+		}
+	}
+	res.Injections = done
+	if res.Records != nil {
+		res.Records = res.Records[:done]
+	}
+	return res, nil
+}
+
+// runRound executes injections [start, end) across the worker pool and
+// reports how many completed. Indices are handed out through an atomic
+// counter and every handed-out index is classified, so on cancellation
+// the completed injections are exactly the contiguous prefix
+// [start, start+ran).
+func runRound(ctx context.Context, c Campaign, pool []*injector, g *golden, watchdog int64, rng *stats.RNG, start, end int, res *Result) int {
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		ran  int
+	)
+	next.Store(int64(start))
+	for _, in := range pool {
 		wg.Add(1)
-		go func() {
+		go func(in *injector) {
 			defer wg.Done()
-			d, derr := devices.New(c.Chip)
-			if derr != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = derr
-				}
-				mu.Unlock()
-				return
-			}
-			hp, herr := c.Benchmark.New(c.Chip.Vendor)
-			if herr != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = herr
-				}
-				mu.Unlock()
-				return
-			}
 			var local [gpu.NumOutcomes]int
-		loop:
-			for i := range next {
-				select {
-				case <-ctx.Done():
-					break loop
-				default:
+			count := 0
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= end {
+					break
 				}
-				f := sampleFault(baseRNG, c, g.cycles, uint64(i))
-				o, corrupt := classify(d, hp, g, f, watchdog)
+				f := sampleFault(rng, c, g.cycles, uint64(i))
+				o, corrupt := classify(in.d, in.hp, g, f, watchdog)
 				local[o]++
+				count++
 				if res.Records != nil {
 					res.Records[i] = Record{Fault: f, Outcome: o, CorruptBytes: corrupt}
 				}
@@ -348,20 +483,10 @@ func RunContext(ctx context.Context, c Campaign) (*Result, error) {
 			for o, cnt := range local {
 				res.Outcomes[o] += cnt
 			}
+			ran += count
 			mu.Unlock()
-		}()
+		}(in)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	done := 0
-	for _, cnt := range res.Outcomes {
-		done += cnt
-	}
-	if done < n {
-		res.Injections = done
-		return res, fmt.Errorf("finject: campaign canceled after %d/%d injections: %w", done, n, ctx.Err())
-	}
-	return res, nil
+	return ran
 }

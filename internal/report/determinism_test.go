@@ -1,0 +1,52 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// TestFigureJSONDeterministicAcrossWorkers: the rendered figure JSON —
+// the artifact campaigns ultimately exist to produce — must be
+// byte-identical for any worker count and for adaptive vs fixed policies
+// that realize the same sample, with a fixed seed. (The test lives here
+// rather than in internal/core because report imports core.)
+func TestFigureJSONDeterministicAcrossWorkers(t *testing.T) {
+	b, err := workloads.ByName("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int, margin float64) []byte {
+		t.Helper()
+		opts := core.Options{
+			Injections: 60,
+			Seed:       9,
+			Chips:      []*chips.Chip{chips.MiniNVIDIA(), chips.MiniAMD()},
+			Benchmarks: []*workloads.Benchmark{b},
+			Workers:    workers,
+			Margin:     margin,
+		}
+		fig, err := core.FigureRegisterFile(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteFigureJSON(&buf, fig, "determinism probe"); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	want := render(1, 0)
+	if got := render(8, 0); !bytes.Equal(got, want) {
+		t.Fatalf("figure JSON differs across worker counts:\n%s\nvs\n%s", want, got)
+	}
+	// An unattainably tight margin runs adaptive campaigns to the cap,
+	// so the figure must come out identical to the fixed-size run.
+	if got := render(8, 1e-9); !bytes.Equal(got, want) {
+		t.Fatalf("figure JSON differs between fixed and adaptive-capped runs:\n%s\nvs\n%s", want, got)
+	}
+}

@@ -170,6 +170,13 @@ func Assemble(src string) (*Program, error) {
 		return nil, fmt.Errorf("sass: %s: program has no EXIT", p.Name)
 	}
 	for _, f := range fixups {
+		if n, ok := branchIndex(f.label); ok {
+			if n > len(p.Instrs) {
+				return nil, asmErr(f.line, "branch target @%d beyond program end", n)
+			}
+			p.Instrs[f.instr].Target = n
+			continue
+		}
 		tgt, ok := labels[f.label]
 		if !ok {
 			return nil, asmErr(f.line, "undefined label %q", f.label)
@@ -201,6 +208,20 @@ func asmErr(line int, format string, args ...any) error {
 }
 
 func stripComment(s string) string {
+	// Block comments, e.g. the disassembler's /*0042*/ index prefixes.
+	// An unterminated /* comments out the rest of the line.
+	for {
+		i := strings.Index(s, "/*")
+		if i < 0 {
+			break
+		}
+		j := strings.Index(s[i+2:], "*/")
+		if j < 0 {
+			s = s[:i]
+			break
+		}
+		s = s[:i] + " " + s[i+2+j+2:]
+	}
 	if i := strings.Index(s, ";"); i >= 0 {
 		s = s[:i]
 	}
@@ -208,6 +229,20 @@ func stripComment(s string) string {
 		s = s[:i]
 	}
 	return s
+}
+
+// branchIndex parses the disassembler's "@N" absolute branch-target
+// form, so disassembled programs reassemble without labels.
+func branchIndex(s string) (int, bool) {
+	rest, ok := strings.CutPrefix(s, "@")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 func isIdent(s string) bool {
@@ -439,7 +474,7 @@ func parseInstr(in *Instr, mn string, args []string, ln int) (string, error) {
 		if err := need(1); err != nil {
 			return "", err
 		}
-		if !isIdent(args[0]) {
+		if _, num := branchIndex(args[0]); !isIdent(args[0]) && !num {
 			return "", asmErr(ln, "%s: bad label %q", mn, args[0])
 		}
 		if mn == "BRA" {

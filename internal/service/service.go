@@ -65,7 +65,23 @@ type cellState struct {
 	Spec   campaign.CellSpec `json:"spec"`
 	State  string            `json:"state"` // "pending", "done", "failed"
 	Cached bool              `json:"cached"`
-	Error  string            `json:"error,omitempty"`
+	// Injections is the realized sample size; under an adaptive policy
+	// it can stop below the cell's cap.
+	Injections int    `json:"injections,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// jobPolicy is the wire form of the execution policy applied to every
+// cell of a submitted batch. Worker counts stay server-owned (the
+// scheduler divides the machine across cells), so only the
+// result-affecting fields are exposed.
+type jobPolicy struct {
+	// Confidence is the adaptive stopping rule's level (0.99 when 0).
+	Confidence float64 `json:"confidence"`
+	// Margin > 0 turns on adaptive sampling per cell.
+	Margin float64 `json:"margin"`
+	// MaxInjections overrides each cell's injection cap when > 0.
+	MaxInjections int `json:"max_injections"`
 }
 
 // NewServer builds a Server around the scheduler.
@@ -105,6 +121,8 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 // submitRequest is the POST /v1/jobs body.
 type submitRequest struct {
 	Cells []campaign.CellSpec `json:"cells"`
+	// Policy, when present, applies to every cell of the batch.
+	Policy *jobPolicy `json:"policy,omitempty"`
 }
 
 // handleSubmit validates the batch, registers a job and runs it
@@ -119,6 +137,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
+	if p := req.Policy; p != nil {
+		// Same legality rules as the figure endpoint's query parameters;
+		// zero values mean "default", so only genuinely out-of-range
+		// policies are rejected.
+		if p.Margin < 0 || p.Margin >= 1 {
+			httpError(w, http.StatusBadRequest, "bad policy margin %v (want [0,1))", p.Margin)
+			return
+		}
+		if p.Confidence < 0 || p.Confidence >= 1 {
+			httpError(w, http.StatusBadRequest, "bad policy confidence %v (want [0,1))", p.Confidence)
+			return
+		}
+		if p.MaxInjections < 0 {
+			httpError(w, http.StatusBadRequest, "bad policy max_injections %d", p.MaxInjections)
+			return
+		}
+	}
 	batch := make([]finject.Campaign, len(req.Cells))
 	cells := make([]cellState, len(req.Cells))
 	for i, spec := range req.Cells {
@@ -127,8 +162,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "cell %d: %v", i, err)
 			return
 		}
+		if req.Policy != nil {
+			c.Policy = finject.Policy{
+				Confidence:    req.Policy.Confidence,
+				Margin:        req.Policy.Margin,
+				MaxInjections: req.Policy.MaxInjections,
+			}
+		}
 		batch[i] = c
-		cells[i] = cellState{Spec: spec.Normalize(), State: "pending"}
+		cells[i] = cellState{Spec: campaign.SpecOf(c), State: "pending"}
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -161,6 +203,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			}
 			j.cells[i].State = "done"
 			j.cells[i].Cached = cached
+			j.cells[i].Injections = res.Injections
 		})
 		j.mu.Lock()
 		defer j.mu.Unlock()
@@ -278,6 +321,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"runs":        st.Runs,
 		"joins":       st.Joins,
 		"golden_runs": st.GoldenRuns,
+		"injections":  st.Injections,
+		"upgrades":    st.Upgrades,
 		"store_cells": s.sched.Store().Len(),
 	})
 }
@@ -292,6 +337,20 @@ func figureOptions(r *http.Request, sched *campaign.Scheduler) (core.Options, er
 			return opts, fmt.Errorf("bad n %q", v)
 		}
 		opts.Injections = n
+	}
+	if v := q.Get("margin"); v != "" {
+		m, err := strconv.ParseFloat(v, 64)
+		if err != nil || m < 0 || m >= 1 {
+			return opts, fmt.Errorf("bad margin %q", v)
+		}
+		opts.Margin = m
+	}
+	if v := q.Get("confidence"); v != "" {
+		cl, err := strconv.ParseFloat(v, 64)
+		if err != nil || cl <= 0 || cl >= 1 {
+			return opts, fmt.Errorf("bad confidence %q", v)
+		}
+		opts.Confidence = cl
 	}
 	if v := q.Get("seed"); v != "" {
 		seed, err := strconv.ParseUint(v, 10, 64)

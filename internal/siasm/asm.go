@@ -145,14 +145,7 @@ func Assemble(src string) (*Program, error) {
 	}
 
 	for lineNo, raw := range strings.Split(src, "\n") {
-		line := raw
-		if i := strings.Index(line, ";"); i >= 0 {
-			line = line[:i]
-		}
-		if i := strings.Index(line, "//"); i >= 0 {
-			line = line[:i]
-		}
-		line = strings.TrimSpace(line)
+		line := strings.TrimSpace(stripComment(raw))
 		if line == "" {
 			continue
 		}
@@ -252,6 +245,13 @@ func Assemble(src string) (*Program, error) {
 		return nil, fmt.Errorf("siasm: %s: program has no s_endpgm", p.Name)
 	}
 	for _, f := range fixups {
+		if n, ok := branchIndex(f.label); ok {
+			if n > len(p.Instrs) {
+				return nil, siErr(f.line, "branch target @%d beyond program end", n)
+			}
+			p.Instrs[f.instr].Target = n
+			continue
+		}
 		tgt, ok := labels[f.label]
 		if !ok {
 			return nil, siErr(f.line, "undefined label %q", f.label)
@@ -289,6 +289,45 @@ func maxIntSI(a, b int) int {
 
 func siErr(line int, format string, args ...any) error {
 	return fmt.Errorf("siasm: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// stripComment removes ';', "//" and "/* ... */" comments (the latter
+// covers the disassembler's /*0042*/ index prefixes; an unterminated /*
+// comments out the rest of the line).
+func stripComment(s string) string {
+	for {
+		i := strings.Index(s, "/*")
+		if i < 0 {
+			break
+		}
+		j := strings.Index(s[i+2:], "*/")
+		if j < 0 {
+			s = s[:i]
+			break
+		}
+		s = s[:i] + " " + s[i+2+j+2:]
+	}
+	if i := strings.Index(s, ";"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// branchIndex parses the disassembler's "@N" absolute branch-target
+// form, so disassembled programs reassemble without labels.
+func branchIndex(s string) (int, bool) {
+	rest, ok := strings.CutPrefix(s, "@")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 func isIdent(s string) bool {
@@ -490,7 +529,7 @@ func parseInstr(in *Instr, mn string, args []string, ln int) (string, error) {
 			if rest == n {
 				in.Op = OpSCBranch
 				in.BrCond = BranchCond(i)
-				if !isIdent(args[0]) {
+				if _, num := branchIndex(args[0]); !isIdent(args[0]) && !num {
 					return "", siErr(ln, "%s: bad label %q", mn, args[0])
 				}
 				return args[0], nil
@@ -581,7 +620,7 @@ func parseInstr(in *Instr, mn string, args []string, ln int) (string, error) {
 		if err := need(1, 1); err != nil {
 			return "", err
 		}
-		if !isIdent(args[0]) {
+		if _, num := branchIndex(args[0]); !isIdent(args[0]) && !num {
 			return "", siErr(ln, "%s: bad label %q", mn, args[0])
 		}
 		return args[0], nil

@@ -1,0 +1,39 @@
+package siasm_test
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/siasm"
+	"repro/internal/workloads"
+)
+
+// FuzzAssemble throws arbitrary sources at the SI-dialect assembler.
+// The invariants: Assemble never panics, and any program it accepts
+// survives a disassemble/reassemble round-trip with stable output. The
+// seed corpus is the real kernels of the paper's 10-benchmark suite.
+// (The test lives in package siasm_test because workloads imports
+// siasm.)
+func FuzzAssemble(f *testing.F) {
+	for _, src := range workloads.KernelSources(gpu.AMD) {
+		f.Add(src)
+	}
+	f.Add(".kernel k\ns_endpgm\n")
+	f.Add(".kernel k\n.lds 128\nloop:\ns_cbranch_execz loop\ns_endpgm\n")
+	f.Add(".kernel k\n    s_load_dword s4, karg[0]\n    v_add_f32 v1, v0, 2.5\n    buffer_store_dword v1, v0, 0\n    s_endpgm\n")
+	f.Add(".kernel k\n    s_and_saveexec_b64 s[10:11], vcc\n    s_mov_b64 exec, s[10:11]\n    s_endpgm ; comment\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := siasm.Assemble(src)
+		if err != nil {
+			return
+		}
+		text := p.Disassemble()
+		p2, err := siasm.Assemble(text)
+		if err != nil {
+			t.Fatalf("accepted program's disassembly does not reassemble: %v\ninput:\n%s\ndisassembly:\n%s", err, src, text)
+		}
+		if got := p2.Disassemble(); got != text {
+			t.Fatalf("round-trip unstable:\nfirst:\n%s\nsecond:\n%s", text, got)
+		}
+	})
+}

@@ -157,6 +157,17 @@ func (p Proportion) Interval(confidence float64) (lo, hi float64, err error) {
 	return lo, hi, nil
 }
 
+// HalfWidth returns half the width of the Wilson score interval at the
+// given confidence — the quantity an adaptive fault-injection campaign
+// drives below its requested error margin before stopping.
+func (p Proportion) HalfWidth(confidence float64) (float64, error) {
+	lo, hi, err := p.Interval(confidence)
+	if err != nil {
+		return 0, err
+	}
+	return (hi - lo) / 2, nil
+}
+
 // Mean accumulates a running sample mean and variance (Welford).
 type Mean struct {
 	n    int

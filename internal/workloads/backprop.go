@@ -24,7 +24,7 @@ const (
 	bpNegLog2E = float32(-1.4426950408889634)
 )
 
-var backpropSASS = sass.MustAssemble(`
+const backpropSASSSrc = `
 .kernel backprop
 .shared 256                    ; 64*4 partial sums
     S2R R0, SR_TID.X
@@ -84,9 +84,11 @@ wsk:
     SYNC
 fin:
     EXIT
-`)
+`
 
-var backpropSI = siasm.MustAssemble(`
+var backpropSASS = sass.MustAssemble(backpropSASSSrc)
+
+const backpropSISrc = `
 .kernel backprop
 .lds 256
     s_load_dword s4, karg[0]       ; INPUT
@@ -146,7 +148,9 @@ rsk:
 wsk:
     s_mov_b64 exec, s[14:15]
     s_endpgm
-`)
+`
+
+var backpropSI = siasm.MustAssemble(backpropSISrc)
 
 // backpropGolden replicates the kernel float32 order: strided per-thread
 // partial sums, shared-memory tree reduction, then the exp2/rcp sigmoid.

@@ -21,7 +21,7 @@ const (
 	dwtInvSqrt2 = float32(0.70710678)
 )
 
-var dwtSASS = sass.MustAssemble(`
+const dwtSASSSrc = `
 .kernel dwtHaar1D
 .shared 512                    ; 64 pairs x 8B
     S2R R0, SR_TID.X
@@ -49,9 +49,11 @@ var dwtSASS = sass.MustAssemble(`
     IADD R15, R13, c[2]
     STG [R15], R11             ; detail[gid]
     EXIT
-`)
+`
 
-var dwtSI = siasm.MustAssemble(`
+var dwtSASS = sass.MustAssemble(dwtSASSSrc)
+
+const dwtSISrc = `
 .kernel dwtHaar1D
 .lds 512
     s_load_dword s4, karg[0]       ; IN
@@ -80,7 +82,9 @@ var dwtSI = siasm.MustAssemble(`
     v_add_i32 v13, v11, s6
     buffer_store_dword v10, v13, 0
     s_endpgm
-`)
+`
+
+var dwtSI = siasm.MustAssemble(dwtSISrc)
 
 // dwtGoldenLevel computes one decomposition level in kernel order.
 func dwtGoldenLevel(in []float32) (approx, detail []float32) {

@@ -16,7 +16,7 @@ import (
 
 const gaussN = 16
 
-var gaussFan1SASS = sass.MustAssemble(`
+const gaussFan1SASSSrc = `
 .kernel fan1
     S2R R0, SR_TID.X           ; row i
     SSY end
@@ -40,9 +40,11 @@ skip:
     SYNC
 end:
     EXIT
-`)
+`
 
-var gaussFan2SASS = sass.MustAssemble(`
+var gaussFan1SASS = sass.MustAssemble(gaussFan1SASSSrc)
+
+const gaussFan2SASSSrc = `
 .kernel fan2
     S2R R0, SR_TID.X           ; column j
     S2R R1, SR_TID.Y           ; row i
@@ -86,9 +88,11 @@ skip:
     SYNC
 end:
     EXIT
-`)
+`
 
-var gaussFan1SI = siasm.MustAssemble(`
+var gaussFan2SASS = sass.MustAssemble(gaussFan2SASSSrc)
+
+const gaussFan1SISrc = `
 .kernel fan1
     s_load_dword s4, karg[0]       ; A
     s_load_dword s5, karg[1]       ; M
@@ -116,9 +120,11 @@ var gaussFan1SI = siasm.MustAssemble(`
 end:
     s_mov_b64 exec, s[10:11]
     s_endpgm
-`)
+`
 
-var gaussFan2SI = siasm.MustAssemble(`
+var gaussFan1SI = siasm.MustAssemble(gaussFan1SISrc)
+
+const gaussFan2SISrc = `
 .kernel fan2
     s_load_dword s4, karg[0]       ; A
     s_load_dword s5, karg[1]       ; B
@@ -167,7 +173,9 @@ end2:
 end:
     s_mov_b64 exec, s[10:11]
     s_endpgm
-`)
+`
+
+var gaussFan2SI = siasm.MustAssemble(gaussFan2SISrc)
 
 // gaussGolden runs the elimination with the kernels' exact float32 ops
 // (reciprocal-multiply division), returning the final A and b.

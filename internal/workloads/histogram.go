@@ -22,7 +22,7 @@ const (
 	histRowBytes = histBins * 4
 )
 
-var histogramSASS = sass.MustAssemble(`
+const histogramSASSSrc = `
 .kernel histogram
 .shared 4096                   ; 64 rows x 16 bins x 4B
     S2R R0, SR_TID.X
@@ -79,9 +79,11 @@ r_skip:
     SYNC
 fin:
     EXIT
-`)
+`
 
-var histogramSI = siasm.MustAssemble(`
+var histogramSASS = sass.MustAssemble(histogramSASSSrc)
+
+const histogramSISrc = `
 .kernel histogram
 .lds 4096
     s_load_dword s4, karg[0]       ; IN
@@ -140,7 +142,9 @@ rl:
 r_end:
     s_mov_b64 exec, s[14:15]
     s_endpgm
-`)
+`
+
+var histogramSI = siasm.MustAssemble(histogramSISrc)
 
 // histogramGolden computes per-block partial histograms.
 func histogramGolden(in []uint32) []uint32 {

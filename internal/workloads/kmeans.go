@@ -21,7 +21,7 @@ const (
 	kmGroup  = 128
 )
 
-var kmeansSASS = sass.MustAssemble(`
+const kmeansSASSSrc = `
 .kernel kmeans
     S2R R0, SR_TID.X
     S2R R1, SR_CTAID.X
@@ -60,9 +60,11 @@ dl:
     IADD R14, R14, c[2]
     STG [R14], R4
     EXIT
-`)
+`
 
-var kmeansSI = siasm.MustAssemble(`
+var kmeansSASS = sass.MustAssemble(kmeansSASSSrc)
+
+const kmeansSISrc = `
 .kernel kmeans
     s_load_dword s4, karg[0]       ; POINTS
     s_load_dword s5, karg[1]       ; CENTROIDS
@@ -113,7 +115,9 @@ dl:
 end:
     s_mov_b64 exec, s[14:15]
     s_endpgm
-`)
+`
+
+var kmeansSI = siasm.MustAssemble(kmeansSISrc)
 
 // kmeansGolden replicates the kernel's accumulation and strict-less-than
 // argmin update.

@@ -19,7 +19,7 @@ const (
 	matMulTile = 8
 )
 
-var matrixMulSASS = sass.MustAssemble(`
+const matrixMulSASSSrc = `
 .kernel matrixMul
 .shared 512                    ; As tile at 0, Bs tile at 256
     S2R R0, SR_TID.X
@@ -72,9 +72,11 @@ kloop:
     IADD R24, R24, c[2]
     STG [R24], R7
     EXIT
-`)
+`
 
-var matrixMulSI = siasm.MustAssemble(`
+var matrixMulSASS = sass.MustAssemble(matrixMulSASSSrc)
+
+const matrixMulSISrc = `
 .kernel matrixMul
 .lds 512
     s_load_dword s4, karg[0]       ; A
@@ -136,7 +138,9 @@ kloop:
     v_add_i32 v17, v17, s6
     buffer_store_dword v4, v17, 0
     s_endpgm
-`)
+`
+
+var matrixMulSI = siasm.MustAssemble(matrixMulSISrc)
 
 // matrixMulGolden accumulates in the kernel's exact order: sequential over
 // k with separate float32 multiply and add.

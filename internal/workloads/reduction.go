@@ -17,7 +17,7 @@ const (
 	reductionGroup = 128
 )
 
-var reductionSASS = sass.MustAssemble(`
+const reductionSASSSrc = `
 .kernel reduction
 .shared 512                    ; 128*4
     S2R R0, SR_TID.X
@@ -66,9 +66,11 @@ w_skip:
     SYNC
 fin:
     EXIT
-`)
+`
 
-var reductionSI = siasm.MustAssemble(`
+var reductionSASS = sass.MustAssemble(reductionSASSSrc)
+
+const reductionSISrc = `
 .kernel reduction
 .lds 512
     s_load_dword s4, karg[0]       ; IN
@@ -117,7 +119,9 @@ it_skip:
 w_skip:
     s_mov_b64 exec, s[10:11]
     s_endpgm
-`)
+`
+
+var reductionSI = siasm.MustAssemble(reductionSISrc)
 
 // reductionGolden replicates the kernel's tree order per block.
 func reductionGolden(in []float32, n, group int) []float32 {

@@ -18,7 +18,7 @@ const (
 	scanHalf = scanGroup * 4
 )
 
-var scanSASS = sass.MustAssemble(`
+const scanSASSSrc = `
 .kernel scan
 .shared 1024                  ; two 128-word buffers
     S2R R0, SR_TID.X
@@ -62,9 +62,11 @@ add_end:
     IADD R18, R18, c[1]
     STG [R18], R17
     EXIT
-`)
+`
 
-var scanSI = siasm.MustAssemble(`
+var scanSASS = sass.MustAssemble(scanSASSSrc)
+
+const scanSISrc = `
 .kernel scan
 .lds 1024
     s_load_dword s4, karg[0]       ; IN
@@ -107,7 +109,9 @@ add_skip:
     v_add_i32 v13, v13, s5
     buffer_store_dword v12, v13, 0
     s_endpgm
-`)
+`
+
+var scanSI = siasm.MustAssemble(scanSISrc)
 
 // scanGolden replicates the Hillis-Steele order per block.
 func scanGolden(in []float32, n, group int) []float32 {

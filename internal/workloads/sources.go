@@ -1,0 +1,38 @@
+package workloads
+
+import "repro/internal/gpu"
+
+// KernelSources returns the raw assembly of every kernel of the
+// 10-benchmark suite in the given vendor's dialect. The assembler fuzz
+// targets use these as their seed corpus, so every grammar production the
+// real benchmarks exercise is in the initial fuzzing population.
+func KernelSources(v gpu.Vendor) []string {
+	if v == gpu.NVIDIA {
+		return []string{
+			backpropSASSSrc,
+			dwtSASSSrc,
+			gaussFan1SASSSrc,
+			gaussFan2SASSSrc,
+			histogramSASSSrc,
+			kmeansSASSSrc,
+			matrixMulSASSSrc,
+			reductionSASSSrc,
+			scanSASSSrc,
+			transposeSASSSrc,
+			vectorAddSASSSrc,
+		}
+	}
+	return []string{
+		backpropSISrc,
+		dwtSISrc,
+		gaussFan1SISrc,
+		gaussFan2SISrc,
+		histogramSISrc,
+		kmeansSISrc,
+		matrixMulSISrc,
+		reductionSISrc,
+		scanSISrc,
+		transposeSISrc,
+		vectorAddSISrc,
+	}
+}

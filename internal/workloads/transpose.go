@@ -16,7 +16,7 @@ const (
 	transposeTile = 8
 )
 
-var transposeSASS = sass.MustAssemble(`
+const transposeSASSSrc = `
 .kernel transpose
 .shared 256                    ; 8*8*4 tile
     S2R R0, SR_TID.X
@@ -44,9 +44,11 @@ var transposeSASS = sass.MustAssemble(`
     IADD R14, R14, c[1]
     STG [R14], R13
     EXIT
-`)
+`
 
-var transposeSI = siasm.MustAssemble(`
+var transposeSASS = sass.MustAssemble(transposeSASSSrc)
+
+const transposeSISrc = `
 .kernel transpose
 .lds 256
     s_load_dword s4, karg[0]       ; IN
@@ -78,7 +80,9 @@ var transposeSI = siasm.MustAssemble(`
     v_add_i32 v11, v11, s5
     buffer_store_dword v10, v11, 0
     s_endpgm
-`)
+`
+
+var transposeSI = siasm.MustAssemble(transposeSISrc)
 
 func newTranspose(v gpu.Vendor) (*gpu.HostProgram, error) {
 	const w = transposeDim

@@ -15,7 +15,7 @@ import (
 const vectorAddN = 3000
 const vectorAddGroup = 128
 
-var vectorAddSASS = sass.MustAssemble(`
+const vectorAddSASSSrc = `
 .kernel vectoradd
     S2R R0, SR_TID.X
     S2R R1, SR_CTAID.X
@@ -32,9 +32,11 @@ var vectorAddSASS = sass.MustAssemble(`
     IADD R10, R4, c[2]
     STG [R10], R9
     EXIT
-`)
+`
 
-var vectorAddSI = siasm.MustAssemble(`
+var vectorAddSASS = sass.MustAssemble(vectorAddSASSSrc)
+
+const vectorAddSISrc = `
 .kernel vectoradd
     s_load_dword s4, karg[0]       ; A
     s_load_dword s5, karg[1]       ; B
@@ -57,7 +59,9 @@ var vectorAddSI = siasm.MustAssemble(`
 done:
     s_mov_b64 exec, s[10:11]
     s_endpgm
-`)
+`
+
+var vectorAddSI = siasm.MustAssemble(vectorAddSISrc)
 
 func newVectorAdd(v gpu.Vendor) (*gpu.HostProgram, error) {
 	const n = vectorAddN
