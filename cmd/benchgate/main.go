@@ -1,0 +1,217 @@
+// Command benchgate is the CI benchmark regression gate: it parses `go
+// test -bench` output, aggregates ns/op per benchmark (minimum across
+// -count repetitions, the noise-robust choice), records the numbers as
+// JSON, and compares them against a committed baseline with a relative
+// tolerance — exiting non-zero when any benchmark regressed or
+// disappeared.
+//
+//	go test -bench 'BenchmarkInjectionLoop|BenchmarkAdaptiveVsFixed' \
+//	    -benchtime 3x -count 3 . | tee bench.txt
+//	benchgate -record BENCH_new.json bench.txt                # first run
+//	benchgate -baseline BENCH_baseline.json -tolerance 0.25 bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// errUsage marks argument errors already reported on stderr.
+var errUsage = errors.New("usage error")
+
+// Report is the JSON format of a recorded benchmark run and of the
+// committed baseline.
+type Report struct {
+	// NsPerOp maps a benchmark's full name (including sub-benchmark
+	// path, without the -N GOMAXPROCS suffix) to its best observed
+	// ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baseline  = fs.String("baseline", "", "baseline JSON to compare against (no comparison when empty)")
+		record    = fs.String("record", "", "write the parsed numbers to this JSON file")
+		tolerance = fs.Float64("tolerance", 0.25, "allowed relative ns/op regression (0.25 = +25%)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+	if *tolerance < 0 {
+		fmt.Fprintln(stderr, "benchgate: -tolerance must be >= 0")
+		return errUsage
+	}
+	if *baseline == "" && *record == "" {
+		fmt.Fprintln(stderr, "benchgate: nothing to do: need -baseline and/or -record")
+		return errUsage
+	}
+
+	var in io.Reader = os.Stdin
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "benchgate: at most one input file")
+		return errUsage
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	report, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(report.NsPerOp) == 0 {
+		return errors.New("no benchmark results in input")
+	}
+
+	if *record != "" {
+		if err := writeReport(*record, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "recorded %d benchmarks to %s\n", len(report.NsPerOp), *record)
+	}
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			return err
+		}
+		return Compare(stdout, base, report, *tolerance)
+	}
+	return nil
+}
+
+// Parse extracts ns/op per benchmark from `go test -bench` output,
+// keeping the minimum over repeated runs of the same benchmark.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{NsPerOp: make(map[string]float64)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := rep.NsPerOp[name]; !seen || ns < prev {
+			rep.NsPerOp[name] = ns
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine reads one result line, e.g.
+//
+//	BenchmarkInjectionLoop/workers=4-8  3  41769284 ns/op  9576 inj/s
+//
+// returning the name with the trailing -GOMAXPROCS suffix stripped so
+// baselines survive machines with different core counts.
+func parseLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	// Find the "ns/op" unit; its value is the preceding field.
+	for i := 3; i < len(fields); i++ {
+		if fields[i] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			return "", 0, false
+		}
+		name := fields[0]
+		if dash := strings.LastIndex(name, "-"); dash > 0 {
+			if _, err := strconv.Atoi(name[dash+1:]); err == nil {
+				name = name[:dash]
+			}
+		}
+		return name, ns, true
+	}
+	return "", 0, false
+}
+
+// Compare fails (with a per-benchmark report) when any baseline
+// benchmark is missing from fresh or regressed beyond the tolerance.
+// New benchmarks absent from the baseline pass with a note — they gate
+// once the baseline is refreshed.
+func Compare(w io.Writer, base, fresh *Report, tolerance float64) error {
+	names := make([]string, 0, len(base.NsPerOp))
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bad := 0
+	for _, name := range names {
+		old := base.NsPerOp[name]
+		now, ok := fresh.NsPerOp[name]
+		if !ok {
+			fmt.Fprintf(w, "MISSING  %-50s baseline %.0f ns/op, not in fresh run\n", name, old)
+			bad++
+			continue
+		}
+		change := (now - old) / old
+		status := "ok      "
+		if change > tolerance {
+			status = "REGRESS "
+			bad++
+		}
+		fmt.Fprintf(w, "%s %-50s %12.0f -> %12.0f ns/op (%+.1f%%, tolerance +%.0f%%)\n",
+			status, name, old, now, 100*change, 100*tolerance)
+	}
+	for name := range fresh.NsPerOp {
+		if _, ok := base.NsPerOp[name]; !ok {
+			fmt.Fprintf(w, "new      %-50s %12.0f ns/op (not in baseline)\n", name, fresh.NsPerOp[name])
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed or went missing against the baseline", bad)
+	}
+	return nil
+}
+
+func readReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.NsPerOp) == 0 {
+		return nil, fmt.Errorf("%s: empty baseline", path)
+	}
+	return &rep, nil
+}
+
+func writeReport(path string, rep *Report) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

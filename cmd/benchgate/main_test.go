@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkInjectionLoop/workers=1-8         	       3	  41769284 ns/op	      9576 inj/s
+BenchmarkInjectionLoop/workers=1-8         	       3	  40211003 ns/op	      9912 inj/s
+BenchmarkInjectionLoop/workers=4-8         	       3	  12769284 ns/op	     31301 inj/s
+BenchmarkAdaptiveVsFixed/fixed-n-8         	       3	 212000000 ns/op	      2000 realized-n
+BenchmarkAdaptiveVsFixed/adaptive-margin=5%-8      3	  42000000 ns/op	       400 realized-n
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseKeepsMinimumAndStripsProcSuffix(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkInjectionLoop/workers=1":            40211003,
+		"BenchmarkInjectionLoop/workers=4":            12769284,
+		"BenchmarkAdaptiveVsFixed/fixed-n":            212000000,
+		"BenchmarkAdaptiveVsFixed/adaptive-margin=5%": 42000000,
+	}
+	if len(rep.NsPerOp) != len(want) {
+		t.Fatalf("parsed %d benchmarks: %+v", len(rep.NsPerOp), rep.NsPerOp)
+	}
+	for name, ns := range want {
+		if rep.NsPerOp[name] != ns {
+			t.Fatalf("%s = %v, want %v", name, rep.NsPerOp[name], ns)
+		}
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := &Report{NsPerOp: map[string]float64{"BenchmarkX": 100}}
+	fresh := &Report{NsPerOp: map[string]float64{"BenchmarkX": 120, "BenchmarkNew": 5}}
+	var out strings.Builder
+	if err := Compare(&out, base, fresh, 0.25); err != nil {
+		t.Fatalf("+20%% failed a 25%% gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "new") {
+		t.Fatalf("new benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	base := &Report{NsPerOp: map[string]float64{"BenchmarkX": 100, "BenchmarkY": 100}}
+	fresh := &Report{NsPerOp: map[string]float64{"BenchmarkX": 130, "BenchmarkY": 99}}
+	var out strings.Builder
+	err := Compare(&out, base, fresh, 0.25)
+	if err == nil {
+		t.Fatalf("+30%% passed a 25%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESS") || !strings.Contains(out.String(), "BenchmarkX") {
+		t.Fatalf("report:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	base := &Report{NsPerOp: map[string]float64{"BenchmarkGone": 100}}
+	fresh := &Report{NsPerOp: map[string]float64{"BenchmarkOther": 100}}
+	var out strings.Builder
+	if err := Compare(&out, base, fresh, 0.25); err == nil {
+		t.Fatal("missing baseline benchmark passed the gate")
+	}
+}
+
+func TestRunRecordAndGate(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(input, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(dir, "baseline.json")
+	var out, errOut strings.Builder
+	if err := run([]string{"-record", baseline, input}, &out, &errOut); err != nil {
+		t.Fatalf("record: %v\n%s", err, errOut.String())
+	}
+	// Fresh == baseline: the gate passes and records the artifact.
+	artifact := filepath.Join(dir, "fresh.json")
+	out.Reset()
+	if err := run([]string{"-baseline", baseline, "-record", artifact, "-tolerance", "0.25", input}, &out, &errOut); err != nil {
+		t.Fatalf("gate: %v\n%s\n%s", err, out.String(), errOut.String())
+	}
+	if _, err := os.Stat(artifact); err != nil {
+		t.Fatal(err)
+	}
+
+	// A slowed-down run fails the gate.
+	slow := strings.ReplaceAll(sampleOutput, "  41769284 ns/op", " 141769284 ns/op")
+	slow = strings.ReplaceAll(slow, "  40211003 ns/op", " 140211003 ns/op")
+	if err := os.WriteFile(input, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-baseline", baseline, "-tolerance", "0.25", input}, &out, &errOut); err == nil {
+		t.Fatalf("3.5x slowdown passed the gate:\n%s", out.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out, &errOut); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{}, &out, &errOut); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+	if err := run([]string{"-baseline", "x.json", "-tolerance", "-1"}, &out, &errOut); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}

@@ -7,7 +7,13 @@
 // confidence, injection cap) and figure runs accept margin= and
 // confidence= query parameters.
 //
+// With -workers-remote the server stops simulating in-process and
+// instead shards cells across a fleet of fiworker processes under
+// expiring leases (see cmd/fiworker); determinism makes the results
+// byte-identical either way.
+//
 //	fiserver -addr :8080 -store cells.jsonl
+//	fiserver -addr :8080 -workers-remote -lease-ttl 30s
 //
 //	curl -s localhost:8080/v1/figure?fig=1\&n=100\&margin=0.03 | tail -1
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"cells":[{"chip":"GeForce GTX 480","benchmark":"vectoradd","structure":"register-file","injections":200,"seed":1}],"policy":{"margin":0.05}}'
@@ -57,8 +63,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		addr      = fs.String("addr", ":8080", "listen address")
 		storePath = fs.String("store", "", "JSON-lines result store path (in-memory only when empty)")
 		memCap    = fs.Int("mem-cap", 0, "in-memory store capacity in cells (0 = unbounded; ignored with -store)")
-		workers   = fs.Int("workers", 0, "concurrently executing cells (default GOMAXPROCS)")
+		workers   = fs.Int("workers", 0, "concurrently executing cells (default GOMAXPROCS; with -workers-remote, the fleet-wide in-flight bound, default 256)")
 		campWorks = fs.Int("campaign-workers", 0, "parallel simulations inside one campaign (default GOMAXPROCS)")
+		remote    = fs.Bool("workers-remote", false, "execute cells on remote fiworker processes instead of in-process")
+		leaseTTL  = fs.Duration("lease-ttl", campaign.DefaultLeaseTTL, "remote lease expiry after the last heartbeat")
+		drain     = fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown deadline for in-flight requests and jobs")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -80,30 +89,57 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	} else {
 		store = campaign.NewMemoryStore(*memCap)
 	}
+	var queue *campaign.LeaseQueue
+	var exec campaign.Executor
+	if *remote {
+		queue = campaign.NewLeaseQueue(*leaseTTL)
+		exec = campaign.NewRemoteExecutor(queue)
+		if *workers == 0 {
+			// The in-flight bound is how many cells the fleet can see at
+			// once; one machine's core count would starve remote workers.
+			*workers = 256
+		}
+	}
 	sched := campaign.New(campaign.Config{
 		Store:           store,
 		Workers:         *workers,
 		CampaignWorkers: *campWorks,
+		Executor:        exec,
 	})
 
+	handler := service.NewServer(sched)
+	if queue != nil {
+		handler.ServeWorkers(queue)
+		fmt.Fprintf(stdout, "remote workers enabled (lease TTL %s)\n", *leaseTTL)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Handler:     service.NewServer(sched),
+		Handler:     handler,
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Two-phase drain under one deadline: stop taking requests and
+		// finish the in-flight ones, then cancel and reap the
+		// asynchronous job goroutines so no simulation outlives the
+		// process's accept loop.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
+		if err := handler.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(stderr, "fiserver: drain: %v\n", err)
+		}
 	}()
 	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	<-drained
 	fmt.Fprintln(stdout, "shut down")
 	return nil
 }

@@ -1,0 +1,88 @@
+// Command fiworker is a pull-based remote worker for a fiserver running
+// with -workers-remote: it leases campaign cells from the server's queue,
+// executes them with the local deterministic injection engine, and
+// streams the results back. Any number of workers may point at one
+// server; cells are deduplicated and sharded server-side, leases expire
+// and re-queue if a worker dies, and determinism guarantees every worker
+// computes byte-identical results for the same cell.
+//
+//	fiserver -addr :8080 -workers-remote
+//	fiworker -server http://localhost:8080
+//	fiworker -server http://localhost:8080 -concurrency 4
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/worker"
+)
+
+// errUsage marks argument errors the FlagSet has already reported on
+// stderr; main exits non-zero without printing them again.
+var errUsage = errors.New("usage error")
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintf(os.Stderr, "fiworker: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is main's testable core: it drains leases from the server until
+// ctx is canceled.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fiworker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		server    = fs.String("server", "http://127.0.0.1:8080", "fiserver base URL")
+		name      = fs.String("name", "", "worker name (default host-pid)")
+		conc      = fs.Int("concurrency", 1, "cells executed in parallel")
+		campWorks = fs.Int("campaign-workers", 0, "parallel simulations per cell (default GOMAXPROCS/concurrency)")
+		poll      = fs.Duration("poll", 2*time.Second, "lease long-poll duration")
+		quiet     = fs.Bool("quiet", false, "suppress per-cell log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// The FlagSet already reported the problem on stderr.
+		return errUsage
+	}
+	if *conc < 1 {
+		fmt.Fprintln(stderr, "fiworker: -concurrency must be at least 1")
+		return errUsage
+	}
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "fiworker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	var log io.Writer
+	if !*quiet {
+		log = stdout
+	}
+	w := worker.New(&worker.Client{Base: *server, Name: *name}, worker.Options{
+		Concurrency:     *conc,
+		CampaignWorkers: *campWorks,
+		Poll:            *poll,
+		Log:             log,
+	})
+	fmt.Fprintf(stdout, "worker %s serving %s (concurrency %d)\n", *name, *server, *conc)
+	err := w.Run(ctx)
+	fmt.Fprintf(stdout, "worker %s done: %d cells completed, %d failed\n", *name, w.Completed(), w.Failed())
+	return err
+}

@@ -1,0 +1,167 @@
+package campaign
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/chips"
+	"repro/internal/finject"
+	"repro/internal/workloads"
+)
+
+// Request is one normalized cell execution handed to an Executor by the
+// scheduler (or by a worker draining a lease queue). Spec and Key pin the
+// result-determining parameters; Policy carries the stopping rule (Margin,
+// Confidence) plus a Workers hint that local executors may honor and
+// remote tiers ignore — neither changes the result, which is fixed by the
+// spec alone.
+type Request struct {
+	Spec   CellSpec
+	Key    CellKey
+	Policy finject.Policy
+	// Campaign, when it carries a chip and benchmark, is the resolved
+	// local form of Spec; executors that simulate in-process use it
+	// directly (it may reference chips that are not in the registry).
+	// When empty, executors resolve Spec through the registries instead —
+	// the only option across a process boundary.
+	Campaign finject.Campaign
+}
+
+// campaign resolves the request into a runnable campaign.
+func (r Request) campaign() (finject.Campaign, error) {
+	c := r.Campaign
+	if c.Chip == nil || c.Benchmark == nil {
+		var err error
+		c, err = r.Spec.Campaign()
+		if err != nil {
+			return finject.Campaign{}, err
+		}
+	}
+	c.Policy = r.Policy
+	// The cap already lives in Spec.Injections; a nonzero MaxInjections
+	// here would double-apply it.
+	c.Policy.MaxInjections = 0
+	c.Detail = false
+	return c, nil
+}
+
+// Executor runs one campaign cell to completion. The scheduler owns
+// caching, deduplication and concurrency bounds; an Executor owns only
+// the execution itself, which makes the local simulation path and a
+// remote worker fleet interchangeable. Executions must be deterministic
+// functions of the request's Spec: a cell computed by any executor is
+// byte-identical to the same cell computed by any other.
+type Executor interface {
+	Execute(ctx context.Context, req Request) (*finject.Result, error)
+}
+
+// LocalExecutor executes cells in-process through the fault-injection
+// engine, sharing one golden reference run per (chip, benchmark) pair
+// across all structures and campaigns — the execute path previously
+// embedded in the scheduler, now reusable by remote workers too.
+type LocalExecutor struct {
+	gmu    sync.Mutex
+	golden map[string]*goldenCall
+
+	goldenRuns atomic.Int64
+}
+
+// goldenCall is one in-flight golden reference run others may join.
+type goldenCall struct {
+	done chan struct{}
+	g    *finject.Golden
+	err  error
+}
+
+// NewLocalExecutor builds a LocalExecutor with an empty golden cache.
+func NewLocalExecutor() *LocalExecutor {
+	return &LocalExecutor{golden: make(map[string]*goldenCall)}
+}
+
+// GoldenRuns reports the number of golden reference simulations executed;
+// one per (chip, benchmark) pair regardless of structure or campaign
+// count.
+func (e *LocalExecutor) GoldenRuns() int64 { return e.goldenRuns.Load() }
+
+// Execute implements Executor in-process.
+func (e *LocalExecutor) Execute(ctx context.Context, req Request) (*finject.Result, error) {
+	c, err := req.campaign()
+	if err != nil {
+		return nil, err
+	}
+	g, err := e.goldenFor(ctx, c.Chip, c.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	c.Golden = g
+	return finject.RunContext(ctx, c)
+}
+
+// goldenFor returns the shared golden reference run for (chip, benchmark),
+// executing it at most once across all concurrent campaigns. Failed runs
+// are not cached; a later request retries.
+func (e *LocalExecutor) goldenFor(ctx context.Context, chip *chips.Chip, bench *workloads.Benchmark) (*finject.Golden, error) {
+	gkey := chip.Name + "\x00" + bench.Name
+	for {
+		e.gmu.Lock()
+		if gc, ok := e.golden[gkey]; ok {
+			e.gmu.Unlock()
+			select {
+			case <-gc.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if gc.err == nil {
+				return gc.g, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		gc := &goldenCall{done: make(chan struct{})}
+		e.golden[gkey] = gc
+		e.gmu.Unlock()
+
+		gc.g, gc.err = finject.NewGolden(chip, bench)
+		if gc.err == nil {
+			e.goldenRuns.Add(1)
+			close(gc.done)
+			return gc.g, nil
+		}
+		// Drop the failed entry so the next request retries.
+		e.gmu.Lock()
+		delete(e.golden, gkey)
+		e.gmu.Unlock()
+		close(gc.done)
+		return nil, gc.err
+	}
+}
+
+// RemoteExecutor satisfies Executor by publishing cells onto a LeaseQueue
+// that pull-based workers drain: Execute blocks until some worker leases
+// the cell, runs it and reports back (or the context ends). Determinism
+// makes the answer byte-identical to a local execution, so the scheduler's
+// cache, singleflight and policy-upgrade semantics are untouched by the
+// change of tier.
+type RemoteExecutor struct {
+	queue *LeaseQueue
+}
+
+// NewRemoteExecutor builds a RemoteExecutor over the queue the worker
+// endpoints serve.
+func NewRemoteExecutor(q *LeaseQueue) *RemoteExecutor {
+	return &RemoteExecutor{queue: q}
+}
+
+// Queue returns the underlying lease queue.
+func (e *RemoteExecutor) Queue() *LeaseQueue { return e.queue }
+
+// Execute implements Executor by delegating to the worker fleet. Only the
+// spec and the stopping rule travel: worker counts are each worker's own
+// business and never change results.
+func (e *RemoteExecutor) Execute(ctx context.Context, req Request) (*finject.Result, error) {
+	pol := finject.Policy{Margin: req.Policy.Margin, Confidence: req.Policy.Confidence}
+	return e.queue.Do(ctx, Task{Spec: req.Spec, Policy: pol})
+}

@@ -1,0 +1,354 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/finject"
+)
+
+// DefaultLeaseTTL bounds how long a worker may sit on a leased cell
+// without a heartbeat before the cell is handed to someone else.
+const DefaultLeaseTTL = 30 * time.Second
+
+// leaseHistoryCap bounds the remembered outcomes of finished leases (the
+// idempotence window for duplicate completions).
+const leaseHistoryCap = 4096
+
+// Task is one unit of remote work: the cell's normalized spec plus the
+// stopping rule. This is everything that travels to a worker — worker
+// counts and scheduling are each worker's own business, and determinism
+// guarantees the result depends on nothing else.
+type Task struct {
+	Spec CellSpec `json:"spec"`
+	// Policy carries only Margin and Confidence on the wire; the cap is
+	// already resolved into Spec.Injections.
+	Policy finject.Policy `json:"policy"`
+}
+
+// Lease is one granted lease: a work item plus the handle the worker
+// heartbeats and completes against.
+type Lease struct {
+	ID   string `json:"id"`
+	Task Task   `json:"task"`
+	// TTLMillis tells the worker how often to heartbeat (the lease
+	// expires and re-queues this far after the last heartbeat).
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// LeaseStats is a point-in-time snapshot of queue activity.
+type LeaseStats struct {
+	// Pending and Leased count live cells by state.
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	// Completed, Failed and Expired count lease outcomes since
+	// construction: results delivered, worker-reported errors, and leases
+	// that timed out and re-queued their cell.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Expired   int64 `json:"expired"`
+}
+
+// ErrUnknownLease is returned by Complete and reported by Heartbeat when
+// the lease id was never granted (or has aged out of the idempotence
+// window).
+var ErrUnknownLease = fmt.Errorf("campaign: unknown lease")
+
+// leaseEntry is one live cell: pending (leaseID empty) or leased.
+type leaseEntry struct {
+	task    Task
+	key     CellKey
+	seq     int
+	waiters int
+
+	leaseID  string
+	worker   string
+	deadline time.Time
+	attempts int
+
+	done chan struct{}
+	res  *finject.Result
+	err  error
+}
+
+// leaseOutcome remembers how a finished (completed or expired) lease
+// ended — and for what task — so late and duplicate completions resolve
+// correctly.
+type leaseOutcome struct {
+	task      Task
+	completed bool
+}
+
+// LeaseQueue distributes campaign cells to pull-based workers under
+// expiring leases. Producers call Do and block for the result; workers
+// call Lease, Heartbeat and Complete. A lease that outlives its TTL
+// without a heartbeat re-queues its cell, so a dead worker never loses a
+// cell — and because execution is deterministic, a late completion from a
+// worker presumed dead is byte-identical to the redo and is accepted.
+// Cells are handed out largest-first (LPT order, see planner.go) so the
+// fleet's makespan stays near the balanced optimum.
+type LeaseQueue struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu        sync.Mutex
+	seq       int
+	nextLease int
+	entries   map[CellKey]*leaseEntry
+	leased    map[string]*leaseEntry // active leases by id
+	history   map[string]leaseOutcome
+	histOrder []string
+	wake      chan struct{} // closed and replaced when work arrives
+
+	completed, failed, expired int64
+}
+
+// NewLeaseQueue builds a queue whose leases expire ttl after their last
+// heartbeat (DefaultLeaseTTL when ttl <= 0).
+func NewLeaseQueue(ttl time.Duration) *LeaseQueue {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return &LeaseQueue{
+		ttl:     ttl,
+		now:     time.Now,
+		entries: make(map[CellKey]*leaseEntry),
+		leased:  make(map[string]*leaseEntry),
+		history: make(map[string]leaseOutcome),
+		wake:    make(chan struct{}),
+	}
+}
+
+// TTL returns the queue's lease TTL.
+func (q *LeaseQueue) TTL() time.Duration { return q.ttl }
+
+// Wake returns a channel that closes when new work may be available —
+// the idle-wait primitive behind the lease endpoint's long poll. Grab a
+// fresh channel after every wakeup.
+func (q *LeaseQueue) Wake() <-chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.wake
+}
+
+// wakeLocked wakes every parked Wake waiter. Callers hold q.mu.
+func (q *LeaseQueue) wakeLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// Do publishes the task (joining an identical cell already queued) and
+// blocks until a worker completes it or ctx ends. Abandoning a cell no
+// other producer waits for removes it from the queue unless a worker
+// already holds its lease — then the (deterministic, thus still valid)
+// result is simply dropped when it arrives.
+func (q *LeaseQueue) Do(ctx context.Context, t Task) (*finject.Result, error) {
+	t.Spec = t.Spec.Normalize()
+	key := t.Spec.Key()
+	q.mu.Lock()
+	e, ok := q.entries[key]
+	if !ok {
+		e = &leaseEntry{task: t, key: key, seq: q.seq, done: make(chan struct{})}
+		q.seq++
+		q.entries[key] = e
+		q.wakeLocked()
+	}
+	e.waiters++
+	q.mu.Unlock()
+
+	select {
+	case <-e.done:
+		return e.res, e.err
+	case <-ctx.Done():
+		q.mu.Lock()
+		e.waiters--
+		if e.waiters == 0 && e.leaseID == "" && q.entries[key] == e {
+			delete(q.entries, key)
+		}
+		q.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Lease grants up to max pending cells to the worker, renewing the
+// queue's notion of time first so expired leases re-queue before the pop.
+// With max == 1 the single largest pending cell is granted (LPT); with
+// max > 1 the queue plans cost-balanced shards over the whole backlog and
+// grants one shard, so a multi-cell worker gets a representative mix
+// instead of starving the rest of the fleet of large cells.
+func (q *LeaseQueue) Lease(worker string, max int) []Lease {
+	if max <= 0 {
+		max = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+
+	pending := q.pendingLocked()
+	if len(pending) == 0 {
+		return nil
+	}
+	var take []*leaseEntry
+	if max == 1 || len(pending) <= max {
+		take = pending
+		if len(take) > max {
+			take = take[:max]
+		}
+	} else {
+		specs := make([]CellSpec, len(pending))
+		byKey := make(map[CellKey]*leaseEntry, len(pending))
+		for i, e := range pending {
+			specs[i] = e.task.Spec
+			byKey[e.key] = e
+		}
+		shards := PlanShards(specs, (len(pending)+max-1)/max)
+		for _, s := range shards[0] {
+			take = append(take, byKey[s.Key()])
+		}
+		if len(take) > max {
+			take = take[:max]
+		}
+	}
+
+	now := q.now()
+	leases := make([]Lease, 0, len(take))
+	for _, e := range take {
+		q.nextLease++
+		e.leaseID = fmt.Sprintf("lease-%06d", q.nextLease)
+		e.worker = worker
+		e.deadline = now.Add(q.ttl)
+		q.leased[e.leaseID] = e
+		leases = append(leases, Lease{ID: e.leaseID, Task: e.task, TTLMillis: q.ttl.Milliseconds()})
+	}
+	return leases
+}
+
+// pendingLocked returns the pending entries in LPT order. Callers hold
+// q.mu.
+func (q *LeaseQueue) pendingLocked() []*leaseEntry {
+	var pending []*leaseEntry
+	for _, e := range q.entries {
+		if e.leaseID == "" {
+			pending = append(pending, e)
+		}
+	}
+	sortLPT(pending)
+	return pending
+}
+
+// Heartbeat extends the lease's deadline by one TTL and reports whether
+// the lease is still live — false tells the worker its cell was re-queued
+// (or already completed) and further work on it is wasted.
+func (q *LeaseQueue) Heartbeat(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	e, ok := q.leased[id]
+	if !ok {
+		return false
+	}
+	e.deadline = q.now().Add(q.ttl)
+	return true
+}
+
+// Complete resolves a lease with a result or a worker-reported error
+// (errMsg non-empty). It is idempotent: completing the same lease twice is
+// a no-op, and a late completion from a lease that already expired still
+// fulfills the cell if no one else finished it first — determinism makes
+// every completion of a cell interchangeable. Only a lease id that was
+// never granted errors.
+func (q *LeaseQueue) Complete(id string, res *finject.Result, errMsg string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+
+	if e, ok := q.leased[id]; ok {
+		q.fulfillLocked(e, res, errMsg)
+		return nil
+	}
+	h, ok := q.history[id]
+	if !ok {
+		return fmt.Errorf("%w %q", ErrUnknownLease, id)
+	}
+	if h.completed {
+		return nil // duplicate completion
+	}
+	// The lease expired. If the *same* task is still live (pending again
+	// or re-leased), accept this completion and retire the redo. The
+	// task comparison matters: the live entry could be a later request
+	// for the same cell under a tighter stopping rule, which this
+	// result — computed under the old rule — would not satisfy.
+	if e, live := q.entries[h.task.Spec.Key()]; live && e.task == h.task {
+		q.fulfillLocked(e, res, errMsg)
+	}
+	return nil
+}
+
+// fulfillLocked delivers a result (or error) to the entry's waiters and
+// retires the entry and its active lease, if any. Callers hold q.mu.
+func (q *LeaseQueue) fulfillLocked(e *leaseEntry, res *finject.Result, errMsg string) {
+	if errMsg != "" {
+		e.err = fmt.Errorf("campaign: worker %s failed %s: %s", e.worker, e.task.Spec, errMsg)
+		q.failed++
+	} else {
+		e.res = res
+		q.completed++
+	}
+	if e.leaseID != "" {
+		q.recordLocked(e.leaseID, leaseOutcome{task: e.task, completed: true})
+		delete(q.leased, e.leaseID)
+		e.leaseID = ""
+	}
+	delete(q.entries, e.key)
+	close(e.done)
+}
+
+// expireLocked re-queues every leased cell whose deadline has passed —
+// unless no producer waits for it anymore, in which case the cell is
+// dropped instead of burning another worker on an unwanted result.
+// Callers hold q.mu.
+func (q *LeaseQueue) expireLocked() {
+	now := q.now()
+	for id, e := range q.leased {
+		if !e.deadline.Before(now) {
+			continue
+		}
+		q.recordLocked(id, leaseOutcome{task: e.task})
+		delete(q.leased, id)
+		e.leaseID = ""
+		e.worker = ""
+		e.attempts++
+		q.expired++
+		if e.waiters == 0 {
+			delete(q.entries, e.key)
+		}
+	}
+}
+
+// recordLocked remembers a finished lease's outcome within the bounded
+// idempotence window. Callers hold q.mu.
+func (q *LeaseQueue) recordLocked(id string, out leaseOutcome) {
+	q.history[id] = out
+	q.histOrder = append(q.histOrder, id)
+	for len(q.histOrder) > leaseHistoryCap {
+		delete(q.history, q.histOrder[0])
+		q.histOrder = q.histOrder[1:]
+	}
+}
+
+// Stats snapshots the queue.
+func (q *LeaseQueue) Stats() LeaseStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	st := LeaseStats{Completed: q.completed, Failed: q.failed, Expired: q.expired}
+	st.Leased = len(q.leased)
+	for _, e := range q.entries {
+		if e.leaseID == "" {
+			st.Pending++
+		}
+	}
+	return st
+}

@@ -1,0 +1,65 @@
+package campaign
+
+import "sort"
+
+// shardCost estimates a cell's relative execution cost. The injection cap
+// dominates wall-clock (each injection is one full simulation), so it is
+// the planning weight; adaptive cells may stop early, which only makes
+// the plan conservative.
+func shardCost(s CellSpec) int64 { return int64(s.Normalize().Injections) }
+
+// sortLPT orders entries largest-first (longest processing time), with
+// enqueue order breaking ties so the schedule is deterministic. Handing
+// idle workers the largest remaining cell is the classic greedy bound on
+// makespan for pull-based fleets.
+func sortLPT(entries []*leaseEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		ci, cj := shardCost(entries[i].task.Spec), shardCost(entries[j].task.Spec)
+		if ci != cj {
+			return ci > cj
+		}
+		return entries[i].seq < entries[j].seq
+	})
+}
+
+// PlanShards partitions cells into n shards of near-equal total cost
+// (greedy LPT: place each cell, largest first, onto the currently
+// lightest shard). The plan is deterministic: equal inputs produce equal
+// shards, with input order breaking cost ties. Shards are ordered
+// heaviest-first; with fewer cells than shards the tail shards are empty
+// but present, so a static fleet can index shards by worker rank.
+func PlanShards(specs []CellSpec, n int) [][]CellSpec {
+	if n < 1 {
+		n = 1
+	}
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return shardCost(specs[order[a]]) > shardCost(specs[order[b]])
+	})
+	shards := make([][]CellSpec, n)
+	load := make([]int64, n)
+	for _, idx := range order {
+		lightest := 0
+		for s := 1; s < n; s++ {
+			if load[s] < load[lightest] {
+				lightest = s
+			}
+		}
+		shards[lightest] = append(shards[lightest], specs[idx])
+		load[lightest] += shardCost(specs[idx])
+	}
+	sort.SliceStable(shards, func(a, b int) bool {
+		var la, lb int64
+		for _, s := range shards[a] {
+			la += shardCost(s)
+		}
+		for _, s := range shards[b] {
+			lb += shardCost(s)
+		}
+		return la > lb
+	})
+	return shards
+}

@@ -1,0 +1,128 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func specsWithCosts(costs ...int) []CellSpec {
+	specs := make([]CellSpec, len(costs))
+	for i, c := range costs {
+		specs[i] = testSpec(uint64(100+i), c)
+	}
+	return specs
+}
+
+func shardCostSum(shard []CellSpec) int64 {
+	var total int64
+	for _, s := range shard {
+		total += shardCost(s)
+	}
+	return total
+}
+
+func TestPlanShardsBalancesCost(t *testing.T) {
+	specs := specsWithCosts(500, 300, 300, 200, 100, 100)
+	shards := PlanShards(specs, 2)
+	if len(shards) != 2 {
+		t.Fatalf("%d shards, want 2", len(shards))
+	}
+	a, b := shardCostSum(shards[0]), shardCostSum(shards[1])
+	if a+b != 1500 {
+		t.Fatalf("cells lost: %d + %d != 1500", a, b)
+	}
+	// Greedy LPT is near-optimal, not perfect: the gap between shards is
+	// at most one small cell, never a large one.
+	if a < b {
+		t.Fatalf("shards not ordered heaviest-first: %d vs %d", a, b)
+	}
+	if a-b > 200 {
+		t.Fatalf("imbalance %d too large: %d vs %d", a-b, a, b)
+	}
+	if total := len(shards[0]) + len(shards[1]); total != len(specs) {
+		t.Fatalf("%d cells planned, want %d", total, len(specs))
+	}
+}
+
+func TestPlanShardsDeterministic(t *testing.T) {
+	specs := specsWithCosts(7, 3, 9, 3, 5, 1, 8)
+	if !reflect.DeepEqual(PlanShards(specs, 3), PlanShards(specs, 3)) {
+		t.Fatal("equal inputs produced different plans")
+	}
+}
+
+func TestPlanShardsEdgeCases(t *testing.T) {
+	specs := specsWithCosts(10, 20)
+	if got := PlanShards(specs, 0); len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("n=0: %+v", got)
+	}
+	got := PlanShards(specs, 5)
+	if len(got) != 5 {
+		t.Fatalf("n=5 returned %d shards", len(got))
+	}
+	filled := 0
+	for _, s := range got {
+		if len(s) > 0 {
+			filled++
+		}
+	}
+	if filled != 2 {
+		t.Fatalf("2 cells spread over %d shards", filled)
+	}
+	if empty := PlanShards(nil, 3); len(empty) != 3 {
+		t.Fatalf("empty input: %+v", empty)
+	}
+}
+
+func TestLeaseOrderIsLargestFirst(t *testing.T) {
+	q, _ := newTestQueue(time.Minute)
+	for _, n := range []int{100, 900, 400} {
+		go q.Do(context.Background(), Task{Spec: testSpec(uint64(n), n)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Stats().Pending < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("cells never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var got []int
+	for i := 0; i < 3; i++ {
+		leases := q.Lease("w", 1)
+		if len(leases) != 1 {
+			t.Fatalf("lease %d: %+v", i, leases)
+		}
+		got = append(got, leases[0].Task.Spec.Injections)
+	}
+	if !reflect.DeepEqual(got, []int{900, 400, 100}) {
+		t.Fatalf("lease order %v, want largest first", got)
+	}
+}
+
+func TestLeaseBatchGrantsBalancedShard(t *testing.T) {
+	q, _ := newTestQueue(time.Minute)
+	for _, n := range []int{800, 700, 200, 150, 100, 50} {
+		go q.Do(context.Background(), Task{Spec: testSpec(uint64(n), n)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Stats().Pending < 6 {
+		if time.Now().After(deadline) {
+			t.Fatal("cells never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	leases := q.Lease("w", 3)
+	if len(leases) == 0 || len(leases) > 3 {
+		t.Fatalf("batch lease granted %d cells, want 1..3", len(leases))
+	}
+	// A cost-balanced shard must not be simply the 3 largest cells.
+	var total int
+	for _, l := range leases {
+		total += l.Task.Spec.Injections
+	}
+	if total == 800+700+200 {
+		t.Fatalf("batch lease took the %d largest cells, starving the fleet", len(leases))
+	}
+}

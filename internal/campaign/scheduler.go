@@ -7,9 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/chips"
 	"repro/internal/finject"
-	"repro/internal/workloads"
 )
 
 // Config configures a Scheduler.
@@ -23,6 +21,11 @@ type Config struct {
 	// by the number of concurrently executing cells, so cell-level and
 	// campaign-level parallelism never multiply beyond the machine.
 	CampaignWorkers int
+	// Executor runs the cells the scheduler cannot answer from its store:
+	// a fresh LocalExecutor when nil, or e.g. a RemoteExecutor to shard
+	// execution across a worker fleet. Caching, deduplication and policy
+	// upgrade semantics are identical either way.
+	Executor Executor
 }
 
 // Stats counts scheduler activity since construction.
@@ -63,34 +66,25 @@ type Progress struct {
 // across all structures and campaigns.
 type Scheduler struct {
 	store           Store
+	exec            Executor
 	sem             chan struct{}
 	campaignWorkers int
 
 	mu       sync.Mutex
 	inflight map[CellKey]*call
 
-	gmu    sync.Mutex
-	golden map[string]*goldenCall
-
 	subMu sync.Mutex
 	subID int
 	subs  map[int]func(Progress)
 
-	hits, runs, joins, goldenRuns atomic.Int64
-	injections, upgrades          atomic.Int64
+	hits, runs, joins    atomic.Int64
+	injections, upgrades atomic.Int64
 }
 
 // call is one in-flight cell execution others may join.
 type call struct {
 	done chan struct{}
 	res  *finject.Result
-	err  error
-}
-
-// goldenCall is one in-flight golden reference run others may join.
-type goldenCall struct {
-	done chan struct{}
-	g    *finject.Golden
 	err  error
 }
 
@@ -102,12 +96,15 @@ func New(cfg Config) *Scheduler {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Executor == nil {
+		cfg.Executor = NewLocalExecutor()
+	}
 	return &Scheduler{
 		store:           cfg.Store,
+		exec:            cfg.Executor,
 		sem:             make(chan struct{}, cfg.Workers),
 		campaignWorkers: cfg.CampaignWorkers,
 		inflight:        make(map[CellKey]*call),
-		golden:          make(map[string]*goldenCall),
 		subs:            make(map[int]func(Progress)),
 	}
 }
@@ -115,16 +112,24 @@ func New(cfg Config) *Scheduler {
 // Store returns the scheduler's result store.
 func (s *Scheduler) Store() Store { return s.store }
 
+// Executor returns the scheduler's cell executor.
+func (s *Scheduler) Executor() Executor { return s.exec }
+
 // Stats returns a snapshot of the activity counters.
 func (s *Scheduler) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Hits:       s.hits.Load(),
 		Runs:       s.runs.Load(),
 		Joins:      s.joins.Load(),
-		GoldenRuns: s.goldenRuns.Load(),
 		Injections: s.injections.Load(),
 		Upgrades:   s.upgrades.Load(),
 	}
+	// Golden sharing lives in the executor; remote tiers count theirs on
+	// the worker side.
+	if g, ok := s.exec.(interface{ GoldenRuns() int64 }); ok {
+		st.GoldenRuns = g.GoldenRuns()
+	}
+	return st
 }
 
 // Subscribe registers fn to receive a Progress event for every cell the
@@ -240,17 +245,13 @@ func (s *Scheduler) run(ctx context.Context, c finject.Campaign) (*finject.Resul
 	}
 }
 
-// execute runs one campaign under the worker pool with the shared golden.
+// execute runs one campaign through the executor under the worker pool.
 func (s *Scheduler) execute(ctx context.Context, c finject.Campaign, spec CellSpec, key CellKey) (*finject.Result, error) {
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
 		return nil, ctx.Err()
-	}
-	g, err := s.goldenFor(ctx, c.Chip, c.Benchmark)
-	if err != nil {
-		return nil, err
 	}
 	// Pin the result-determining fields to the normalized spec so the
 	// stored value always matches its key, and strip what must not vary.
@@ -265,15 +266,15 @@ func (s *Scheduler) execute(ctx context.Context, c finject.Campaign, spec CellSp
 	if c.Policy.Workers <= 0 {
 		// Split the machine across the currently executing cells so the
 		// two parallelism levels don't multiply: a lone cell gets every
-		// core, a full grid runs one simulation per cell at a time.
+		// core, a full grid runs one simulation per cell at a time. A
+		// remote executor ignores the hint — each worker divides its own
+		// machine instead.
 		c.Policy.Workers = runtime.GOMAXPROCS(0) / len(s.sem)
 		if c.Policy.Workers < 1 {
 			c.Policy.Workers = 1
 		}
 	}
-	c.Detail = false
-	c.Golden = g
-	res, err := finject.RunContext(ctx, c)
+	res, err := s.exec.Execute(ctx, Request{Spec: spec, Key: key, Policy: c.Policy, Campaign: c})
 	if err != nil {
 		return nil, err
 	}
@@ -283,47 +284,6 @@ func (s *Scheduler) execute(ctx context.Context, c finject.Campaign, spec CellSp
 		return nil, err
 	}
 	return res, nil
-}
-
-// goldenFor returns the shared golden reference run for (chip, benchmark),
-// executing it at most once across all concurrent campaigns. Failed runs
-// are not cached; a later request retries.
-func (s *Scheduler) goldenFor(ctx context.Context, chip *chips.Chip, bench *workloads.Benchmark) (*finject.Golden, error) {
-	gkey := chip.Name + "\x00" + bench.Name
-	for {
-		s.gmu.Lock()
-		if gc, ok := s.golden[gkey]; ok {
-			s.gmu.Unlock()
-			select {
-			case <-gc.done:
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			}
-			if gc.err == nil {
-				return gc.g, nil
-			}
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			continue
-		}
-		gc := &goldenCall{done: make(chan struct{})}
-		s.golden[gkey] = gc
-		s.gmu.Unlock()
-
-		gc.g, gc.err = finject.NewGolden(chip, bench)
-		if gc.err == nil {
-			s.goldenRuns.Add(1)
-			close(gc.done)
-			return gc.g, nil
-		}
-		// Drop the failed entry so the next request retries.
-		s.gmu.Lock()
-		delete(s.golden, gkey)
-		s.gmu.Unlock()
-		close(gc.done)
-		return nil, gc.err
-	}
 }
 
 // RunBatch schedules every campaign of the batch across the worker pool

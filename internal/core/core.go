@@ -54,6 +54,11 @@ type Options struct {
 	// cells (Fig. 3 gets Figs. 1 and 2 for free). A private scheduler is
 	// created when nil.
 	Scheduler *campaign.Scheduler
+	// Executor, used only when Scheduler is nil, routes the private
+	// scheduler's campaign execution through a custom tier — e.g. a
+	// campaign.RemoteExecutor backed by a fiworker fleet. Results are
+	// byte-identical to local execution by the determinism contract.
+	Executor campaign.Executor
 }
 
 func (o Options) withDefaults(benches []*workloads.Benchmark) Options {
@@ -73,7 +78,7 @@ func (o Options) withDefaults(benches []*workloads.Benchmark) Options {
 		o.Confidence = 0.99
 	}
 	if o.Scheduler == nil {
-		o.Scheduler = campaign.New(campaign.Config{CampaignWorkers: o.Workers})
+		o.Scheduler = campaign.New(campaign.Config{CampaignWorkers: o.Workers, Executor: o.Executor})
 	}
 	return o
 }

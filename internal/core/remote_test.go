@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/chips"
+	"repro/internal/gpu"
+	"repro/internal/workloads"
+)
+
+// TestOptionsExecutorRoutesExecution proves Options.Executor is the
+// figure drivers' entry into the distributed tier: cells flow through
+// the provided executor, not a private local one.
+func TestOptionsExecutorRoutesExecution(t *testing.T) {
+	exec := campaign.NewLocalExecutor()
+	chip := chips.MiniNVIDIA()
+	bench, err := workloads.ByName("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := MeasureCell(chip, bench, gpu.RegisterFile, Options{
+		Injections: 20, Seed: 4, Executor: exec,
+		Chips: []*chips.Chip{chip}, Benchmarks: []*workloads.Benchmark{bench},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Injections != 20 {
+		t.Fatalf("cell %+v", cell)
+	}
+	if exec.GoldenRuns() != 1 {
+		t.Fatalf("custom executor ran %d goldens, want 1 (not used?)", exec.GoldenRuns())
+	}
+}
+
+// TestFigureThroughRemoteTierMatchesLocal runs a small figure with the
+// campaigns executed by an in-process "fleet" draining a lease queue and
+// compares the figure JSON byte-for-byte against the default local path —
+// the determinism-across-the-wire contract at the figure level.
+func TestFigureThroughRemoteTierMatchesLocal(t *testing.T) {
+	chip := chips.MiniNVIDIA()
+	bench1, err := workloads.ByName("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench2, err := workloads.ByName("transpose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Injections: 30, Seed: 5,
+		Chips:      []*chips.Chip{chip},
+		Benchmarks: []*workloads.Benchmark{bench1, bench2},
+	}
+
+	local, err := FigureRegisterFile(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := campaign.NewLeaseQueue(time.Minute)
+	stop := make(chan struct{})
+	defer close(stop)
+	for i := 0; i < 2; i++ {
+		go drainForTest(q, stop)
+	}
+	remoteOpts := opts
+	remoteOpts.Executor = campaign.NewRemoteExecutor(q)
+	remote, err := FigureRegisterFile(remoteOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteJSON, err := json.Marshal(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(localJSON) != string(remoteJSON) {
+		t.Fatalf("remote figure differs from local:\nlocal:  %s\nremote: %s", localJSON, remoteJSON)
+	}
+}
+
+// drainForTest is a minimal in-process worker loop.
+func drainForTest(q *campaign.LeaseQueue, stop chan struct{}) {
+	exec := campaign.NewLocalExecutor()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		leases := q.Lease("core-test-worker", 1)
+		if len(leases) == 0 {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		for _, l := range leases {
+			spec := l.Task.Spec.Normalize()
+			pol := l.Task.Policy
+			pol.Workers = 1
+			res, err := exec.Execute(context.Background(), campaign.Request{Spec: spec, Key: spec.Key(), Policy: pol})
+			msg := ""
+			if err != nil {
+				msg, res = err.Error(), nil
+			}
+			q.Complete(l.ID, res, msg)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/worker"
+	"repro/internal/workloads"
+)
+
+// TestDistributedFigureSurvivesWorkerDeath is the distributed tier's
+// end-to-end acceptance test: one in-process fiserver in remote-worker
+// mode, two fiworkers, a multi-cell figure batch, one worker killed
+// mid-campaign — and the final figure JSON must equal the single-process
+// output byte for byte.
+func TestDistributedFigureSurvivesWorkerDeath(t *testing.T) {
+	// The TTL must comfortably exceed a heartbeat interval even when the
+	// race detector slows everything ~10x, or healthy leases expire and
+	// cells restart forever; cells are sized so several remain when the
+	// first worker dies.
+	const (
+		ttl        = 3 * time.Second
+		injections = 120
+		seed       = 9
+	)
+	chipNames := []string{"Mini NVIDIA", "Mini AMD"}
+	benchNames := []string{"vectoradd", "transpose"}
+
+	q := campaign.NewLeaseQueue(ttl)
+	sched := campaign.New(campaign.Config{Executor: campaign.NewRemoteExecutor(q), Workers: 64})
+	srv := NewServer(sched)
+	srv.ServeWorkers(q)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	newWorker := func(name string) (*worker.Worker, context.CancelFunc, chan struct{}) {
+		ctx, cancel := context.WithCancel(context.Background())
+		w := worker.New(&worker.Client{Base: ts.URL, Name: name}, worker.Options{
+			Concurrency: 1, CampaignWorkers: 2, Poll: 50 * time.Millisecond,
+		})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			w.Run(ctx)
+		}()
+		return w, cancel, done
+	}
+	doomed, killDoomed, doomedDone := newWorker("doomed")
+	survivor, killSurvivor, survivorDone := newWorker("survivor")
+	defer func() {
+		killSurvivor()
+		<-survivorDone
+	}()
+
+	// Kill one worker as soon as the campaign is demonstrably underway:
+	// at least one cell finished, others still pending or leased.
+	go func() {
+		for {
+			st := sched.Stats()
+			if st.Runs >= 1 {
+				killDoomed()
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	figURL := ts.URL + "/v1/figure?" + url.Values{
+		"fig":   {"1"},
+		"n":     {strconv.Itoa(injections)},
+		"seed":  {strconv.FormatUint(seed, 10)},
+		"chips": {strings.Join(chipNames, ",")},
+		"bench": {strings.Join(benchNames, ",")},
+	}.Encode()
+	resp, err := http.Get(figURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("figure status %d", resp.StatusCode)
+	}
+	var remoteFigure json.RawMessage
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		var ev struct {
+			Event  string          `json:"event"`
+			Error  string          `json:"error"`
+			Figure json.RawMessage `json:"figure"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch ev.Event {
+		case "error":
+			t.Fatalf("figure failed: %s", ev.Error)
+		case "result":
+			remoteFigure = ev.Figure
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if remoteFigure == nil {
+		t.Fatal("stream ended without a result event")
+	}
+	<-doomedDone
+
+	// The doomed worker died mid-campaign; the survivor carried the rest.
+	if survivor.Completed() == 0 {
+		t.Fatal("surviving worker completed nothing")
+	}
+	wantCells := int64(len(chipNames) * len(benchNames))
+	if runs := sched.Stats().Runs; runs != wantCells {
+		t.Fatalf("scheduler ran %d cells, want %d", runs, wantCells)
+	}
+	if doomed.Completed() >= wantCells {
+		t.Fatal("the doomed worker finished the whole campaign before dying; nothing was redistributed")
+	}
+
+	// Single-process reference: same options, default local executor.
+	var (
+		cs []*chips.Chip
+		bs []*workloads.Benchmark
+	)
+	for _, name := range chipNames {
+		c, err := chips.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	for _, name := range benchNames {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs = append(bs, b)
+	}
+	localFig, err := core.FigureRegisterFile(core.Options{
+		Injections: injections, Seed: seed, Chips: cs, Benchmarks: bs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(localFig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(localJSON, remoteFigure) {
+		t.Fatalf("distributed figure differs from the single-process run:\nlocal:  %s\nremote: %s",
+			localJSON, remoteFigure)
+	}
+}

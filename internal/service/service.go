@@ -13,6 +13,10 @@
 //	GET    /v1/figure            run Fig. 1/2/3, streaming NDJSON progress
 //	GET    /v1/stats             scheduler counters and store size
 //	GET    /healthz              liveness probe
+//
+// With ServeWorkers enabled the server also speaks the pull-based remote
+// worker protocol (see workers.go), distributing cells to a fiworker
+// fleet under expiring leases instead of simulating them in-process.
 package service
 
 import (
@@ -36,15 +40,19 @@ import (
 const maxRetainedJobs = 256
 
 // Server is the fiserver request handler. Create one with NewServer and
-// mount it as an http.Handler.
+// mount it as an http.Handler. ServeWorkers adds the remote-worker lease
+// protocol; Shutdown drains in-flight jobs.
 type Server struct {
 	sched *campaign.Scheduler
 	mux   *http.ServeMux
+	queue *campaign.LeaseQueue // non-nil once ServeWorkers ran
 
-	mu     sync.Mutex
-	nextID int
-	jobs   map[string]*job
-	order  []string // job ids in submission order, for eviction
+	mu      sync.Mutex
+	nextID  int
+	jobs    map[string]*job
+	order   []string // job ids in submission order, for eviction
+	closed  bool     // Shutdown called; no new jobs
+	running sync.WaitGroup
 }
 
 // job tracks one submitted batch.
@@ -175,6 +183,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.running.Add(1)
 	s.nextID++
 	j := &job{
 		id:      fmt.Sprintf("job-%06d", s.nextID),
@@ -190,7 +205,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	go func() {
 		// Release the context's resources once the batch settles; DELETE
-		// uses the same cancel to abort early.
+		// uses the same cancel to abort early and Shutdown drains on the
+		// same WaitGroup.
+		defer s.running.Done()
 		defer cancel()
 		results, err := s.sched.RunBatch(ctx, batch, func(i int, res *finject.Result, cached bool, cellErr error) {
 			j.mu.Lock()
@@ -313,10 +330,35 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"id": j.id, "state": "canceling"})
 }
 
-// handleStats reports scheduler counters and store size.
+// Shutdown stops accepting new jobs, cancels the in-flight ones and
+// waits for their goroutines to settle, up to ctx's deadline. It is the
+// drain step between http.Server.Shutdown and process exit: without it,
+// job goroutines keep simulating into a torn-down process.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for _, j := range s.jobs {
+		j.cancel()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.running.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// handleStats reports scheduler counters, store size and (with remote
+// workers enabled) lease-queue state.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.sched.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"hits":        st.Hits,
 		"runs":        st.Runs,
 		"joins":       st.Joins,
@@ -324,7 +366,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"injections":  st.Injections,
 		"upgrades":    st.Upgrades,
 		"store_cells": s.sched.Store().Len(),
-	})
+	}
+	if s.queue != nil {
+		body["workers"] = s.queue.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // figureOptions parses the shared figure query parameters.

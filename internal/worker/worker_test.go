@@ -1,0 +1,160 @@
+package worker
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/service"
+)
+
+// startRemoteService builds a fiserver handler in remote-worker mode and
+// returns its test server, scheduler and queue.
+func startRemoteService(t *testing.T, ttl time.Duration) (*httptest.Server, *campaign.Scheduler, *campaign.LeaseQueue) {
+	t.Helper()
+	q := campaign.NewLeaseQueue(ttl)
+	sched := campaign.New(campaign.Config{Executor: campaign.NewRemoteExecutor(q), Workers: 64})
+	srv := service.NewServer(sched)
+	srv.ServeWorkers(q)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, sched, q
+}
+
+func startWorker(t *testing.T, ts *httptest.Server, name string, opts Options) (*Worker, context.CancelFunc) {
+	t.Helper()
+	if opts.Poll == 0 {
+		opts.Poll = 20 * time.Millisecond
+	}
+	w := New(&Client{Base: ts.URL, Name: name}, opts)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("worker did not stop")
+		}
+	})
+	return w, cancel
+}
+
+func spec(bench string, seed uint64, n int) campaign.CellSpec {
+	return campaign.CellSpec{Chip: "Mini NVIDIA", Benchmark: bench, Injections: n, Seed: seed}.Normalize()
+}
+
+func TestWorkerDrainsQueue(t *testing.T) {
+	ts, sched, _ := startRemoteService(t, time.Minute)
+	w, _ := startWorker(t, ts, "w1", Options{Concurrency: 2, CampaignWorkers: 1})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	batch := []campaign.CellSpec{
+		spec("vectoradd", 1, 30), spec("transpose", 1, 30), spec("vectoradd", 2, 30),
+	}
+	cs := make([]int, 0, len(batch))
+	for i, s := range batch {
+		c, err := s.Campaign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sched.Run(ctx, c)
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		cs = append(cs, res.Injections)
+	}
+	for i, n := range cs {
+		if n != 30 {
+			t.Fatalf("cell %d realized %d injections", i, n)
+		}
+	}
+	// The queue releases waiters before the worker finishes reading the
+	// completion response, so the counter may trail by a beat.
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Completed() != 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := w.Completed(); got != 3 {
+		t.Fatalf("worker completed %d cells, want 3", got)
+	}
+}
+
+func TestWorkerReportsExecutionErrors(t *testing.T) {
+	ts, _, q := startRemoteService(t, time.Minute)
+	w, _ := startWorker(t, ts, "w1", Options{})
+
+	bad := campaign.CellSpec{Chip: "no such chip", Benchmark: "vectoradd", Injections: 10}.Normalize()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := q.Do(ctx, campaign.Task{Spec: bad})
+	if err == nil {
+		t.Fatal("unknown chip executed successfully")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Failed() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if w.Failed() != 1 {
+		t.Fatalf("failed count %d, want 1", w.Failed())
+	}
+}
+
+func TestWorkerSurvivesServerAbsence(t *testing.T) {
+	// Point the worker at a dead address: Run must keep retrying, not
+	// exit, and must stop promptly on cancel.
+	w := New(&Client{Base: "http://127.0.0.1:1", Name: "w"}, Options{Poll: 10 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("worker exited against a dead server: %v", err)
+	default:
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v on cancel", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not stop on cancel")
+	}
+}
+
+func TestClientHeartbeatAgainstQueue(t *testing.T) {
+	ts, _, q := startRemoteService(t, time.Minute)
+	ctx := context.Background()
+	go q.Do(ctx, campaign.Task{Spec: spec("vectoradd", 5, 10)})
+
+	c := &Client{Base: ts.URL, Name: "w1"}
+	var leases []campaign.Lease
+	deadline := time.Now().Add(10 * time.Second)
+	for len(leases) == 0 && time.Now().Before(deadline) {
+		var err error
+		leases, err = c.Lease(ctx, 1, 50*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(leases) != 1 {
+		t.Fatal("no lease")
+	}
+	alive, err := c.Heartbeat(ctx, leases[0].ID)
+	if err != nil || !alive {
+		t.Fatalf("heartbeat alive=%v err=%v", alive, err)
+	}
+	alive, err = c.Heartbeat(ctx, "lease-999999")
+	if err != nil || alive {
+		t.Fatalf("unknown lease heartbeat alive=%v err=%v", alive, err)
+	}
+}
