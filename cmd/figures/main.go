@@ -5,6 +5,18 @@
 //	figures -fig 3            EPF (executions per failure, both structures)
 //	figures -fig all          everything
 //
+// Beyond the canned figures, any declarative experiment spec runs the
+// same way:
+//
+//	figures -spec sweep.json                 run a spec locally
+//	figures -spec sweep.json -n 100          ...with a reduced budget
+//	figures -spec sweep.json -server http://host:8080
+//	                                         ...on a fiserver, streamed
+//
+// The figure flags (-fig, -chips, -bench, ...) are themselves compiled
+// into specs internally — a figure run and the equivalent spec run are
+// the same code path and produce byte-identical output.
+//
 // Useful knobs: -n (injections per campaign; the paper uses 2000, and it
 // becomes the cap when -margin is set), -margin/-confidence (adaptive
 // sampling: stop each campaign once its AVF interval is tight enough),
@@ -29,7 +41,9 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/chips"
+	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/finject"
 	"repro/internal/report"
 	"repro/internal/workloads"
@@ -67,6 +81,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		margin     = fs.Float64("margin", 0, "adaptive mode: stop each campaign once the AVF interval half-width reaches this (0 = run exactly -n injections)")
 		storePath  = fs.String("store", "", "JSON-lines result store path (in-memory only when empty)")
 		asJSON     = fs.Bool("json", false, "emit figures as JSON instead of tables")
+		specPath   = fs.String("spec", "", "run this experiment spec (JSON) instead of a canned figure")
+		serverURL  = fs.String("server", "", "with -spec: run on this fiserver (POST /v1/experiments) instead of locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -81,6 +97,40 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *confidence <= 0 || *confidence >= 1 {
 		return fmt.Errorf("confidence %v outside (0,1)", *confidence)
+	}
+
+	if *specPath != "" {
+		if *serverURL != "" && (*storePath != "" || *workers != 0) {
+			return errors.New("-store and -workers are local-only: with -server the fiserver owns its store and worker pool")
+		}
+		f, err := os.Open(*specPath)
+		if err != nil {
+			return err
+		}
+		spec, err := experiment.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		// Explicitly set campaign flags override the spec, so CI and
+		// quick local runs can shrink a committed spec without editing
+		// it; the grid axes always come from the file.
+		fs.Visit(func(fl *flag.Flag) {
+			switch fl.Name {
+			case "n":
+				spec.Injections = *n
+			case "seed":
+				spec.Seed = *seed
+			case "margin":
+				spec.Policy.Margin = *margin
+			case "confidence":
+				spec.Policy.Confidence = *confidence
+			}
+		})
+		return runSpec(ctx, spec, *serverURL, *storePath, *workers, *asJSON, stdout, stderr)
+	}
+	if *serverURL != "" {
+		return errors.New("-server needs -spec (the canned figures run locally)")
 	}
 
 	var store campaign.Store
@@ -178,4 +228,72 @@ func writeFigure(w io.Writer, f *core.Figure, title string, asJSON bool) error {
 		return report.WriteFigureJSON(w, f, title)
 	}
 	return report.WriteFigure(w, f, title)
+}
+
+// runSpec executes one declarative experiment spec — locally over a
+// scheduler (honoring -store and -workers) or on a fiserver via the
+// shared client — and renders the result as tables or JSON.
+func runSpec(ctx context.Context, spec experiment.Spec, serverURL, storePath string, workers int, asJSON bool, stdout, stderr io.Writer) error {
+	start := time.Now()
+	var res *experiment.Result
+	if serverURL != "" {
+		cl := &client.Client{Base: serverURL}
+		var err error
+		res, err = cl.RunExperiment(ctx, spec, func(ev client.Event) {
+			switch ev.Event {
+			case "job":
+				fmt.Fprintf(stderr, "figures: experiment %s: job %s, %d cells\n", ev.Name, ev.ID, ev.Total)
+			case "cell":
+				cached := ""
+				if ev.Cached {
+					cached = " (cached)"
+				}
+				fmt.Fprintf(stderr, "figures: cell %d/%d %s/%s/%s%s\n", ev.Done, ev.Total, ev.Chip, ev.Benchmark, ev.Structure, cached)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		var store campaign.Store
+		if storePath != "" {
+			ds, err := campaign.OpenDiskStore(storePath)
+			if err != nil {
+				return err
+			}
+			defer ds.Close()
+			fmt.Fprintf(stderr, "figures: store %s: %d cells\n", ds.Path(), ds.Len())
+			store = ds
+		}
+		sched := campaign.New(campaign.Config{Store: store, CampaignWorkers: workers})
+		runner := &experiment.Runner{
+			Scheduler: sched,
+			OnCell: func(p experiment.Progress) {
+				cached := ""
+				if p.Cached {
+					cached = " (cached)"
+				}
+				fmt.Fprintf(stderr, "figures: cell %d/%d %s%s\n", p.Done, p.Total, p.Spec, cached)
+			},
+		}
+		var err error
+		res, err = runner.Run(ctx, spec)
+		if err != nil {
+			return err
+		}
+		st := sched.Stats()
+		defer fmt.Fprintf(stderr, "figures: campaigns: %d executed (%d injections), %d served from store, %d goldens\n",
+			st.Runs, st.Injections, st.Hits+st.Joins, st.GoldenRuns)
+	}
+	if asJSON {
+		if err := report.WriteExperimentJSON(stdout, res); err != nil {
+			return err
+		}
+	} else {
+		if err := report.WriteExperiment(stdout, res); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "\n(spec wall time: %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }

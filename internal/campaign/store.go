@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
 	"repro/internal/finject"
@@ -87,14 +88,24 @@ func (m *MemoryStore) Len() int {
 // DiskStore is a persistent Store: one JSON record per line, appended on
 // Put, with the whole file indexed in memory on open. Later records for
 // the same key shadow earlier ones, so overwrites are appends too — the
-// file is never rewritten in place.
+// file is only rewritten by Compact, which OpenDiskStore invokes
+// automatically once the dead records pass CompactDeadThreshold.
 type DiskStore struct {
 	mu   sync.Mutex
 	path string
 	f    *os.File
 	enc  *json.Encoder
 	idx  map[CellKey]*finject.Result
+	// records counts the rows physically in the file; records - len(idx)
+	// are dead (shadowed by a later row for the same key).
+	records int
 }
+
+// CompactDeadThreshold is the number of dead (shadowed) records past
+// which OpenDiskStore compacts the file before serving from it. Policy
+// upgrades overwrite cells by appending, so a long-lived store otherwise
+// grows without bound.
+const CompactDeadThreshold = 64
 
 // diskRecord is the JSON-lines row format.
 type diskRecord struct {
@@ -128,13 +139,83 @@ func OpenDiskStore(path string) (*DiskStore, error) {
 			return nil, fmt.Errorf("campaign: store %s line %d: incomplete record", path, line)
 		}
 		d.idx[rec.Key] = rec.Result
+		d.records++
 	}
 	if err := sc.Err(); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("campaign: store %s: %w", path, err)
 	}
 	d.enc = json.NewEncoder(f)
+	if d.records-len(d.idx) > CompactDeadThreshold {
+		if err := d.Compact(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	return d, nil
+}
+
+// Compact rewrites the file down to one record per live cell: the live
+// records stream to a temporary sibling file, which is fsynced and
+// atomically renamed over the store, so a crash at any point leaves
+// either the old complete file or the new complete file. The in-memory
+// index and the results it shares by pointer are untouched.
+func (d *DiskStore) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmpPath := d.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("campaign: compact store: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	// Stable record order keeps equal stores byte-identical on disk.
+	keys := make([]CellKey, 0, len(d.idx))
+	for k := range d.idx {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if err := enc.Encode(diskRecord{Key: k, Result: d.idx[k]}); err != nil {
+			tmp.Close()
+			return fmt.Errorf("campaign: compact store: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: compact store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: compact store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaign: compact store: %w", err)
+	}
+	if err := os.Rename(tmpPath, d.path); err != nil {
+		return fmt.Errorf("campaign: compact store: %w", err)
+	}
+	// Reopen the renamed file for appends; the old handle now points at
+	// an unlinked inode.
+	f, err := os.OpenFile(d.path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("campaign: compact store: reopen: %w", err)
+	}
+	d.f.Close()
+	d.f = f
+	d.enc = json.NewEncoder(f)
+	d.records = len(d.idx)
+	return nil
+}
+
+// Records reports the physical record count of the backing file;
+// Records() - Len() of them are dead.
+func (d *DiskStore) Records() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.records
 }
 
 // Get implements Store from the in-memory index.
@@ -153,6 +234,7 @@ func (d *DiskStore) Put(key CellKey, res *finject.Result) error {
 		return fmt.Errorf("campaign: store append: %w", err)
 	}
 	d.idx[key] = res
+	d.records++
 	return nil
 }
 

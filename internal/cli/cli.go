@@ -1,5 +1,8 @@
 // Package cli implements the shared command-line driver behind the gufi
-// (NVIDIA) and sifi (AMD) campaign tools.
+// (NVIDIA) and sifi (AMD) campaign tools. Both tools are spec-first:
+// -spec runs a declarative experiment file, and the classic single-cell
+// flags are compiled into a one-cell spec internally, so either path is
+// the same runner and the same result store.
 package cli
 
 import (
@@ -8,15 +11,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/chips"
-	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/finject"
 	"repro/internal/gpu"
 	"repro/internal/metrics"
+	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -45,6 +50,8 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		confidence = fs.Float64("confidence", finject.DefaultConfidence, "confidence level for AVF intervals and adaptive stopping")
 		margin     = fs.Float64("margin", 0, "adaptive mode: stop once the AVF interval half-width reaches this (0 = run exactly -n injections)")
 		storePath  = fs.String("store", "", "JSON-lines result store; repeated identical campaigns are served from it")
+		specPath   = fs.String("spec", "", "run this experiment spec (JSON) instead of one flag-built cell")
+		asJSON     = fs.Bool("json", false, "with -spec: emit the result as JSON instead of tables")
 		listFlag   = fs.Bool("list", false, "list chips and benchmarks, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +88,95 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		return nil
 	}
 
+	scheduler := func() (*campaign.Scheduler, func(io.Writer), error) {
+		var store campaign.Store
+		closeStore := func() {}
+		if *storePath != "" {
+			ds, err := campaign.OpenDiskStore(*storePath)
+			if err != nil {
+				return nil, nil, err
+			}
+			store = ds
+			closeStore = func() { ds.Close() }
+		}
+		sched := campaign.New(campaign.Config{Store: store, CampaignWorkers: *workers})
+		summary := func(out io.Writer) {
+			defer closeStore()
+			if *storePath != "" {
+				st := sched.Stats()
+				fmt.Fprintf(out, "  store             %s (hits=%d runs=%d)\n", *storePath, st.Hits, st.Runs)
+			}
+		}
+		return sched, summary, nil
+	}
+
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			return err
+		}
+		spec, err := experiment.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		// Explicitly set campaign flags override the file, matching
+		// cmd/figures, so committed specs shrink to any budget.
+		fs.Visit(func(fl *flag.Flag) {
+			switch fl.Name {
+			case "n":
+				spec.Injections = *n
+			case "seed":
+				spec.Seed = *seed
+			case "margin":
+				spec.Policy.Margin = *margin
+			case "confidence":
+				spec.Policy.Confidence = *confidence
+			}
+		})
+		// A spec without a chip axis would normalize to the paper's
+		// four chips — both vendors — and could then run on neither
+		// tool; default it to this tool's vendor instead. Everything
+		// else stays raw: the runner's Validate must see the file's own
+		// values so out-of-range typos are rejected, not defaulted.
+		if len(spec.Chips) == 0 {
+			for _, c := range chips.Evaluated() {
+				if c.Vendor == vendor {
+					spec.Chips = append(spec.Chips, c.Name)
+				}
+			}
+		}
+		// Each tool owns one vendor's chips, as in the paper.
+		for _, name := range spec.Chips {
+			c, err := chips.ByName(name)
+			if err != nil {
+				return err
+			}
+			if c.Vendor != vendor {
+				return fmt.Errorf("chip %s is a %s part; use the other tool (or cmd/figures, which is vendor-neutral)", c.Name, c.Vendor)
+			}
+		}
+		sched, statsLine, err := scheduler()
+		if err != nil {
+			return err
+		}
+		runner := &experiment.Runner{Scheduler: sched}
+		res, err := runner.Run(ctx, spec)
+		if err != nil {
+			statsLine(io.Discard)
+			return err
+		}
+		if *asJSON {
+			err = report.WriteExperimentJSON(w, res)
+		} else {
+			err = report.WriteExperiment(w, res)
+		}
+		statsLine(w)
+		return err
+	}
+
+	// Classic single-cell mode: the flags compile into a one-cell spec
+	// and run through the same runner as every other surface.
 	chip, err := chips.ByName(*chipName)
 	if err != nil {
 		return err
@@ -105,24 +201,28 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		return fmt.Errorf("benchmark %s does not use local memory (the paper's Fig. 2 covers only the 7 shared-memory benchmarks)", bench.Name)
 	}
 
-	opts := core.Options{Injections: *n, Seed: *seed, Workers: *workers, Confidence: *confidence, Margin: *margin}
-	var sched *campaign.Scheduler
-	if *storePath != "" {
-		store, err := campaign.OpenDiskStore(*storePath)
-		if err != nil {
-			return err
-		}
-		defer store.Close()
-		sched = campaign.New(campaign.Config{Store: store, CampaignWorkers: *workers})
-		opts.Scheduler = sched
+	spec := experiment.Spec{
+		Chips:      []string{chip.Name},
+		Benchmarks: []string{bench.Name},
+		Structures: []gpu.Structure{st},
+		Estimator:  experiment.EstimatorBoth,
+		Injections: *n,
+		Seed:       *seed,
+		Policy:     experiment.Policy{Margin: *margin, Confidence: *confidence},
 	}
-
-	start := time.Now()
-	cell, err := core.MeasureCellContext(ctx, chip, bench, st, opts)
+	sched, statsLine, err := scheduler()
 	if err != nil {
 		return err
 	}
+	runner := &experiment.Runner{Scheduler: sched}
+	start := time.Now()
+	res, err := runner.Run(ctx, spec)
+	if err != nil {
+		statsLine(io.Discard)
+		return err
+	}
 	elapsed := time.Since(start)
+	cell := res.Tables[0].Cells[0][0]
 
 	worstCase, err := stats.MarginOfError(cell.Injections, 0, *confidence)
 	if err != nil {
@@ -148,9 +248,6 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		cell.Outcomes[gpu.OutcomeMasked], cell.Outcomes[gpu.OutcomeSDC],
 		cell.Outcomes[gpu.OutcomeDUE], cell.Outcomes[gpu.OutcomeTimeout])
 	fmt.Fprintf(w, "  wall time         %v\n", elapsed.Round(time.Millisecond))
-	if sched != nil {
-		st := sched.Stats()
-		fmt.Fprintf(w, "  store             %s (hits=%d runs=%d)\n", *storePath, st.Hits, st.Runs)
-	}
+	statsLine(w)
 	return nil
 }

@@ -1,6 +1,8 @@
 package cli
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -85,5 +87,149 @@ func TestRunErrors(t *testing.T) {
 		if err := Run("gufi", gpu.NVIDIA, args, &sb); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunSpec: both tools run declarative specs over their own vendor's
+// chips, with the shared renderer.
+func TestRunSpec(t *testing.T) {
+	path := writeSpec(t, `{
+		"version": 1,
+		"name": "nv-sweep",
+		"chips": ["Mini NVIDIA"],
+		"benchmarks": ["vectoradd", "transpose"],
+		"estimator": "fi",
+		"injections": 20,
+		"seed": 3
+	}`)
+	var sb strings.Builder
+	if err := Run("gufi", gpu.NVIDIA, []string{"-spec", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"nv-sweep", "register-file AVF", "vectoradd", "transpose", "average"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("spec output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSpecJSON(t *testing.T) {
+	path := writeSpec(t, `{
+		"version": 1,
+		"chips": ["Mini AMD"],
+		"benchmarks": ["reduction"],
+		"estimator": "fi",
+		"injections": 20
+	}`)
+	var sb strings.Builder
+	if err := Run("sifi", gpu.AMD, []string{"-spec", path, "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Chips []string `json:"chips"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.Chips) != 1 || doc.Chips[0] != "Mini AMD" {
+		t.Fatalf("chips: %v", doc.Chips)
+	}
+}
+
+// TestRunSpecVendorGate: gufi refuses AMD chips in specs, exactly as it
+// does for -chip.
+func TestRunSpecVendorGate(t *testing.T) {
+	path := writeSpec(t, `{
+		"version": 1,
+		"chips": ["HD Radeon 7970"],
+		"benchmarks": ["vectoradd"],
+		"injections": 10
+	}`)
+	var sb strings.Builder
+	err := Run("gufi", gpu.NVIDIA, []string{"-spec", path}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "use the other tool") {
+		t.Fatalf("vendor gate missing: %v", err)
+	}
+}
+
+func TestRunSpecBadFile(t *testing.T) {
+	var sb strings.Builder
+	if err := Run("gufi", gpu.NVIDIA, []string{"-spec", "/no/such.json"}, &sb); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+	bad := writeSpec(t, `{"version": 1, "bogus_field": true}`)
+	if err := Run("gufi", gpu.NVIDIA, []string{"-spec", bad}, &sb); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// TestRunSpecDefaultsToVendorChips: a spec with no chip axis (the
+// README's minimal form) must default to the tool's own vendor rather
+// than normalizing to the mixed four-chip paper grid and then failing
+// the vendor gate.
+func TestRunSpecDefaultsToVendorChips(t *testing.T) {
+	path := writeSpec(t, `{
+		"version": 1,
+		"benchmarks": ["vectoradd"],
+		"estimator": "fi",
+		"injections": 10,
+		"seed": 1
+	}`)
+	var sb strings.Builder
+	if err := Run("sifi", gpu.AMD, []string{"-spec", path}, &sb); err != nil {
+		t.Fatalf("chips-less spec rejected: %v", err)
+	}
+	if !strings.Contains(sb.String(), "HD Radeon 7970") {
+		t.Fatalf("AMD default chip missing:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "GeForce") || strings.Contains(sb.String(), "Quadro") {
+		t.Fatalf("sifi ran NVIDIA chips:\n%s", sb.String())
+	}
+}
+
+// TestRunSpecFlagOverride: explicitly set campaign flags override the
+// file, matching cmd/figures (the documented contract).
+func TestRunSpecFlagOverride(t *testing.T) {
+	path := writeSpec(t, `{
+		"version": 1,
+		"chips": ["Mini NVIDIA"],
+		"benchmarks": ["vectoradd"],
+		"estimator": "fi",
+		"injections": 500,
+		"seed": 2
+	}`)
+	var sb strings.Builder
+	if err := Run("gufi", gpu.NVIDIA, []string{"-spec", path, "-n", "25"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "25 injections/campaign") {
+		t.Fatalf("-n did not override the spec:\n%s", sb.String())
+	}
+}
+
+// TestRunSpecRejectsBadConfidence: out-of-range policy values in the
+// file must be rejected, not silently defaulted.
+func TestRunSpecRejectsBadConfidence(t *testing.T) {
+	path := writeSpec(t, `{
+		"version": 1,
+		"chips": ["Mini NVIDIA"],
+		"benchmarks": ["vectoradd"],
+		"injections": 10,
+		"policy": {"confidence": 95}
+	}`)
+	var sb strings.Builder
+	err := Run("gufi", gpu.NVIDIA, []string{"-spec", path}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "confidence") {
+		t.Fatalf("confidence typo accepted: %v", err)
 	}
 }

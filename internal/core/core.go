@@ -1,16 +1,19 @@
 // Package core is the reproduction's top-level reliability-evaluation
 // framework — the equivalent of the paper's GUFI+SIFI pair plus the
-// experiment drivers that produce its three figures. It composes the
-// simulators (via internal/devices), the benchmark suite, the
-// fault-injection engine and the ACE analysis into per-(chip, benchmark,
-// structure) measurement cells and whole-figure experiments.
+// experiment drivers that produce its three figures. Since the
+// declarative experiment redesign it is a thin compatibility layer: the
+// figure drivers compile their Options into versioned experiment specs
+// (see internal/experiment) and run them through the spec runner, so
+// "run Fig. 1" and "run the fig1 spec" are literally the same code path
+// and produce byte-identical output.
 //
 // All fault-injection campaigns are routed through a campaign.Scheduler
 // (Options.Scheduler), which deduplicates identical cells, bounds
 // concurrency and caches results: running FigureRegisterFile,
 // FigureLocalMemory and FigureEPF against one shared scheduler executes
 // every unique (chip, benchmark, structure) campaign exactly once —
-// Fig. 3 reuses the cells Figs. 1 and 2 already measured.
+// Fig. 3 reuses the cells Figs. 1 and 2 already measured, and any spec
+// run against the same scheduler reuses them too.
 package core
 
 import (
@@ -18,10 +21,9 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/ace"
 	"repro/internal/campaign"
 	"repro/internal/chips"
-	"repro/internal/devices"
+	"repro/internal/experiment"
 	"repro/internal/finject"
 	"repro/internal/gpu"
 	"repro/internal/metrics"
@@ -83,21 +85,40 @@ func (o Options) withDefaults(benches []*workloads.Benchmark) Options {
 	return o
 }
 
-// campaignFor builds the canonical campaign of one cell; every driver
-// goes through this so equal cells always carry equal seeds and hit the
-// same store key.
-func (o Options) campaignFor(chip *chips.Chip, bench *workloads.Benchmark, st gpu.Structure) finject.Campaign {
-	return finject.Campaign{
-		Chip:       chip,
-		Benchmark:  bench,
-		Structure:  st,
+// spec compiles the result-affecting Options into an experiment spec
+// over the given structure axis. Workers and Scheduler stay out: they
+// belong to the executing tier, not to the experiment's identity.
+func (o Options) spec(structures []gpu.Structure) experiment.Spec {
+	return experiment.Spec{
+		Structures: structures,
+		Estimator:  experiment.EstimatorBoth,
 		Injections: o.Injections,
-		Seed:       cellSeed(o.Seed, chip.Name, bench.Name, st),
-		Policy: finject.Policy{
-			Workers:    o.Workers,
-			Margin:     o.Margin,
-			Confidence: o.Confidence,
-		},
+		Seed:       o.Seed,
+		Policy:     experiment.Policy{Margin: o.Margin, Confidence: o.Confidence},
+	}
+}
+
+// plan lowers the options onto the explicit chip/benchmark pointer sets
+// (which may include unregistered chips, so the name registries are
+// bypassed).
+func (o Options) plan(s experiment.Spec) (*experiment.Plan, error) {
+	if len(o.Chips) == 0 || len(o.Benchmarks) == 0 {
+		return nil, errors.New("core: empty chip or benchmark set")
+	}
+	return s.CompileWith(o.Chips, o.Benchmarks)
+}
+
+// figureStructures maps a figure number to its defaults.
+func figureStructures(fig int) (structures []gpu.Structure, benches []*workloads.Benchmark, err error) {
+	switch fig {
+	case 1:
+		return []gpu.Structure{gpu.RegisterFile}, workloads.All(), nil
+	case 2:
+		return []gpu.Structure{gpu.LocalMemory}, workloads.LocalMemorySubset(), nil
+	case 3:
+		return []gpu.Structure{gpu.RegisterFile, gpu.LocalMemory}, workloads.All(), nil
+	default:
+		return nil, nil, fmt.Errorf("core: unknown figure %d (want 1, 2 or 3)", fig)
 	}
 }
 
@@ -105,29 +126,16 @@ func (o Options) campaignFor(chip *chips.Chip, bench *workloads.Benchmark, st gp
 // fig (1, 2 or 3) schedules under opts — the exact work list, usable for
 // progress accounting before or during a figure run.
 func FigureCells(fig int, opts Options) ([]campaign.CellSpec, error) {
-	var structures []gpu.Structure
-	switch fig {
-	case 1:
-		opts = opts.withDefaults(workloads.All())
-		structures = []gpu.Structure{gpu.RegisterFile}
-	case 2:
-		opts = opts.withDefaults(workloads.LocalMemorySubset())
-		structures = []gpu.Structure{gpu.LocalMemory}
-	case 3:
-		opts = opts.withDefaults(workloads.All())
-		structures = []gpu.Structure{gpu.RegisterFile, gpu.LocalMemory}
-	default:
-		return nil, fmt.Errorf("core: unknown figure %d (want 1, 2 or 3)", fig)
+	structures, benches, err := figureStructures(fig)
+	if err != nil {
+		return nil, err
 	}
-	var specs []campaign.CellSpec
-	for _, b := range opts.Benchmarks {
-		for _, c := range opts.Chips {
-			for _, st := range structures {
-				specs = append(specs, campaign.SpecOf(opts.campaignFor(c, b, st)))
-			}
-		}
+	opts = opts.withDefaults(benches)
+	p, err := opts.plan(opts.spec(structures))
+	if err != nil {
+		return nil, err
 	}
-	return specs, nil
+	return p.CellSpecs(), nil
 }
 
 // Cell is one (chip, benchmark, structure) measurement: both
@@ -153,19 +161,21 @@ type Cell struct {
 	Outcomes [gpu.NumOutcomes]int
 }
 
-// cellSeed derives a distinct campaign seed per cell so that cells don't
-// share fault samples.
-func cellSeed(base uint64, chip, bench string, st gpu.Structure) uint64 {
-	h := base ^ 0xcbf29ce484222325
-	mix := func(s string) {
-		for i := 0; i < len(s); i++ {
-			h = (h ^ uint64(s[i])) * 0x100000001b3
-		}
+// cellOf converts one experiment cell into the legacy core shape.
+func cellOf(c *experiment.Cell) *Cell {
+	return &Cell{
+		Chip:       c.Chip,
+		Benchmark:  c.Benchmark,
+		Structure:  c.Structure,
+		AVFFI:      c.AVFFI,
+		AVFFILo:    c.AVFFILo,
+		AVFFIHi:    c.AVFFIHi,
+		AVFACE:     c.AVFACE,
+		Occupancy:  c.Occupancy,
+		Cycles:     c.Cycles,
+		Injections: c.Injections,
+		Outcomes:   c.Outcomes,
 	}
-	mix(chip)
-	mix(bench)
-	h = (h ^ uint64(st)) * 0x100000001b3
-	return h
 }
 
 // MeasureCell runs both methodologies for one cell: a statistical FI
@@ -176,46 +186,20 @@ func MeasureCell(chip *chips.Chip, bench *workloads.Benchmark, st gpu.Structure,
 
 // MeasureCellContext is MeasureCell under a context: the FI campaign is
 // served by the scheduler (cached cells cost nothing) and cancellation
-// stops the campaign promptly.
+// stops the campaign promptly. It is a single-cell spec run — the same
+// code path as the figure drivers and the experiment endpoints.
 func MeasureCellContext(ctx context.Context, chip *chips.Chip, bench *workloads.Benchmark, st gpu.Structure, opts Options) (*Cell, error) {
 	opts = opts.withDefaults(workloads.All())
-	res, err := opts.Scheduler.Run(ctx, opts.campaignFor(chip, bench, st))
-	if err != nil {
-		return nil, fmt.Errorf("core: FI campaign %s/%s/%s: %w", chip.Name, bench.Name, st, err)
-	}
-	d, err := devices.New(chip)
+	p, err := opts.spec([]gpu.Structure{st}).CompileWith([]*chips.Chip{chip}, []*workloads.Benchmark{bench})
 	if err != nil {
 		return nil, err
 	}
-	hp, err := bench.New(chip.Vendor)
+	r := &experiment.Runner{Scheduler: opts.Scheduler}
+	res, err := r.RunPlan(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	regACE, localACE, runStats, err := ace.Measure(d, hp)
-	if err != nil {
-		return nil, fmt.Errorf("core: ACE run %s/%s: %w", chip.Name, bench.Name, err)
-	}
-	aceAVF := regACE
-	if st == gpu.LocalMemory {
-		aceAVF = localACE
-	}
-	lo, hi, err := res.AVFInterval(opts.Confidence)
-	if err != nil {
-		return nil, err
-	}
-	return &Cell{
-		Chip:       chip.Name,
-		Benchmark:  bench.Name,
-		Structure:  st,
-		AVFFI:      res.AVF(),
-		AVFFILo:    lo,
-		AVFFIHi:    hi,
-		AVFACE:     aceAVF,
-		Occupancy:  res.Occupancy,
-		Cycles:     runStats.Cycles,
-		Injections: res.Injections,
-		Outcomes:   res.Outcomes,
-	}, nil
+	return cellOf(res.Tables[0].Cells[0][0]), nil
 }
 
 // Figure is one AVF figure: cells indexed [benchmark][chip], plus the
@@ -230,58 +214,49 @@ type Figure struct {
 	Averages []*Cell
 }
 
-// measureFigure runs the full grid for one structure: the FI campaigns of
-// all cells are scheduled as one batch (deduplicated and executed across
-// the scheduler's worker pool), then the per-cell measurements assemble
-// from the warm store.
-func measureFigure(ctx context.Context, st gpu.Structure, defaultBenches []*workloads.Benchmark, opts Options) (*Figure, error) {
-	opts = opts.withDefaults(defaultBenches)
-	if len(opts.Chips) == 0 || len(opts.Benchmarks) == 0 {
-		return nil, errors.New("core: empty chip or benchmark set")
+// FigureOf converts one structure's table of an experiment result into
+// the legacy Figure shape — the conversion behind the figure-driver
+// shims, exported so tests (and callers still on the old types) can
+// cross-check the two surfaces byte for byte.
+func FigureOf(res *experiment.Result, st gpu.Structure) (*Figure, error) {
+	tbl := res.Table(st)
+	if tbl == nil {
+		return nil, fmt.Errorf("core: experiment result has no %s table", st)
 	}
-	var batch []finject.Campaign
-	for _, b := range opts.Benchmarks {
-		for _, c := range opts.Chips {
-			batch = append(batch, opts.campaignFor(c, b, st))
+	fig := &Figure{
+		Structure:  st,
+		ChipNames:  append([]string(nil), res.Chips...),
+		BenchNames: append([]string(nil), res.Benchmarks...),
+	}
+	fig.Cells = make([][]*Cell, len(tbl.Cells))
+	for bi, row := range tbl.Cells {
+		fig.Cells[bi] = make([]*Cell, len(row))
+		for ci, c := range row {
+			fig.Cells[bi][ci] = cellOf(c)
 		}
 	}
-	if _, err := opts.Scheduler.RunBatch(ctx, batch, nil); err != nil {
-		return nil, err
-	}
-	fig := &Figure{Structure: st}
-	for _, c := range opts.Chips {
-		fig.ChipNames = append(fig.ChipNames, c.Name)
-	}
-	for _, b := range opts.Benchmarks {
-		fig.BenchNames = append(fig.BenchNames, b.Name)
-	}
-	fig.Cells = make([][]*Cell, len(opts.Benchmarks))
-	for bi, b := range opts.Benchmarks {
-		fig.Cells[bi] = make([]*Cell, len(opts.Chips))
-		for ci, c := range opts.Chips {
-			cell, err := MeasureCellContext(ctx, c, b, st, opts)
-			if err != nil {
-				return nil, err
-			}
-			fig.Cells[bi][ci] = cell
-		}
-	}
-	// Across-benchmark averages per chip ("average" group of the figure).
-	for ci, c := range opts.Chips {
-		avg := &Cell{Chip: c.Name, Benchmark: "average", Structure: st}
-		for bi := range opts.Benchmarks {
-			cell := fig.Cells[bi][ci]
-			avg.AVFFI += cell.AVFFI
-			avg.AVFACE += cell.AVFACE
-			avg.Occupancy += cell.Occupancy
-		}
-		n := float64(len(opts.Benchmarks))
-		avg.AVFFI /= n
-		avg.AVFACE /= n
-		avg.Occupancy /= n
-		fig.Averages = append(fig.Averages, avg)
+	for _, avg := range tbl.Averages {
+		fig.Averages = append(fig.Averages, cellOf(avg))
 	}
 	return fig, nil
+}
+
+// measureFigure runs one structure's full grid as a spec: the FI
+// campaigns of all cells are scheduled as one batch (deduplicated and
+// executed across the scheduler's worker pool), then the per-cell
+// measurements assemble from the warm store.
+func measureFigure(ctx context.Context, st gpu.Structure, defaultBenches []*workloads.Benchmark, opts Options) (*Figure, error) {
+	opts = opts.withDefaults(defaultBenches)
+	p, err := opts.plan(opts.spec([]gpu.Structure{st}))
+	if err != nil {
+		return nil, err
+	}
+	r := &experiment.Runner{Scheduler: opts.Scheduler}
+	res, err := r.RunPlan(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return FigureOf(res, st)
 }
 
 // FigureRegisterFile reproduces Fig. 1: register-file AVF by FI and ACE
@@ -328,6 +303,34 @@ type FigureEPFData struct {
 	Rows [][]*EPFRow
 }
 
+// EPFDataOf converts an experiment result's EPF table into the legacy
+// Fig. 3 shape.
+func EPFDataOf(res *experiment.Result) (*FigureEPFData, error) {
+	if res.EPF == nil {
+		return nil, errors.New("core: experiment result has no EPF table")
+	}
+	data := &FigureEPFData{
+		ChipNames:  append([]string(nil), res.Chips...),
+		BenchNames: append([]string(nil), res.Benchmarks...),
+	}
+	data.Rows = make([][]*EPFRow, len(res.EPF.Rows))
+	for bi, row := range res.EPF.Rows {
+		data.Rows[bi] = make([]*EPFRow, len(row))
+		for ci, r := range row {
+			data.Rows[bi][ci] = &EPFRow{
+				Chip:      r.Chip,
+				Benchmark: r.Benchmark,
+				EPF:       r.EPF,
+				Seconds:   r.Seconds,
+				Cycles:    r.Cycles,
+				RegAVF:    r.RegAVF,
+				LocalAVF:  r.LocalAVF,
+			}
+		}
+	}
+	return data, nil
+}
+
 // FigureEPF reproduces Fig. 3: EPF for every benchmark on every chip,
 // combining the FI AVFs of both structures with the performance model.
 func FigureEPF(opts Options) (*FigureEPFData, error) {
@@ -339,71 +342,17 @@ func FigureEPF(opts Options) (*FigureEPFData, error) {
 // Fig. 1 or Fig. 2 on the same scheduler is reused instead of re-run.
 func FigureEPFContext(ctx context.Context, opts Options) (*FigureEPFData, error) {
 	opts = opts.withDefaults(workloads.All())
-	var batch []finject.Campaign
-	for _, b := range opts.Benchmarks {
-		for _, c := range opts.Chips {
-			for _, st := range []gpu.Structure{gpu.RegisterFile, gpu.LocalMemory} {
-				batch = append(batch, opts.campaignFor(c, b, st))
-			}
-		}
-	}
-	if _, err := opts.Scheduler.RunBatch(ctx, batch, nil); err != nil {
-		return nil, err
-	}
-	data := &FigureEPFData{}
-	for _, c := range opts.Chips {
-		data.ChipNames = append(data.ChipNames, c.Name)
-	}
-	for _, b := range opts.Benchmarks {
-		data.BenchNames = append(data.BenchNames, b.Name)
-	}
-	data.Rows = make([][]*EPFRow, len(opts.Benchmarks))
-	for bi, b := range opts.Benchmarks {
-		data.Rows[bi] = make([]*EPFRow, len(opts.Chips))
-		for ci, c := range opts.Chips {
-			row, err := measureEPF(ctx, c, b, opts)
-			if err != nil {
-				return nil, err
-			}
-			data.Rows[bi][ci] = row
-		}
-	}
-	return data, nil
-}
-
-// measureEPF combines both structures' FI campaigns of one (chip,
-// benchmark) into an EPF value. The campaigns are served by the
-// scheduler's store, so cells shared with Figs. 1 and 2 are never re-run.
-func measureEPF(ctx context.Context, chip *chips.Chip, bench *workloads.Benchmark, opts Options) (*EPFRow, error) {
-	avfs := make(map[gpu.Structure]*finject.Result, 2)
-	for _, st := range []gpu.Structure{gpu.RegisterFile, gpu.LocalMemory} {
-		res, err := opts.Scheduler.Run(ctx, opts.campaignFor(chip, bench, st))
-		if err != nil {
-			return nil, fmt.Errorf("core: EPF campaign %s/%s/%s: %w", chip.Name, bench.Name, st, err)
-		}
-		avfs[st] = res
-	}
-	cycles := avfs[gpu.RegisterFile].GoldenStats.Cycles
-	secs, err := metrics.ExecSeconds(cycles, chip.ClockGHz)
+	s := opts.spec([]gpu.Structure{gpu.RegisterFile, gpu.LocalMemory})
+	s.Estimator = experiment.EstimatorFI
+	s.Metrics = experiment.Metrics{EPF: true, RawFITPerMbit: opts.RawFITPerMbit}
+	p, err := opts.plan(s)
 	if err != nil {
 		return nil, err
 	}
-	epf, err := metrics.EPF(cycles, chip.ClockGHz, opts.RawFITPerMbit, []metrics.StructureAVF{
-		{Structure: gpu.RegisterFile, AVF: avfs[gpu.RegisterFile].AVF(), Bits: chip.StructBits(gpu.RegisterFile)},
-		{Structure: gpu.LocalMemory, AVF: avfs[gpu.LocalMemory].AVF(), Bits: chip.StructBits(gpu.LocalMemory)},
-	})
+	r := &experiment.Runner{Scheduler: opts.Scheduler}
+	res, err := r.RunPlan(ctx, p)
 	if err != nil {
-		// All-zero AVFs with small samples: report infinite EPF as 0 with
-		// the condition preserved in the row for the renderer.
-		epf = 0
+		return nil, err
 	}
-	return &EPFRow{
-		Chip:      chip.Name,
-		Benchmark: bench.Name,
-		EPF:       epf,
-		Seconds:   secs,
-		Cycles:    cycles,
-		RegAVF:    avfs[gpu.RegisterFile].AVF(),
-		LocalAVF:  avfs[gpu.LocalMemory].AVF(),
-	}, nil
+	return EPFDataOf(res)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/chips"
+	"repro/internal/experiment"
 	"repro/internal/gpu"
 	"repro/internal/workloads"
 )
@@ -134,10 +135,10 @@ func TestFigureEPF(t *testing.T) {
 }
 
 func TestCellSeedDistinct(t *testing.T) {
-	s1 := cellSeed(1, "a", "b", gpu.RegisterFile)
-	s2 := cellSeed(1, "a", "b", gpu.LocalMemory)
-	s3 := cellSeed(1, "a", "c", gpu.RegisterFile)
-	s4 := cellSeed(2, "a", "b", gpu.RegisterFile)
+	s1 := experiment.CellSeed(1, "a", "b", gpu.RegisterFile)
+	s2 := experiment.CellSeed(1, "a", "b", gpu.LocalMemory)
+	s3 := experiment.CellSeed(1, "a", "c", gpu.RegisterFile)
+	s4 := experiment.CellSeed(2, "a", "b", gpu.RegisterFile)
 	if s1 == s2 || s1 == s3 || s1 == s4 || s2 == s3 {
 		t.Fatalf("seed collisions: %x %x %x %x", s1, s2, s3, s4)
 	}

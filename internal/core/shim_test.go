@@ -1,0 +1,147 @@
+// Byte-identity of the two public surfaces: running a figure through the
+// declarative experiment runner must produce exactly the bytes of the
+// legacy core figure drivers, off one shared scheduler with zero
+// re-executed cells. This is the redesign's acceptance contract. (The
+// test lives in core_test because it needs internal/report, which
+// imports core.)
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/gpu"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func miniGrid(t *testing.T) (opts core.Options, spec experiment.Spec) {
+	t.Helper()
+	b1, err := workloads.ByName("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := workloads.ByName("transpose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts = core.Options{
+		Injections: 50,
+		Seed:       9,
+		Chips:      []*chips.Chip{chips.MiniNVIDIA(), chips.MiniAMD()},
+		Benchmarks: []*workloads.Benchmark{b1, b2},
+	}
+	spec = experiment.Spec{
+		Chips:      []string{"Mini NVIDIA", "Mini AMD"},
+		Benchmarks: []string{"vectoradd", "transpose"},
+		Injections: 50,
+		Seed:       9,
+	}
+	return opts, spec
+}
+
+func TestSpecRunnerMatchesFigureDrivers(t *testing.T) {
+	ctx := context.Background()
+	sched := campaign.New(campaign.Config{})
+	opts, spec := miniGrid(t)
+	opts.Scheduler = sched
+	runner := &experiment.Runner{Scheduler: sched}
+
+	// Fig. 1 shape: register file, both estimators.
+	spec.Structures = []gpu.Structure{gpu.RegisterFile}
+	res, err := runner.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsAfterSpec := sched.Stats().Runs
+
+	fig, err := core.FigureRegisterFileContext(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.Stats().Runs; got != runsAfterSpec {
+		t.Fatalf("figure driver re-executed %d cells the spec run already measured", got-runsAfterSpec)
+	}
+
+	fromSpec, err := core.FigureOf(res, gpu.RegisterFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := report.WriteFigureJSON(&a, fromSpec, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteFigureJSON(&b, fig, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("figure JSON differs between spec runner and driver:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+
+	// Fig. 3 shape: EPF over both structures, reusing the cells above.
+	spec.Structures = []gpu.Structure{gpu.RegisterFile, gpu.LocalMemory}
+	spec.Estimator = experiment.EstimatorFI
+	spec.Metrics = experiment.Metrics{EPF: true}
+	epfRes, err := runner.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsAfterSpec = sched.Stats().Runs
+	epfFig, err := core.FigureEPFContext(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.Stats().Runs; got != runsAfterSpec {
+		t.Fatalf("EPF driver re-executed %d cells", got-runsAfterSpec)
+	}
+	fromSpecEPF, err := core.EPFDataOf(epfRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+	b.Reset()
+	if err := report.WriteEPFJSON(&a, fromSpecEPF, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteEPFJSON(&b, epfFig, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("EPF JSON differs between spec runner and driver:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+}
+
+// TestFigureSpecsMatchFigureCells: the canned figure specs compile to
+// exactly the cell lists the legacy FigureCells API reports.
+func TestFigureSpecsMatchFigureCells(t *testing.T) {
+	for fig := 1; fig <= 3; fig++ {
+		spec, err := experiment.Figure(fig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Seed = 5
+		spec.Injections = 77
+		plan, err := spec.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := core.FigureCells(fig, core.Options{Seed: 5, Injections: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := plan.CellSpecs()
+		if len(got) != len(legacy) {
+			t.Fatalf("fig %d: %d cells vs legacy %d", fig, len(got), len(legacy))
+		}
+		for i := range got {
+			if got[i].Key() != legacy[i].Key() {
+				t.Fatalf("fig %d cell %d: key mismatch\n%s\nvs\n%s", fig, i, got[i], legacy[i])
+			}
+		}
+	}
+}

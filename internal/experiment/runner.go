@@ -1,0 +1,392 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/ace"
+	"repro/internal/campaign"
+	"repro/internal/chips"
+	"repro/internal/devices"
+	"repro/internal/finject"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/protect"
+	"repro/internal/workloads"
+)
+
+// defaultRawFIT is the raw soft-error rate a spec's metrics block
+// normalizes to when unset.
+const defaultRawFIT = metrics.DefaultRawFITPerMbit
+
+// Progress reports one grid cell the runner finished, in completion
+// order (the scheduler executes cells concurrently).
+type Progress struct {
+	// Cell is the planned cell that completed.
+	Cell PlannedCell
+	// Spec is its normalized campaign identity.
+	Spec campaign.CellSpec
+	// Cached is true when the cell was served without running a
+	// campaign (store hit, join, or the ACE-only estimator).
+	Cached bool
+	// Done and Total count completed grid cells.
+	Done, Total int
+	// Err is the cell's failure, if any (the run is being canceled).
+	Err error
+}
+
+// Runner executes compiled experiment plans over a campaign.Scheduler.
+// Any executor tier behind the scheduler works — in-process, a shared
+// disk store, or a remote fiworker fleet — and produces byte-identical
+// results, by the determinism contract of the injection engine.
+type Runner struct {
+	// Scheduler executes and caches the FI campaigns; a private
+	// in-process scheduler is created per run when nil.
+	Scheduler *campaign.Scheduler
+	// OnCell, when non-nil, receives per-cell progress as the run
+	// streams. It is called from scheduler goroutines, one call at a
+	// time.
+	OnCell func(Progress)
+}
+
+// Run compiles and executes one spec.
+func (r *Runner) Run(ctx context.Context, s Spec) (*Result, error) {
+	p, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return r.RunPlan(ctx, p)
+}
+
+// RunPlan executes a compiled plan: the FI campaigns of every cell run
+// as one scheduler batch (deduplicated, cached, concurrency-bounded),
+// then the grid tables, averages and derived metrics assemble from the
+// warm store with exactly the figure drivers' arithmetic.
+func (r *Runner) RunPlan(ctx context.Context, p *Plan) (*Result, error) {
+	sched := r.Scheduler
+	if sched == nil {
+		sched = campaign.New(campaign.Config{})
+	}
+	spec := p.Spec
+
+	res := &Result{
+		Spec:       spec,
+		Chips:      append([]string(nil), spec.Chips...),
+		Benchmarks: append([]string(nil), spec.Benchmarks...),
+	}
+
+	// Phase 1: the statistical campaigns, as one batch (deduplicated,
+	// cached and concurrency-bounded by the scheduler).
+	var fiResults []*finject.Result
+	if spec.Estimator.fi() {
+		batch := make([]finject.Campaign, len(p.Cells))
+		for i, c := range p.Cells {
+			batch[i] = c.Campaign
+		}
+		var done int
+		onCell := func(i int, fres *finject.Result, cached bool, cellErr error) {
+			if r.OnCell == nil {
+				return
+			}
+			done++
+			r.OnCell(Progress{
+				Cell:   p.Cells[i],
+				Spec:   campaign.SpecOf(p.Cells[i].Campaign),
+				Cached: cached,
+				Done:   done,
+				Total:  len(p.Cells),
+				Err:    cellErr,
+			})
+		}
+		var err error
+		fiResults, err = sched.RunBatch(ctx, batch, onCell)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: assemble the per-structure tables from the batch results.
+	// The ACE analysis is one traced run per (chip, benchmark) that
+	// yields both structures' AVFs at once; memoize it so a
+	// two-structure grid doesn't simulate every pair twice.
+	type aceRun struct {
+		reg, local float64
+		stats      gpu.RunStats
+	}
+	aceCache := make(map[[2]int]*aceRun)
+	aceOf := func(pc PlannedCell) (*aceRun, error) {
+		key := [2]int{pc.BenchIndex, pc.ChipIndex}
+		if run, ok := aceCache[key]; ok {
+			return run, nil
+		}
+		reg, local, st, err := measureACE(pc.Chip, pc.Benchmark)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ACE run %s/%s: %w", pc.Chip.Name, pc.Benchmark.Name, err)
+		}
+		run := &aceRun{reg: reg, local: local, stats: st}
+		aceCache[key] = run
+		return run, nil
+	}
+	cells := make(map[[3]int]*Cell, len(p.Cells))
+	aceDone := 0
+	for i, pc := range p.Cells {
+		var fres *finject.Result
+		if fiResults != nil {
+			fres = fiResults[i]
+		}
+		cell, err := r.measureCell(spec, pc, fres, func() (float64, float64, gpu.RunStats, error) {
+			run, err := aceOf(pc)
+			if err != nil {
+				return 0, 0, gpu.RunStats{}, err
+			}
+			return run.reg, run.local, run.stats, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		cells[[3]int{pc.BenchIndex, pc.ChipIndex, pc.StructIndex}] = cell
+		if !spec.Estimator.fi() && r.OnCell != nil {
+			aceDone++
+			r.OnCell(Progress{
+				Cell: pc, Spec: campaign.SpecOf(pc.Campaign), Cached: true,
+				Done: aceDone, Total: len(p.Cells),
+			})
+		}
+	}
+	for si, st := range spec.Structures {
+		tbl := &Table{Structure: st}
+		tbl.Cells = make([][]*Cell, len(p.Benchmarks))
+		for bi := range p.Benchmarks {
+			tbl.Cells[bi] = make([]*Cell, len(p.Chips))
+			for ci := range p.Chips {
+				tbl.Cells[bi][ci] = cells[[3]int{bi, ci, si}]
+			}
+		}
+		// Across-benchmark averages per chip ("average" group of the
+		// figures), with the figure drivers' exact summation order.
+		for ci, c := range p.Chips {
+			avg := &Cell{Chip: c.Name, Benchmark: "average", Structure: st}
+			for bi := range p.Benchmarks {
+				cell := tbl.Cells[bi][ci]
+				avg.AVFFI += cell.AVFFI
+				avg.AVFACE += cell.AVFACE
+				avg.Occupancy += cell.Occupancy
+			}
+			n := float64(len(p.Benchmarks))
+			avg.AVFFI /= n
+			avg.AVFACE /= n
+			avg.Occupancy /= n
+			tbl.Averages = append(tbl.Averages, avg)
+		}
+		res.Tables = append(res.Tables, tbl)
+	}
+
+	// Phase 3: derived metrics.
+	if spec.Metrics.EPF {
+		epf, err := assembleEPF(spec, p, fiResults)
+		if err != nil {
+			return nil, err
+		}
+		res.EPF = epf
+	}
+	if len(spec.Metrics.Protection) > 0 {
+		rows, err := assembleProtection(spec, p, cells)
+		if err != nil {
+			return nil, err
+		}
+		res.Protection = rows
+	}
+	return res, nil
+}
+
+// measureCell measures one grid cell under the spec's estimator: the FI
+// result comes from the phase-1 batch and the ACE measurements from the
+// memoized per-(chip, benchmark) traced run.
+func (r *Runner) measureCell(spec Spec, pc PlannedCell, fres *finject.Result, aceOf func() (regAVF, localAVF float64, st gpu.RunStats, err error)) (*Cell, error) {
+	cell := &Cell{
+		Chip:      pc.Chip.Name,
+		Benchmark: pc.Benchmark.Name,
+		Structure: pc.Structure,
+	}
+	if spec.Estimator.fi() {
+		lo, hi, err := fres.AVFInterval(spec.Policy.Confidence)
+		if err != nil {
+			return nil, err
+		}
+		cell.AVFFI = fres.AVF()
+		cell.AVFFILo = lo
+		cell.AVFFIHi = hi
+		cell.Occupancy = fres.Occupancy
+		cell.Cycles = fres.GoldenStats.Cycles
+		cell.Injections = fres.Injections
+		cell.Outcomes = fres.Outcomes
+	}
+	if spec.Estimator.ace() {
+		regACE, localACE, runStats, err := aceOf()
+		if err != nil {
+			return nil, err
+		}
+		cell.AVFACE = regACE
+		if pc.Structure == gpu.LocalMemory {
+			cell.AVFACE = localACE
+		}
+		cell.Cycles = runStats.Cycles
+		if !spec.Estimator.fi() {
+			total := int64(pc.Chip.Units) * int64(pc.Chip.StructSize(pc.Structure))
+			cell.Occupancy = runStats.Occupancy(pc.Structure, total)
+		}
+	}
+	if spec.Metrics.FIT {
+		cell.FIT = metrics.FIT(cellAVF(spec, cell), pc.Chip.StructBits(pc.Structure), spec.Metrics.RawFITPerMbit)
+	}
+	return cell, nil
+}
+
+// cellAVF picks the AVF entering derived metrics: FI when measured (the
+// paper's FIT_GPU uses the injection AVFs), ACE otherwise.
+func cellAVF(spec Spec, c *Cell) float64 {
+	if spec.Estimator.fi() {
+		return c.AVFFI
+	}
+	return c.AVFACE
+}
+
+// measureACE runs the single-pass lifetime analysis of one (chip,
+// benchmark) pair.
+func measureACE(chip *chips.Chip, bench *workloads.Benchmark) (regAVF, localAVF float64, st gpu.RunStats, err error) {
+	d, err := devices.New(chip)
+	if err != nil {
+		return 0, 0, gpu.RunStats{}, err
+	}
+	hp, err := bench.New(chip.Vendor)
+	if err != nil {
+		return 0, 0, gpu.RunStats{}, err
+	}
+	return ace.Measure(d, hp)
+}
+
+// assembleEPF combines every structure's FI campaign of each (chip,
+// benchmark) into the EPF table, with the Fig. 3 driver's exact
+// arithmetic: cycles from the first structure's golden run, FIT summed
+// in structure-axis order.
+func assembleEPF(spec Spec, p *Plan, fiResults []*finject.Result) (*EPFTable, error) {
+	nChips, nStructs := len(p.Chips), len(spec.Structures)
+	tbl := &EPFTable{}
+	tbl.Rows = make([][]*EPFRow, len(p.Benchmarks))
+	for bi, b := range p.Benchmarks {
+		tbl.Rows[bi] = make([]*EPFRow, len(p.Chips))
+		for ci, c := range p.Chips {
+			avfs := make(map[gpu.Structure]*finject.Result, nStructs)
+			for si, st := range spec.Structures {
+				avfs[st] = fiResults[(bi*nChips+ci)*nStructs+si]
+			}
+			cycles := avfs[spec.Structures[0]].GoldenStats.Cycles
+			secs, err := metrics.ExecSeconds(cycles, c.ClockGHz)
+			if err != nil {
+				return nil, err
+			}
+			var structAVFs []metrics.StructureAVF
+			for _, st := range spec.Structures {
+				structAVFs = append(structAVFs, metrics.StructureAVF{
+					Structure: st, AVF: avfs[st].AVF(), Bits: c.StructBits(st),
+				})
+			}
+			epf, err := metrics.EPF(cycles, c.ClockGHz, spec.Metrics.RawFITPerMbit, structAVFs)
+			if err != nil {
+				// All-zero AVFs with small samples: report infinite EPF
+				// as 0 with the condition preserved in the row for the
+				// renderer.
+				epf = 0
+			}
+			row := &EPFRow{
+				Chip:      c.Name,
+				Benchmark: b.Name,
+				EPF:       epf,
+				Seconds:   secs,
+				Cycles:    cycles,
+			}
+			for _, st := range spec.Structures {
+				switch st {
+				case gpu.RegisterFile:
+					row.RegAVF = avfs[st].AVF()
+				case gpu.LocalMemory:
+					row.LocalAVF = avfs[st].AVF()
+				}
+			}
+			tbl.Rows[bi][ci] = row
+		}
+	}
+	return tbl, nil
+}
+
+// schemeByName resolves a protection scheme name.
+func schemeByName(name string) (protect.Scheme, error) {
+	switch name {
+	case "", "none":
+		return protect.None, nil
+	case "parity":
+		return protect.Parity, nil
+	case "secded":
+		return protect.SECDED, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown protection scheme %q (want none, parity or secded)", name)
+	}
+}
+
+// assembleProtection evaluates every protection what-if of the spec
+// against every (benchmark, chip) of the grid, splitting the measured
+// outcomes into SDC and DUE components per structure.
+func assembleProtection(spec Spec, p *Plan, cells map[[3]int]*Cell) ([]*ProtectionRow, error) {
+	var rows []*ProtectionRow
+	for _, cfg := range spec.Metrics.Protection {
+		var pcfgs []protect.Config
+		for _, sc := range cfg.Schemes {
+			scheme, err := schemeByName(sc.Scheme)
+			if err != nil {
+				return nil, err
+			}
+			perf := -1.0
+			if sc.PerfOverhead != nil {
+				perf = *sc.PerfOverhead
+			}
+			pcfgs = append(pcfgs, protect.Config{Structure: sc.Structure, Scheme: scheme, PerfOverhead: perf})
+		}
+		for bi, b := range p.Benchmarks {
+			for ci, c := range p.Chips {
+				study := protect.Study{
+					ClockGHz:      c.ClockGHz,
+					RawFITPerMbit: spec.Metrics.RawFITPerMbit,
+				}
+				for si := range spec.Structures {
+					cell := cells[[3]int{bi, ci, si}]
+					n := float64(cell.Injections)
+					if n == 0 {
+						return nil, fmt.Errorf("experiment: protection %q needs FI outcomes for %s/%s/%s", cfg.Name, c.Name, b.Name, cell.Structure)
+					}
+					study.Cycles = cell.Cycles
+					study.Structures = append(study.Structures, protect.StructureMeasurement{
+						Structure: cell.Structure,
+						SDCAVF:    float64(cell.Outcomes[gpu.OutcomeSDC]) / n,
+						DUEAVF:    float64(cell.Outcomes[gpu.OutcomeDUE]+cell.Outcomes[gpu.OutcomeTimeout]) / n,
+						Bits:      c.StructBits(cell.Structure),
+					})
+				}
+				pres, err := protect.Evaluate(study, pcfgs)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: protection %q on %s/%s: %w", cfg.Name, c.Name, b.Name, err)
+				}
+				rows = append(rows, &ProtectionRow{
+					Config:    cfg.Name,
+					Chip:      c.Name,
+					Benchmark: b.Name,
+					EPF:       pres.EPF,
+					SDCFIT:    pres.SDCFIT,
+					DUEFIT:    pres.DUEFIT,
+					Slowdown:  pres.Slowdown,
+					ExtraBits: pres.ExtraBits,
+				})
+			}
+		}
+	}
+	return rows, nil
+}

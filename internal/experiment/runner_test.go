@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/gpu"
+)
+
+// miniSpec is a fast two-chip grid over the mini devices.
+func miniSpec() Spec {
+	return Spec{
+		Chips:      []string{"Mini NVIDIA", "Mini AMD"},
+		Benchmarks: []string{"vectoradd", "transpose"},
+		Structures: []gpu.Structure{gpu.RegisterFile, gpu.LocalMemory},
+		Estimator:  EstimatorFI,
+		Injections: 40,
+		Seed:       11,
+	}
+}
+
+func TestRunnerGrid(t *testing.T) {
+	sched := campaign.New(campaign.Config{})
+	var (
+		mu     sync.Mutex
+		events []Progress
+	)
+	r := &Runner{Scheduler: sched, OnCell: func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	}}
+	res, err := r.Run(context.Background(), miniSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables: %d, want 2", len(res.Tables))
+	}
+	for _, tbl := range res.Tables {
+		if len(tbl.Cells) != 2 || len(tbl.Cells[0]) != 2 || len(tbl.Averages) != 2 {
+			t.Fatalf("table %s shape: %dx%d avgs %d", tbl.Structure, len(tbl.Cells), len(tbl.Cells[0]), len(tbl.Averages))
+		}
+		for _, row := range tbl.Cells {
+			for _, c := range row {
+				if c.Injections != 40 || c.Cycles <= 0 {
+					t.Fatalf("cell %+v", c)
+				}
+				if c.AVFACE != 0 {
+					t.Fatalf("fi estimator produced an ACE AVF: %+v", c)
+				}
+			}
+		}
+	}
+	if len(events) != 8 {
+		t.Fatalf("progress events: %d, want 8", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Done != 8 || last.Total != 8 {
+		t.Fatalf("final progress %d/%d", last.Done, last.Total)
+	}
+
+	// A second run over the same scheduler re-executes nothing.
+	runs := sched.Stats().Runs
+	if _, err := (&Runner{Scheduler: sched}).Run(context.Background(), miniSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.Stats().Runs; got != runs {
+		t.Fatalf("warm rerun executed %d campaigns", got-runs)
+	}
+}
+
+func TestRunnerEstimators(t *testing.T) {
+	s := miniSpec()
+	s.Chips = s.Chips[:1]
+	s.Benchmarks = s.Benchmarks[:1]
+	s.Structures = []gpu.Structure{gpu.RegisterFile}
+
+	s.Estimator = EstimatorACE
+	res, err := (&Runner{}).Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Tables[0].Cells[0][0]
+	if c.Injections != 0 || c.AVFFI != 0 {
+		t.Fatalf("ace estimator ran injections: %+v", c)
+	}
+	if c.AVFACE <= 0 || c.Cycles <= 0 || c.Occupancy <= 0 {
+		t.Fatalf("ace estimator missing measurements: %+v", c)
+	}
+
+	s.Estimator = EstimatorBoth
+	res, err = (&Runner{}).Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = res.Tables[0].Cells[0][0]
+	if c.Injections != 40 || c.AVFACE <= 0 {
+		t.Fatalf("both estimator: %+v", c)
+	}
+}
+
+// TestRunnerProtectionSweep runs the new scenario the redesign exists
+// for: a protection what-if sweep, straight from a JSON spec, producing
+// post-protection EPF/FIT rows for every (config, benchmark, chip).
+func TestRunnerProtectionSweep(t *testing.T) {
+	specJSON := `{
+		"version": 1,
+		"name": "mini-protection-sweep",
+		"chips": ["Mini NVIDIA", "Mini AMD"],
+		"benchmarks": ["matrixMul"],
+		"structures": ["register-file", "local-memory"],
+		"estimator": "fi",
+		"injections": 60,
+		"seed": 31,
+		"metrics": {
+			"fit": true,
+			"epf": true,
+			"protection": [
+				{"name": "unprotected"},
+				{"name": "parity-rf", "schemes": [{"structure": "register-file", "scheme": "parity"}]},
+				{"name": "secded-all", "schemes": [
+					{"structure": "register-file", "scheme": "secded"},
+					{"structure": "local-memory", "scheme": "secded"}
+				]}
+			]
+		}
+	}`
+	spec, err := ParseBytes([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Runner{}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EPF == nil || len(res.EPF.Rows) != 1 || len(res.EPF.Rows[0]) != 2 {
+		t.Fatalf("EPF table shape wrong: %+v", res.EPF)
+	}
+	if len(res.Protection) != 3*1*2 {
+		t.Fatalf("protection rows: %d, want 6", len(res.Protection))
+	}
+	byConfig := map[string][]*ProtectionRow{}
+	for _, row := range res.Protection {
+		byConfig[row.Config] = append(byConfig[row.Config], row)
+	}
+	for _, name := range []string{"unprotected", "parity-rf", "secded-all"} {
+		if len(byConfig[name]) != 2 {
+			t.Fatalf("config %q has %d rows", name, len(byConfig[name]))
+		}
+	}
+	for i := range byConfig["unprotected"] {
+		base := byConfig["unprotected"][i]
+		par := byConfig["parity-rf"][i]
+		sec := byConfig["secded-all"][i]
+		// Parity converts RF SDCs to DUEs; it can never increase SDC FIT.
+		if par.SDCFIT > base.SDCFIT {
+			t.Fatalf("parity raised SDC FIT: %+v vs %+v", par, base)
+		}
+		if par.Slowdown <= 0 || par.ExtraBits <= 0 {
+			t.Fatalf("parity is free? %+v", par)
+		}
+		// Full SECDED removes all single-bit failures.
+		if sec.SDCFIT != 0 || sec.DUEFIT != 0 || sec.EPF != 0 {
+			t.Fatalf("secded-all left failures: %+v", sec)
+		}
+	}
+	// FIT was requested: measured cells must carry it whenever faults
+	// manifested.
+	for _, tbl := range res.Tables {
+		for _, row := range tbl.Cells {
+			for _, c := range row {
+				if c.AVFFI > 0 && c.FIT <= 0 {
+					t.Fatalf("cell with AVF %v has no FIT: %+v", c.AVFFI, c)
+				}
+			}
+		}
+	}
+	// The whole result must be JSON-serializable (it is the wire format
+	// of POST /v1/experiments).
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatal(err)
+	}
+}

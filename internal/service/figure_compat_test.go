@@ -1,0 +1,139 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/ace"
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/experiment"
+	"repro/internal/finject"
+	"repro/internal/gpu"
+	"repro/internal/workloads"
+)
+
+// legacyFigure1 reimplements the pre-redesign Fig. 1 path for one
+// (chip, benchmark) cell, straight on the injection engine and the ACE
+// analyzer — no scheduler, no spec runner. It is the reference the
+// deprecated endpoint must keep matching byte for byte.
+func legacyFigure1(t *testing.T, chip *chips.Chip, bench *workloads.Benchmark, n int, seed uint64) *core.Figure {
+	t.Helper()
+	res, err := finject.Run(finject.Campaign{
+		Chip:       chip,
+		Benchmark:  bench,
+		Structure:  gpu.RegisterFile,
+		Injections: n,
+		Seed:       experiment.CellSeed(seed, chip.Name, bench.Name, gpu.RegisterFile),
+		Policy:     finject.Policy{Confidence: 0.99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := res.AVFInterval(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := devices.New(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := bench.New(chip.Vendor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regACE, _, runStats, err := ace.Measure(d, hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := &core.Cell{
+		Chip:       chip.Name,
+		Benchmark:  bench.Name,
+		Structure:  gpu.RegisterFile,
+		AVFFI:      res.AVF(),
+		AVFFILo:    lo,
+		AVFFIHi:    hi,
+		AVFACE:     regACE,
+		Occupancy:  res.Occupancy,
+		Cycles:     runStats.Cycles,
+		Injections: res.Injections,
+		Outcomes:   res.Outcomes,
+	}
+	// The figures' per-chip "average" group: summed over the benchmark
+	// axis, carrying only the averaged fields (the drivers have always
+	// left the rest zero).
+	avg := &core.Cell{Chip: chip.Name, Benchmark: "average", Structure: gpu.RegisterFile}
+	avg.AVFFI = cell.AVFFI / 1
+	avg.AVFACE = cell.AVFACE / 1
+	avg.Occupancy = cell.Occupancy / 1
+	return &core.Figure{
+		Structure:  gpu.RegisterFile,
+		ChipNames:  []string{chip.Name},
+		BenchNames: []string{bench.Name},
+		Cells:      [][]*core.Cell{{cell}},
+		Averages:   []*core.Cell{avg},
+	}
+}
+
+// TestFigureEndpointCompat: GET /v1/figure is a deprecated shim routed
+// through the spec runner — its NDJSON progress lines and its final
+// figure JSON must stay byte-identical to the pre-redesign path,
+// reconstructed here directly on the measurement engines.
+func TestFigureEndpointCompat(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	chip := chips.MiniNVIDIA()
+	bench, err := workloads.ByName("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, seed = 40, 5
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/figure?fig=1&chips=Mini+NVIDIA&bench=vectoradd&n=40&seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") == "" {
+		t.Error("deprecated endpoint does not advertise Deprecation")
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The expected stream, byte for byte: one progress line for the
+	// single cell, then the result event wrapping the legacy figure.
+	var want bytes.Buffer
+	enc := json.NewEncoder(&want)
+	if err := enc.Encode(figureEvent{
+		Event:     "cell",
+		Chip:      chip.Name,
+		Benchmark: bench.Name,
+		Structure: gpu.RegisterFile.String(),
+		Done:      1,
+		Total:     1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(figureEvent{
+		Event:  "result",
+		Fig:    "1",
+		Figure: legacyFigure1(t, chip, bench, n, seed),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Fatalf("deprecated figure stream drifted from the pre-redesign bytes:\ngot:\n%s\nwant:\n%s", body, want.Bytes())
+	}
+}

@@ -10,7 +10,12 @@
 //	GET    /v1/jobs/{id}         job status with per-cell states
 //	GET    /v1/jobs/{id}/result  results (409 until the job is done)
 //	DELETE /v1/jobs/{id}         cancel a running job
+//	POST   /v1/experiments       run a declarative experiment spec,
+//	                             streaming NDJSON progress + result
 //	GET    /v1/figure            run Fig. 1/2/3, streaming NDJSON progress
+//	                             (deprecated: a shim over the spec runner;
+//	                             new clients POST the figure spec to
+//	                             /v1/experiments instead)
 //	GET    /v1/stats             scheduler counters and store size
 //	GET    /healthz              liveness probe
 //
@@ -31,6 +36,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/chips"
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/finject"
 	"repro/internal/workloads"
 )
@@ -55,9 +61,10 @@ type Server struct {
 	running sync.WaitGroup
 }
 
-// job tracks one submitted batch.
+// job tracks one submitted batch or one streamed experiment run.
 type job struct {
 	id     string
+	kind   string // "batch" or "experiment"
 	cancel context.CancelFunc
 
 	mu      sync.Mutex
@@ -65,7 +72,15 @@ type job struct {
 	done    int
 	cells   []cellState
 	results []*finject.Result
-	errMsg  string
+	// expResult is the finished experiment's result (kind "experiment").
+	expResult *experiment.Result
+	errMsg    string
+}
+
+// newJobID mints a job id; experiments and batches share one sequence
+// but carry distinct prefixes so operators can tell them apart.
+func newJobID(prefix string, n int) string {
+	return fmt.Sprintf("%s-%06d", prefix, n)
 }
 
 // cellState is the per-cell view inside a job status.
@@ -103,6 +118,7 @@ func NewServer(sched *campaign.Scheduler) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/figure", s.handleFigure)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -192,7 +208,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.running.Add(1)
 	s.nextID++
 	j := &job{
-		id:      fmt.Sprintf("job-%06d", s.nextID),
+		id:      newJobID("job", s.nextID),
+		kind:    "batch",
 		cancel:  cancel,
 		state:   "running",
 		cells:   cells,
@@ -283,6 +300,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	defer j.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":    j.id,
+		"kind":  j.kind,
 		"state": j.state,
 		"done":  j.done,
 		"total": len(j.cells),
@@ -311,6 +329,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	if j.state != "done" {
 		httpError(w, http.StatusConflict, "job %s %s: %s", j.id, j.state, j.errMsg)
+		return
+	}
+	if j.kind == "experiment" {
+		writeJSON(w, http.StatusOK, map[string]any{"id": j.id, "result": j.expResult})
 		return
 	}
 	rows := make([]jobResultRow, len(j.cells))
@@ -444,7 +466,14 @@ type figureEvent struct {
 // scheduler, streaming per-cell progress as NDJSON lines followed by one
 // final result event. Query: fig=1|2|3 plus n, seed, chips, bench and
 // stream=0 to suppress progress lines.
+//
+// Deprecated: the endpoint is a backward-compatibility shim — the core
+// figure drivers it calls compile their options into experiment specs
+// and run through the spec runner, so its output is byte-identical to
+// the pre-redesign path (see TestFigureEndpointCompat) while new
+// clients POST the equivalent spec to /v1/experiments.
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Deprecation", "true")
 	figNum := 0
 	switch r.URL.Query().Get("fig") {
 	case "1":
