@@ -405,6 +405,49 @@ func BenchmarkInjectionLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpointVsFull contrasts checkpointed fast-forward against
+// full per-injection replay on the same cell with one shared golden:
+// restoring the nearest snapshot below each fault cycle skips the
+// fault-free prefix, which at uniform (bit, cycle) sampling halves the
+// simulated cycles — the differential suite in internal/finject proves
+// the results byte-identical, so the entire delta is pure speed. The
+// committed BENCH_baseline.json carries both variants and
+// cmd/benchgate fails CI if the win regresses.
+func BenchmarkCheckpointVsFull(b *testing.B) {
+	bench, err := workloads.ByName("matrixMul")
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip := chips.MiniNVIDIA()
+	golden, err := finject.NewGolden(chip, bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 400
+	campaign := func(ckpt finject.Checkpoint) finject.Campaign {
+		return finject.Campaign{
+			Chip: chip, Benchmark: bench, Structure: gpu.RegisterFile,
+			Injections: n, Seed: 11, Golden: golden,
+			Policy: finject.Policy{Workers: 4, Checkpoint: ckpt},
+		}
+	}
+	run := func(b *testing.B, ckpt finject.Checkpoint) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := finject.Run(campaign(ckpt))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Injections != n {
+				b.Fatalf("ran %d injections, want %d", res.Injections, n)
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "inj/s")
+	}
+	b.Run("full-replay", func(b *testing.B) { run(b, finject.Checkpoint{Off: true}) })
+	b.Run("checkpointed", func(b *testing.B) { run(b, finject.Checkpoint{}) })
+}
+
 // BenchmarkAdaptiveVsFixed contrasts the adaptive stopping rule against
 // the fixed sample size on the same cell: the adaptive run must reach
 // the requested margin with a fraction of the injections (reported as

@@ -20,6 +20,8 @@
 // Useful knobs: -n (injections per campaign; the paper uses 2000, and it
 // becomes the cap when -margin is set), -margin/-confidence (adaptive
 // sampling: stop each campaign once its AVF interval is tight enough),
+// -checkpoint (fast-forward injections through golden snapshots: auto,
+// off, or a cycle interval; results are byte-identical either way),
 // -workers, -seed, -bench (comma-separated subset), -chips
 // (comma-separated subset), -store (persistent result cache; warm reruns
 // perform zero injections).
@@ -79,6 +81,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		workers    = fs.Int("workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
 		confidence = fs.Float64("confidence", finject.DefaultConfidence, "confidence level for AVF intervals and adaptive stopping")
 		margin     = fs.Float64("margin", 0, "adaptive mode: stop each campaign once the AVF interval half-width reaches this (0 = run exactly -n injections)")
+		checkpoint = fs.String("checkpoint", "auto", "checkpointed fast-forward: auto, off, or a snapshot interval in cycles")
 		storePath  = fs.String("store", "", "JSON-lines result store path (in-memory only when empty)")
 		asJSON     = fs.Bool("json", false, "emit figures as JSON instead of tables")
 		specPath   = fs.String("spec", "", "run this experiment spec (JSON) instead of a canned figure")
@@ -97,6 +100,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *confidence <= 0 || *confidence >= 1 {
 		return fmt.Errorf("confidence %v outside (0,1)", *confidence)
+	}
+	ckpt, err := finject.ParseCheckpoint(*checkpoint)
+	if err != nil {
+		return err
 	}
 
 	if *specPath != "" {
@@ -125,6 +132,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				spec.Policy.Margin = *margin
 			case "confidence":
 				spec.Policy.Confidence = *confidence
+			case "checkpoint":
+				ck := ckpt
+				spec.Policy.Checkpoint = &ck
 			}
 		})
 		return runSpec(ctx, spec, *serverURL, *storePath, *workers, *asJSON, stdout, stderr)
@@ -146,7 +156,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	sched := campaign.New(campaign.Config{Store: store, CampaignWorkers: *workers})
 	opts := core.Options{
 		Injections: *n, Seed: *seed, Workers: *workers,
-		Confidence: *confidence, Margin: *margin, Scheduler: sched,
+		Confidence: *confidence, Margin: *margin, Checkpoint: ckpt, Scheduler: sched,
 	}
 	if *chipSel != "" {
 		for _, name := range strings.Split(*chipSel, ",") {

@@ -41,6 +41,12 @@ type Device struct {
 	watchdog     int64
 
 	cycle int64
+
+	// Checkpoint hook (armed on golden runs only; see snapshot.go).
+	ckptFn   func(s gpu.Snapshot) int64
+	ckptNext int64
+	// resume is non-nil between Restore and the fast-forward re-entry.
+	resume *resumeState
 }
 
 type cu struct {
@@ -186,24 +192,41 @@ func (d *Device) Reset() {
 	d.faultApplied = false
 	d.tracer = nil
 	d.watchdog = DefaultWatchdog
+	d.ckptFn = nil
+	d.ckptNext = 0
+	d.resume = nil
 }
 
-// Launch implements gpu.Device.
+// Launch implements gpu.Device. Under an armed fast-forward (see
+// Restore) launches the snapshot already completed return immediately
+// and the interrupted launch resumes mid-loop.
 func (d *Device) Launch(spec gpu.LaunchSpec) error {
 	prog, ok := spec.Kernel.(*siasm.Program)
 	if !ok {
 		return fmt.Errorf("amdsim: kernel %T is not a *siasm.Program", spec.Kernel)
 	}
+	if r := d.resume; r != nil {
+		if r.skip > 0 {
+			r.skip--
+			return nil
+		}
+		// This is the launch the snapshot interrupted (or, for a
+		// between-launch snapshot, the first launch after it): leave
+		// replay mode and continue from the restored state.
+		d.resume = nil
+		d.mem.EndReplay()
+		if inflight := r.inflight; inflight != nil {
+			lc, _, err := d.prepare(prog, spec)
+			if err != nil {
+				return err
+			}
+			return d.launchLoop(lc, spec.Grid.Count(), inflight.nextGroup, inflight.retired, inflight.launchStart)
+		}
+	}
 	lc, slotsPerCU, err := d.prepare(prog, spec)
 	if err != nil {
 		return err
 	}
-
-	totalGroups := spec.Grid.Count()
-	nextGroup := 0
-	retired := 0
-	launchStart := d.cycle
-	period := int64(d.chip.IssuePeriod)
 
 	for _, c := range d.cus {
 		c.groups = make([]*group, slotsPerCU)
@@ -212,10 +235,27 @@ func (d *Device) Launch(spec gpu.LaunchSpec) error {
 		c.greedy = nil
 		c.liveWave = 0
 	}
+	return d.launchLoop(lc, spec.Grid.Count(), 0, 0, d.cycle)
+}
+
+// launchLoop runs the launch's dispatch/issue/retire loop from the given
+// progress point. Its top is the deterministic boundary where checkpoint
+// snapshots are captured and where restored launches re-enter, so the
+// continuation of a restored run is bit-identical to the original.
+func (d *Device) launchLoop(lc *launchCtx, totalGroups, nextGroup, retired int, launchStart int64) error {
+	period := int64(d.chip.IssuePeriod)
 
 	for retired < totalGroups {
 		if d.cycle-launchStart > d.watchdog {
 			return gpu.ErrWatchdog
+		}
+		if d.ckptFn != nil && d.cycle >= d.ckptNext {
+			snap := d.capture(&inflightImage{nextGroup: nextGroup, retired: retired, launchStart: launchStart})
+			if next := d.ckptFn(snap); next > d.cycle {
+				d.ckptNext = next
+			} else {
+				d.ckptFn = nil
+			}
 		}
 		d.applyFault()
 
@@ -223,7 +263,7 @@ func (d *Device) Launch(spec gpu.LaunchSpec) error {
 			if nextGroup >= totalGroups {
 				break
 			}
-			for slot := 0; slot < slotsPerCU && nextGroup < totalGroups; slot++ {
+			for slot := 0; slot < len(c.slots) && nextGroup < totalGroups; slot++ {
 				if c.slots[slot] {
 					continue
 				}

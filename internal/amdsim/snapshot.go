@@ -1,0 +1,221 @@
+package amdsim
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/siasm"
+)
+
+// Checkpointed fast-forward, mirroring internal/nvsim: the golden run
+// captures deep-copy snapshots at the launch loop's top (a deterministic
+// scheduling boundary), and each injection restores the greatest
+// snapshot below its fault cycle, replays the host program with device
+// memory in replay mode, skips completed launches and re-enters the
+// interrupted launch's loop with the captured progress. The continuation
+// depends only on the restored state, so it is bit-identical to an
+// uninterrupted run.
+
+// snapshot is the amdsim implementation of gpu.Snapshot.
+type snapshot struct {
+	cycle    int64
+	stats    gpu.RunStats
+	mem      *gpu.MemImage
+	cus      []cuImage
+	launches int
+	inflight *inflightImage
+	bytes    int64
+}
+
+// Cycle implements gpu.Snapshot.
+func (s *snapshot) Cycle() int64 { return s.cycle }
+
+// SizeBytes implements gpu.Snapshot.
+func (s *snapshot) SizeBytes() int64 { return s.bytes }
+
+// inflightImage is the interrupted launch's loop-local state.
+type inflightImage struct {
+	nextGroup   int
+	retired     int
+	launchStart int64
+}
+
+// cuImage is the deep copy of one CU.
+type cuImage struct {
+	vgprs  []uint32
+	lds    []byte
+	slots  []bool
+	groups []*groupImage // indexed by slot; nil = free
+	rrWave int
+	// greedySlot/greedyWave locate the GTO head wavefront; -1 when there
+	// is none worth re-finding (nil, retired or done — all of which the
+	// issue logic treats identically to nil).
+	greedySlot, greedyWave int
+}
+
+type groupImage struct {
+	id, wgX, wgY, slot  int
+	vgprBase, vgprCount int
+	ldsBase, ldsCount   int
+	live, arrived       int
+	allocCycle          int64
+	waves               []waveImage
+}
+
+type waveImage struct {
+	idx        int
+	pc         int
+	valid      uint64
+	exec       uint64
+	vcc        uint64
+	scc        bool
+	sgprs      [siasm.MaxSGPRs]uint32
+	vgprReady  []int64
+	sgprReady  [siasm.MaxSGPRs]int64
+	vccReady   int64
+	execReady  int64
+	sccReady   int64
+	atBarrier  bool
+	done       bool
+	wakeAt     int64
+	threadBase int
+	vgprWBase  int
+}
+
+// Snapshot implements gpu.Device: it captures the state between
+// launches (mid-launch snapshots come from the checkpoint hook, which
+// supplies the in-flight loop state).
+func (d *Device) Snapshot() gpu.Snapshot { return d.capture(nil) }
+
+// capture deep-copies the device state.
+func (d *Device) capture(inflight *inflightImage) *snapshot {
+	snap := &snapshot{
+		cycle:    d.cycle,
+		stats:    d.stats,
+		mem:      d.mem.Image(),
+		launches: d.stats.Launches,
+		inflight: inflight,
+	}
+	snap.bytes = snap.mem.SizeBytes()
+	snap.cus = make([]cuImage, len(d.cus))
+	for i, c := range d.cus {
+		img := cuImage{
+			vgprs:      append([]uint32(nil), c.vgprs...),
+			lds:        append([]byte(nil), c.lds...),
+			slots:      append([]bool(nil), c.slots...),
+			rrWave:     c.rrWave,
+			greedySlot: -1, greedyWave: -1,
+		}
+		img.groups = make([]*groupImage, len(c.groups))
+		for slot, g := range c.groups {
+			if g == nil {
+				continue
+			}
+			gi := &groupImage{
+				id: g.id, wgX: g.wgX, wgY: g.wgY, slot: g.slot,
+				vgprBase: g.vgprBase, vgprCount: g.vgprCount,
+				ldsBase: g.ldsBase, ldsCount: g.ldsCount,
+				live: g.live, arrived: g.arrived, allocCycle: g.allocCycle,
+			}
+			gi.waves = make([]waveImage, len(g.waves))
+			for wi, w := range g.waves {
+				gi.waves[wi] = waveImage{
+					idx: w.idx, pc: w.pc,
+					valid: w.valid, exec: w.exec, vcc: w.vcc, scc: w.scc,
+					sgprs:     w.sgprs,
+					vgprReady: append([]int64(nil), w.vgprReady...),
+					sgprReady: w.sgprReady,
+					vccReady:  w.vccReady, execReady: w.execReady, sccReady: w.sccReady,
+					atBarrier: w.atBarrier, done: w.done,
+					wakeAt: w.wakeAt, threadBase: w.threadBase, vgprWBase: w.vgprWBase,
+				}
+				if c.greedy == w && !w.done {
+					img.greedySlot, img.greedyWave = slot, wi
+				}
+			}
+			img.groups[slot] = gi
+		}
+		snap.bytes += int64(4*len(img.vgprs) + len(img.lds) + len(img.slots))
+		snap.cus[i] = img
+	}
+	return snap
+}
+
+// Restore implements gpu.Device. It replaces the execution state with
+// the snapshot's and arms fast-forward resume; the armed fault, tracer
+// and watchdog are left untouched.
+func (d *Device) Restore(s gpu.Snapshot) error {
+	snap, ok := s.(*snapshot)
+	if !ok {
+		return fmt.Errorf("amdsim: cannot restore a %T snapshot", s)
+	}
+	if len(snap.cus) != len(d.cus) ||
+		(len(snap.cus) > 0 && (len(snap.cus[0].vgprs) != len(d.cus[0].vgprs) ||
+			len(snap.cus[0].lds) != len(d.cus[0].lds))) {
+		return fmt.Errorf("amdsim: snapshot geometry does not match chip %s", d.chip.Name)
+	}
+	if err := d.mem.SetImage(snap.mem); err != nil {
+		return err
+	}
+	for i, img := range snap.cus {
+		cu := d.cus[i]
+		copy(cu.vgprs, img.vgprs)
+		copy(cu.lds, img.lds)
+		cu.slots = append(cu.slots[:0:0], img.slots...)
+		cu.groups = make([]*group, len(img.groups))
+		cu.rrWave = img.rrWave
+		cu.greedy = nil
+		cu.liveWave = 0
+		for slot, gi := range img.groups {
+			if gi == nil {
+				continue
+			}
+			g := &group{
+				id: gi.id, wgX: gi.wgX, wgY: gi.wgY, slot: gi.slot,
+				vgprBase: gi.vgprBase, vgprCount: gi.vgprCount,
+				ldsBase: gi.ldsBase, ldsCount: gi.ldsCount,
+				live: gi.live, arrived: gi.arrived, allocCycle: gi.allocCycle,
+			}
+			g.waves = make([]*wavefront, len(gi.waves))
+			for wi := range gi.waves {
+				w := &gi.waves[wi]
+				wf := &wavefront{
+					grp: g, idx: w.idx, pc: w.pc,
+					valid: w.valid, exec: w.exec, vcc: w.vcc, scc: w.scc,
+					sgprs:     w.sgprs,
+					vgprReady: append([]int64(nil), w.vgprReady...),
+					sgprReady: w.sgprReady,
+					vccReady:  w.vccReady, execReady: w.execReady, sccReady: w.sccReady,
+					atBarrier: w.atBarrier, done: w.done,
+					wakeAt: w.wakeAt, threadBase: w.threadBase, vgprWBase: w.vgprWBase,
+				}
+				g.waves[wi] = wf
+				if !w.done {
+					cu.liveWave++
+				}
+				if slot == img.greedySlot && wi == img.greedyWave {
+					cu.greedy = wf
+				}
+			}
+			cu.groups[slot] = g
+		}
+	}
+	d.stats = snap.stats
+	d.cycle = snap.cycle
+	d.resume = &resumeState{skip: snap.launches, inflight: snap.inflight}
+	return nil
+}
+
+// SetCheckpointHook implements gpu.Device.
+func (d *Device) SetCheckpointHook(next int64, fn func(s gpu.Snapshot) int64) {
+	d.ckptFn = fn
+	d.ckptNext = next
+}
+
+// resumeState tracks an armed fast-forward: skip counts the completed
+// launches the host program will replay, inflight (when non-nil) is the
+// loop state of the launch the snapshot interrupted.
+type resumeState struct {
+	skip     int
+	inflight *inflightImage
+}

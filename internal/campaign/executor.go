@@ -158,10 +158,16 @@ func NewRemoteExecutor(q *LeaseQueue) *RemoteExecutor {
 // Queue returns the underlying lease queue.
 func (e *RemoteExecutor) Queue() *LeaseQueue { return e.queue }
 
-// Execute implements Executor by delegating to the worker fleet. Only the
-// spec and the stopping rule travel: worker counts are each worker's own
-// business and never change results.
+// Execute implements Executor by delegating to the worker fleet. Only
+// the spec, the stopping rule and the checkpoint knob travel: worker
+// counts are each worker's own business and never change results (nor
+// does checkpointing — it only decides how much fault-free prefix each
+// worker re-simulates).
 func (e *RemoteExecutor) Execute(ctx context.Context, req Request) (*finject.Result, error) {
-	pol := finject.Policy{Margin: req.Policy.Margin, Confidence: req.Policy.Confidence}
+	pol := finject.Policy{
+		Margin:     req.Policy.Margin,
+		Confidence: req.Policy.Confidence,
+		Checkpoint: req.Policy.Checkpoint,
+	}
 	return e.queue.Do(ctx, Task{Spec: req.Spec, Policy: pol})
 }

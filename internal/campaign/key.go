@@ -36,6 +36,19 @@ type CellSpec struct {
 	// WatchdogFactor is the hang threshold as a multiple of the golden
 	// cycle count.
 	WatchdogFactor int `json:"watchdog_factor"`
+	// CheckpointOff and CheckpointInterval carry the checkpointed
+	// fast-forward knob (finject.Checkpoint) across process boundaries.
+	// They are execution hints only: checkpointing never changes a
+	// cell's result, so both stay out of Key() — cells that differ only
+	// here share one key and one stored result, and specs written before
+	// the knob existed keep their keys and warm stores.
+	CheckpointOff      bool  `json:"checkpoint_off,omitempty"`
+	CheckpointInterval int64 `json:"checkpoint_interval,omitempty"`
+}
+
+// CheckpointPolicy returns the spec's checkpoint knob in engine form.
+func (s CellSpec) CheckpointPolicy() finject.Checkpoint {
+	return finject.Checkpoint{Off: s.CheckpointOff, Interval: s.CheckpointInterval}
 }
 
 // Normalize resolves defaulted fields so that specs describing the same
@@ -61,10 +74,12 @@ func (s CellSpec) Normalize() CellSpec {
 // cached cell's realized sample satisfies the requesting policy.
 func SpecOf(c finject.Campaign) CellSpec {
 	s := CellSpec{
-		Injections:     c.Policy.Cap(c.Injections),
-		Seed:           c.Seed,
-		FaultWidth:     c.FaultWidth,
-		WatchdogFactor: c.WatchdogFactor,
+		Injections:         c.Policy.Cap(c.Injections),
+		Seed:               c.Seed,
+		FaultWidth:         c.FaultWidth,
+		WatchdogFactor:     c.WatchdogFactor,
+		CheckpointOff:      c.Policy.Checkpoint.Off,
+		CheckpointInterval: c.Policy.Checkpoint.Interval,
 	}
 	if c.Chip != nil {
 		s.Chip = c.Chip.Name
@@ -80,6 +95,9 @@ func SpecOf(c finject.Campaign) CellSpec {
 // chip and benchmark up by name.
 func (s CellSpec) Campaign() (finject.Campaign, error) {
 	s = s.Normalize()
+	if s.CheckpointInterval < 0 {
+		return finject.Campaign{}, fmt.Errorf("campaign: negative checkpoint interval %d", s.CheckpointInterval)
+	}
 	chip, err := chips.ByName(s.Chip)
 	if err != nil {
 		return finject.Campaign{}, err
@@ -96,6 +114,7 @@ func (s CellSpec) Campaign() (finject.Campaign, error) {
 		Seed:           s.Seed,
 		FaultWidth:     s.FaultWidth,
 		WatchdogFactor: s.WatchdogFactor,
+		Policy:         finject.Policy{Checkpoint: s.CheckpointPolicy()},
 	}, nil
 }
 

@@ -1,0 +1,43 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+// TestRunCheckpointFlag runs the same tiny campaign with checkpointing
+// off and with a fixed interval; both must succeed and print identical
+// AVF lines (the knob is execution-only), while a malformed value is
+// rejected before anything runs.
+func TestRunCheckpointFlag(t *testing.T) {
+	run := func(ckpt string) string {
+		t.Helper()
+		var sb strings.Builder
+		err := Run("sifi", gpu.AMD, []string{"-bench", "vectoradd", "-n", "40", "-seed", "5", "-checkpoint", ckpt}, &sb)
+		if err != nil {
+			t.Fatalf("-checkpoint %s: %v", ckpt, err)
+		}
+		return sb.String()
+	}
+	avfLine := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "AVF (FI)") {
+				return line
+			}
+		}
+		t.Fatalf("no AVF line in output:\n%s", out)
+		return ""
+	}
+	off := avfLine(run("off"))
+	fixed := avfLine(run("1024"))
+	if off != fixed {
+		t.Fatalf("checkpoint knob changed the measured AVF:\noff:  %s\n1024: %s", off, fixed)
+	}
+
+	var sb strings.Builder
+	if err := Run("sifi", gpu.AMD, []string{"-checkpoint", "sometimes"}, &sb); err == nil {
+		t.Fatal("bad -checkpoint value accepted")
+	}
+}

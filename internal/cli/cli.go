@@ -49,6 +49,7 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		workers    = fs.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
 		confidence = fs.Float64("confidence", finject.DefaultConfidence, "confidence level for AVF intervals and adaptive stopping")
 		margin     = fs.Float64("margin", 0, "adaptive mode: stop once the AVF interval half-width reaches this (0 = run exactly -n injections)")
+		checkpoint = fs.String("checkpoint", "auto", "checkpointed fast-forward: auto, off, or a snapshot interval in cycles")
 		storePath  = fs.String("store", "", "JSON-lines result store; repeated identical campaigns are served from it")
 		specPath   = fs.String("spec", "", "run this experiment spec (JSON) instead of one flag-built cell")
 		asJSON     = fs.Bool("json", false, "with -spec: emit the result as JSON instead of tables")
@@ -67,6 +68,10 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 	}
 	if *confidence <= 0 || *confidence >= 1 {
 		return fmt.Errorf("confidence %v outside (0,1)", *confidence)
+	}
+	ckpt, err := finject.ParseCheckpoint(*checkpoint)
+	if err != nil {
+		return err
 	}
 
 	if *listFlag {
@@ -132,6 +137,9 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 				spec.Policy.Margin = *margin
 			case "confidence":
 				spec.Policy.Confidence = *confidence
+			case "checkpoint":
+				ck := ckpt
+				spec.Policy.Checkpoint = &ck
 			}
 		})
 		// A spec without a chip axis would normalize to the paper's
@@ -209,6 +217,10 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		Injections: *n,
 		Seed:       *seed,
 		Policy:     experiment.Policy{Margin: *margin, Confidence: *confidence},
+	}
+	if ckpt != (finject.Checkpoint{}) {
+		ck := ckpt
+		spec.Policy.Checkpoint = &ck
 	}
 	sched, statsLine, err := scheduler()
 	if err != nil {

@@ -1,0 +1,61 @@
+// Package core_test: the report renderers import core, so the
+// figure-level differential proof lives in the external test package.
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/finject"
+	"repro/internal/report"
+)
+
+// TestFigureJSONCheckpointEquivalence is the figure-level half of the
+// differential proof: all three paper figures, regenerated once with
+// checkpointed fast-forward and once with full per-injection replay on
+// deliberately separate schedulers (so nothing is served from a shared
+// cache), must serialize to byte-identical JSON documents.
+func TestFigureJSONCheckpointEquivalence(t *testing.T) {
+	render := func(t *testing.T, ckpt finject.Checkpoint) []byte {
+		t.Helper()
+		sched := campaign.New(campaign.Config{})
+		opts := core.Options{
+			Injections: 50, Seed: 41,
+			Chips:      []*chips.Chip{chips.MiniNVIDIA(), chips.MiniAMD()},
+			Checkpoint: ckpt,
+			Scheduler:  sched,
+		}
+		var buf bytes.Buffer
+		fig1, err := core.FigureRegisterFile(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := report.WriteFigureJSON(&buf, fig1, "fig1"); err != nil {
+			t.Fatal(err)
+		}
+		fig2, err := core.FigureLocalMemory(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := report.WriteFigureJSON(&buf, fig2, "fig2"); err != nil {
+			t.Fatal(err)
+		}
+		fig3, err := core.FigureEPF(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := report.WriteEPFJSON(&buf, fig3, "fig3"); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	full := render(t, finject.Checkpoint{Off: true})
+	ckpt := render(t, finject.Checkpoint{})
+	if !bytes.Equal(full, ckpt) {
+		t.Fatalf("figure JSON diverges between full replay and checkpointed execution:\nfull:\n%s\ncheckpointed:\n%s", full, ckpt)
+	}
+}

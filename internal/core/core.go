@@ -51,6 +51,10 @@ type Options struct {
 	RawFITPerMbit float64
 	// Confidence level for AVF intervals (default 0.99, as the paper).
 	Confidence float64
+	// Checkpoint configures checkpointed fast-forward execution. The
+	// zero value (on, auto-sized interval) is the default; it is an
+	// execution knob that never changes results or cell identity.
+	Checkpoint finject.Checkpoint
 	// Scheduler executes and caches the FI campaigns. Sharing one
 	// scheduler across figure calls lets later figures reuse earlier
 	// cells (Fig. 3 gets Figs. 1 and 2 for free). A private scheduler is
@@ -89,13 +93,20 @@ func (o Options) withDefaults(benches []*workloads.Benchmark) Options {
 // over the given structure axis. Workers and Scheduler stay out: they
 // belong to the executing tier, not to the experiment's identity.
 func (o Options) spec(structures []gpu.Structure) experiment.Spec {
-	return experiment.Spec{
+	s := experiment.Spec{
 		Structures: structures,
 		Estimator:  experiment.EstimatorBoth,
 		Injections: o.Injections,
 		Seed:       o.Seed,
 		Policy:     experiment.Policy{Margin: o.Margin, Confidence: o.Confidence},
 	}
+	// Only a non-default knob is written into the spec, so option sets
+	// from before the knob existed produce byte-identical specs.
+	if o.Checkpoint != (finject.Checkpoint{}) {
+		ck := o.Checkpoint
+		s.Policy.Checkpoint = &ck
+	}
+	return s
 }
 
 // plan lowers the options onto the explicit chip/benchmark pointer sets

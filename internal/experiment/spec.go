@@ -63,6 +63,15 @@ type Policy struct {
 	// Confidence is the level for AVF intervals and the adaptive
 	// stopping rule (0.99 when 0).
 	Confidence float64 `json:"confidence,omitempty"`
+	// Checkpoint, when present, sets the checkpointed fast-forward knob
+	// for every campaign of the grid: {"off": true} forces full replay
+	// per injection, {"interval": N} fixes the golden snapshot spacing
+	// in cycles. Omitted (the v1 default, and the only option in specs
+	// written before the knob existed) means on with an auto-sized
+	// interval. The knob never affects results, so it stays out of cell
+	// identity: specs that differ only here compile to the same cell
+	// keys and share warm stores.
+	Checkpoint *finject.Checkpoint `json:"checkpoint,omitempty"`
 }
 
 // Protection is one what-if configuration of the protection sweep: a
@@ -249,6 +258,9 @@ func (s Spec) Validate() (Spec, error) {
 	if m := s.Policy.Margin; m < 0 || m >= 1 {
 		return s, fmt.Errorf("experiment: policy margin %v outside [0,1)", m)
 	}
+	if ck := s.Policy.Checkpoint; ck != nil && ck.Interval < 0 {
+		return s, fmt.Errorf("experiment: negative checkpoint interval %d", ck.Interval)
+	}
 	// FIT works under any estimator (cellAVF picks the measured AVF);
 	// EPF and protection consume the FI outcome splits, so they need
 	// the injection campaigns.
@@ -363,16 +375,20 @@ func (s Spec) compileWith(cs []*chips.Chip, bs []*workloads.Benchmark) (*Plan, e
 // structure, injections) always produce equal campaign.CellKeys, whether
 // the cell came from a spec, a figure driver or a CLI flag set.
 func (s Spec) campaignFor(chip *chips.Chip, bench *workloads.Benchmark, st gpu.Structure) finject.Campaign {
+	pol := finject.Policy{
+		Margin:     s.Policy.Margin,
+		Confidence: s.Policy.Confidence,
+	}
+	if s.Policy.Checkpoint != nil {
+		pol.Checkpoint = *s.Policy.Checkpoint
+	}
 	return finject.Campaign{
 		Chip:       chip,
 		Benchmark:  bench,
 		Structure:  st,
 		Injections: s.Injections,
 		Seed:       CellSeed(s.Seed, chip.Name, bench.Name, st),
-		Policy: finject.Policy{
-			Margin:     s.Policy.Margin,
-			Confidence: s.Policy.Confidence,
-		},
+		Policy:     pol,
 	}
 }
 

@@ -1,0 +1,117 @@
+package finject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/gpu"
+	"repro/internal/workloads"
+)
+
+// TestCheckpointLadderSharedUnderRace hammers one Golden's checkpoint
+// ladder from many directions at once — several concurrent campaigns,
+// each with a multi-worker pool, all restoring the same snapshots, one
+// of them canceled mid-flight — and asserts (a) the ladder is never
+// mutated (restores deep-copy out of it), (b) every surviving campaign
+// is bit-identical to a serial full-replay reference, and (c) the
+// canceled campaign returns the documented clean partial result. Run
+// under -race (CI does), this is the proof that the ladder is safe to
+// hang off the scheduler's shared golden cache.
+func TestCheckpointLadderSharedUnderRace(t *testing.T) {
+	chip := chips.MiniNVIDIA()
+	bench, err := workloads.ByName("reduction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := NewGolden(chip, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := golden.CheckpointCycles()
+	if len(before) == 0 {
+		t.Fatal("golden has no checkpoint ladder")
+	}
+
+	campaignFor := func(seed uint64) Campaign {
+		return Campaign{
+			Chip: chip, Benchmark: bench, Structure: gpu.RegisterFile,
+			Injections: 60, Seed: seed, Golden: golden, Detail: true,
+			Policy: Policy{Workers: 4},
+		}
+	}
+
+	// Serial full-replay references, computed before the storm.
+	refs := make(map[uint64]*Result)
+	for seed := uint64(1); seed <= 2; seed++ {
+		c := campaignFor(seed)
+		c.Policy = Policy{Workers: 1, Checkpoint: Checkpoint{Off: true}}
+		ref, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[seed] = ref
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	results := make([]*Result, 2)
+	errs := make([]error, 2)
+	var cancelRes *Result
+	var cancelErr error
+
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunContext(context.Background(), campaignFor(uint64(i+1)))
+		}(i)
+	}
+	// The doomed campaign: canceled as soon as its first record lands.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := campaignFor(99)
+		c.Injections = 100_000 // far more than the cancel lets happen
+		cancelRes, cancelErr = RunContext(ctx, c)
+	}()
+	cancel()
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("campaign %d: %v", i, err)
+		}
+		if err := equalResults(refs[uint64(i+1)], results[i]); err != nil {
+			t.Fatalf("campaign %d diverges from serial full replay: %v", i, err)
+		}
+	}
+
+	if cancelErr == nil {
+		t.Fatal("canceled campaign returned no error")
+	}
+	if !errors.Is(cancelErr, context.Canceled) {
+		t.Fatalf("canceled campaign error does not wrap context.Canceled: %v", cancelErr)
+	}
+	if cancelRes != nil {
+		if cancelRes.Injections >= 100_000 {
+			t.Fatalf("canceled campaign claims to have finished: %d injections", cancelRes.Injections)
+		}
+		if len(cancelRes.Records) != cancelRes.Injections {
+			t.Fatalf("partial result records (%d) disagree with injections (%d)", len(cancelRes.Records), cancelRes.Injections)
+		}
+	}
+
+	after := golden.CheckpointCycles()
+	if len(after) != len(before) {
+		t.Fatalf("ladder length changed under load: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("ladder rung %d moved: %d -> %d", i, before[i], after[i])
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package finject
+
+import "testing"
+
+// TestParseCheckpoint covers the -checkpoint flag grammar.
+func TestParseCheckpoint(t *testing.T) {
+	good := map[string]Checkpoint{
+		"auto":  {},
+		"":      {},
+		"on":    {},
+		"AUTO":  {},
+		"off":   {Off: true},
+		" Off ": {Off: true},
+		"4096":  {Interval: 4096},
+		"1":     {Interval: 1},
+	}
+	for in, want := range good {
+		got, err := ParseCheckpoint(in)
+		if err != nil {
+			t.Errorf("ParseCheckpoint(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseCheckpoint(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, in := range []string{"0", "-1", "never", "1.5", "12x"} {
+		if _, err := ParseCheckpoint(in); err == nil {
+			t.Errorf("ParseCheckpoint(%q) accepted", in)
+		}
+	}
+}
+
+// TestCheckpointString pins the flag-syntax rendering.
+func TestCheckpointString(t *testing.T) {
+	cases := map[string]Checkpoint{
+		"auto": {},
+		"off":  {Off: true},
+		"2048": {Interval: 2048},
+	}
+	for want, ck := range cases {
+		if got := ck.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", ck, got, want)
+		}
+	}
+}

@@ -64,6 +64,10 @@ type Policy struct {
 	// MaxInjections caps the campaign; when 0 the cap is
 	// Campaign.Injections (DefaultInjections when that is also 0).
 	MaxInjections int
+	// Checkpoint configures checkpointed fast-forward execution (see
+	// checkpoint.go). The zero value enables it with an auto-sized
+	// interval; it is an execution knob only and never changes results.
+	Checkpoint Checkpoint
 }
 
 // Adaptive reports whether the policy requests adaptive sampling.
@@ -201,22 +205,102 @@ func (r *Result) HalfWidth(confidence float64) (float64, error) {
 // Golden through Campaign.Golden instead of each re-simulating the
 // reference execution.
 type Golden struct {
-	chip  string
-	bench string
-	g     *golden
+	chip     string
+	bench    string
+	chipRef  *chips.Chip
+	benchRef *workloads.Benchmark
+	g        *golden
+
+	// The default checkpoint ladder is captured during the reference run
+	// itself; ladders for explicit interval overrides are built lazily
+	// (one extra fault-free run each) and cached. All ladders are
+	// immutable once published and shared read-only by every worker.
+	mu      sync.Mutex
+	ladders map[int64]*ladderCall
+}
+
+// ladderCall is one ladder build others may wait on, so a slow override
+// build never holds the Golden's mutex while it simulates.
+type ladderCall struct {
+	done  chan struct{}
+	snaps []gpu.Snapshot
+	err   error
+}
+
+// readyLadder wraps an already-built ladder.
+func readyLadder(snaps []gpu.Snapshot) *ladderCall {
+	lc := &ladderCall{done: make(chan struct{}), snaps: snaps}
+	close(lc.done)
+	return lc
 }
 
 // NewGolden executes the fault-free reference run once, for reuse across
-// campaigns via Campaign.Golden.
+// campaigns via Campaign.Golden. The run also captures the default
+// checkpoint ladder (auto-sized snapshot spacing) that fast-forwarded
+// injections restore from.
 func NewGolden(chip *chips.Chip, bench *workloads.Benchmark) (*Golden, error) {
 	if chip == nil || bench == nil {
 		return nil, errors.New("finject: golden run needs a chip and a benchmark")
 	}
-	g, err := runGolden(chip, bench)
+	g, err := runGolden(chip, bench, Checkpoint{})
 	if err != nil {
 		return nil, err
 	}
-	return &Golden{chip: chip.Name, bench: bench.Name, g: g}, nil
+	return &Golden{
+		chip: chip.Name, bench: bench.Name,
+		chipRef: chip, benchRef: bench, g: g,
+		ladders: map[int64]*ladderCall{0: readyLadder(g.ladder)},
+	}, nil
+}
+
+// CheckpointCycles returns the capture cycles of the default checkpoint
+// ladder, in ascending order — introspection for tests and reports.
+func (g *Golden) CheckpointCycles() []int64 {
+	g.mu.Lock()
+	lc := g.ladders[0]
+	g.mu.Unlock()
+	<-lc.done
+	cycles := make([]int64, len(lc.snaps))
+	for i, s := range lc.snaps {
+		cycles[i] = s.Cycle()
+	}
+	return cycles
+}
+
+// ladderFor returns the checkpoint ladder for the configuration,
+// building and caching one per distinct interval on first use. A nil
+// ladder (checkpointing off) makes every injection replay in full.
+// Builds run outside the mutex (only the leader simulates; concurrent
+// requesters for the same interval wait on it, other intervals and the
+// default ladder are never blocked); failed builds are not cached.
+func (g *Golden) ladderFor(cfg Checkpoint) ([]gpu.Snapshot, error) {
+	if cfg.Off {
+		return nil, nil
+	}
+	if cfg.Interval < 0 {
+		cfg.Interval = 0 // defensive: negative means auto, not a new cache entry
+	}
+	g.mu.Lock()
+	if lc, ok := g.ladders[cfg.Interval]; ok {
+		g.mu.Unlock()
+		<-lc.done
+		return lc.snaps, lc.err
+	}
+	lc := &ladderCall{done: make(chan struct{})}
+	g.ladders[cfg.Interval] = lc
+	g.mu.Unlock()
+
+	run, err := runGolden(g.chipRef, g.benchRef, cfg)
+	if err != nil {
+		lc.err = err
+		g.mu.Lock()
+		delete(g.ladders, cfg.Interval) // let a later request retry
+		g.mu.Unlock()
+	} else {
+		lc.snaps = run.ladder
+	}
+	close(lc.done)
+	return lc.snaps, lc.err
 }
 
 // Chip returns the name of the chip the reference was run on.
@@ -231,16 +315,19 @@ func (g *Golden) Cycles() int64 { return g.g.cycles }
 // Stats returns the reference execution's statistics.
 func (g *Golden) Stats() gpu.RunStats { return g.g.stats }
 
-// golden holds the reference run against which outcomes are classified.
+// golden holds the reference run against which outcomes are classified,
+// plus the checkpoint ladder captured during that run.
 type golden struct {
 	outputs []gpu.Region
 	bytes   [][]byte
 	cycles  int64
 	stats   gpu.RunStats
+	ladder  []gpu.Snapshot
 }
 
-// runGolden executes the fault-free reference run.
-func runGolden(chip *chips.Chip, bench *workloads.Benchmark) (*golden, error) {
+// runGolden executes the fault-free reference run, capturing the
+// checkpoint ladder along the way unless ckpt.Off.
+func runGolden(chip *chips.Chip, bench *workloads.Benchmark, ckpt Checkpoint) (*golden, error) {
 	d, err := devices.New(chip)
 	if err != nil {
 		return nil, err
@@ -249,10 +336,19 @@ func runGolden(chip *chips.Chip, bench *workloads.Benchmark) (*golden, error) {
 	if err != nil {
 		return nil, err
 	}
+	var lb *ladderBuilder
+	if !ckpt.Off {
+		lb = newLadderBuilder(ckpt)
+		lb.arm(d)
+	}
 	if err := hp.Run(d); err != nil {
 		return nil, fmt.Errorf("finject: golden run of %s on %s failed: %w", bench.Name, chip.Name, err)
 	}
+	d.SetCheckpointHook(0, nil)
 	g := &golden{outputs: hp.Outputs(), stats: d.Stats()}
+	if lb != nil {
+		g.ladder = lb.snaps
+	}
 	g.cycles = g.stats.Cycles
 	if g.cycles <= 0 {
 		return nil, fmt.Errorf("finject: golden run of %s reported no cycles", bench.Name)
@@ -282,9 +378,18 @@ func sampleFault(rng *stats.RNG, c Campaign, cycles int64, idx uint64) gpu.Fault
 
 // classify runs one injection on a worker-owned device and host program,
 // returning the outcome and (for SDCs) the number of corrupted output
-// bytes.
-func classify(d gpu.Device, hp *gpu.HostProgram, g *golden, f gpu.Fault, watchdog int64) (gpu.Outcome, int) {
-	d.Reset()
+// bytes. When the ladder holds a snapshot at or below the fault cycle,
+// the run fast-forwards from it instead of replaying the fault-free
+// prefix; the pre-fault execution is identical either way, so the
+// outcome is too (proven by the differential equivalence suite).
+func classify(d gpu.Device, hp *gpu.HostProgram, g *golden, ladder []gpu.Snapshot, f gpu.Fault, watchdog int64) (gpu.Outcome, int) {
+	restored := false
+	if snap := latestBelow(ladder, f.Cycle); snap != nil {
+		restored = d.Restore(snap) == nil
+	}
+	if !restored {
+		d.Reset()
+	}
 	d.SetWatchdog(watchdog)
 	d.InjectFault(&f)
 	err := hp.Run(d)
@@ -367,22 +472,30 @@ func RunContext(ctx context.Context, c Campaign) (*Result, error) {
 	if wdFactor <= 0 {
 		wdFactor = DefaultWatchdogFactor
 	}
-	var g *golden
+	var (
+		g      *golden
+		ladder []gpu.Snapshot
+	)
 	if c.Golden != nil {
 		if c.Golden.chip != c.Chip.Name || c.Golden.bench != c.Benchmark.Name {
 			return nil, fmt.Errorf("finject: golden run is for %s/%s, campaign targets %s/%s",
 				c.Golden.chip, c.Golden.bench, c.Chip.Name, c.Benchmark.Name)
 		}
 		g = c.Golden.g
+		var err error
+		if ladder, err = c.Golden.ladderFor(c.Policy.Checkpoint); err != nil {
+			return nil, err
+		}
 	} else {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("finject: campaign canceled before the reference run: %w", err)
 		}
 		var err error
-		g, err = runGolden(c.Chip, c.Benchmark)
+		g, err = runGolden(c.Chip, c.Benchmark, c.Policy.Checkpoint)
 		if err != nil {
 			return nil, err
 		}
+		ladder = g.ladder
 	}
 	watchdog := g.cycles*int64(wdFactor) + 10_000
 
@@ -420,7 +533,7 @@ func RunContext(ctx context.Context, c Campaign) (*Result, error) {
 				end = limit
 			}
 		}
-		ran := runRound(ctx, c, pool, g, watchdog, baseRNG, done, end, res)
+		ran := runRound(ctx, c, pool, g, ladder, watchdog, baseRNG, done, end, res)
 		done += ran
 		if done < end {
 			res.Injections = done
@@ -452,7 +565,7 @@ func RunContext(ctx context.Context, c Campaign) (*Result, error) {
 // counter and every handed-out index is classified, so on cancellation
 // the completed injections are exactly the contiguous prefix
 // [start, start+ran).
-func runRound(ctx context.Context, c Campaign, pool []*injector, g *golden, watchdog int64, rng *stats.RNG, start, end int, res *Result) int {
+func runRound(ctx context.Context, c Campaign, pool []*injector, g *golden, ladder []gpu.Snapshot, watchdog int64, rng *stats.RNG, start, end int, res *Result) int {
 	var (
 		next atomic.Int64
 		mu   sync.Mutex
@@ -472,7 +585,7 @@ func runRound(ctx context.Context, c Campaign, pool []*injector, g *golden, watc
 					break
 				}
 				f := sampleFault(rng, c, g.cycles, uint64(i))
-				o, corrupt := classify(in.d, in.hp, g, f, watchdog)
+				o, corrupt := classify(in.d, in.hp, g, ladder, f, watchdog)
 				local[o]++
 				count++
 				if res.Records != nil {

@@ -299,6 +299,21 @@ func (s RunStats) Occupancy(st Structure, totalEntries int64) float64 {
 	return alloc / (float64(totalEntries) * float64(s.Cycles))
 }
 
+// Snapshot is an opaque, immutable image of a device's complete
+// execution state, captured at a scheduling boundary by Device.Snapshot
+// or by a checkpoint hook during Launch. Snapshots are deep copies: they
+// never alias live device storage, so one snapshot can be restored
+// concurrently into any number of device instances of the same chip
+// configuration (the fault-injection engine shares one golden checkpoint
+// ladder across its whole worker pool).
+type Snapshot interface {
+	// Cycle returns the global device cycle the snapshot was captured at.
+	Cycle() int64
+	// SizeBytes estimates the snapshot's memory footprint, used to size
+	// checkpoint ladders against a memory budget.
+	SizeBytes() int64
+}
+
 // Device is the simulator-side contract the reliability engines program
 // against.
 type Device interface {
@@ -325,6 +340,27 @@ type Device interface {
 	// SetWatchdog bounds execution: any launch that exceeds maxCycles
 	// device cycles aborts with ErrWatchdog. Zero restores the default.
 	SetWatchdog(maxCycles int64)
+	// Snapshot captures the complete execution state between launches.
+	// Mid-launch snapshots are only reachable through the checkpoint
+	// hook, which fires at a deterministic scheduling boundary.
+	Snapshot() Snapshot
+	// Restore replaces the device's execution state (memory, structure
+	// contents, scheduler/queue state, cycle counter, accumulated stats
+	// and launch progress) with the snapshot's, arming fast-forward
+	// resume: the host program is then replayed from its start, device
+	// memory suppresses the host's already-applied allocations and
+	// uploads, completed launches return immediately, and the launch the
+	// snapshot interrupted resumes from the captured state. The armed
+	// fault, tracer and watchdog are left untouched. Restoring a
+	// snapshot from a different implementation or chip geometry fails.
+	Restore(s Snapshot) error
+	// SetCheckpointHook arms periodic state capture during Launch: when
+	// the device cycle first reaches next, the device captures a
+	// Snapshot at the launch loop's scheduling boundary and hands it to
+	// fn; fn returns the next capture cycle (a value not beyond the
+	// current cycle stops further captures). A nil fn disarms. Reset
+	// clears the hook.
+	SetCheckpointHook(next int64, fn func(s Snapshot) int64)
 	// Units returns the number of SMs/CUs.
 	Units() int
 	// StructSize returns the per-unit capacity of a structure in entries:

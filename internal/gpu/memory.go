@@ -14,6 +14,14 @@ type Memory struct {
 	data []byte
 	brk  uint32 // bump-allocation watermark
 	hwm  uint32 // high-water mark since last Reset (for cheap zeroing)
+
+	// Replay mode (between Snapshot restore and fast-forward resume):
+	// the host program re-executes allocations and uploads whose effects
+	// the restored image already contains, so Alloc hands out addresses
+	// from a shadow watermark without touching state and stores become
+	// bounds-checked no-ops. Loads still read the restored image.
+	replay bool
+	rbrk   uint32
 }
 
 // memAlign is the allocation alignment in bytes.
@@ -34,6 +42,21 @@ func (m *Memory) Alloc(size int) (uint32, error) {
 	if size < 0 {
 		return 0, fmt.Errorf("gpu: negative allocation size %d", size)
 	}
+	if m.replay {
+		// Shadow allocation: the sequence of sizes is deterministic, so
+		// replaying it from zero yields the addresses of the original
+		// run without disturbing the restored allocator state.
+		if m.rbrk == 0 {
+			m.rbrk = memAlign
+		}
+		addr := m.rbrk
+		sz := (uint32(size) + memAlign - 1) &^ (memAlign - 1)
+		if uint64(addr)+uint64(sz) > uint64(len(m.data)) {
+			return 0, fmt.Errorf("gpu: out of device memory (want %d bytes at %#x, capacity %d)", size, addr, len(m.data))
+		}
+		m.rbrk = addr + sz
+		return addr, nil
+	}
 	if m.brk == 0 {
 		m.brk = memAlign
 	}
@@ -49,6 +72,54 @@ func (m *Memory) Alloc(size int) (uint32, error) {
 	return addr, nil
 }
 
+// MemImage is a compact, immutable copy of a Memory's state: the
+// high-water-mark prefix of the data plus the allocator watermarks.
+// Everything beyond the prefix is zero by construction (snapshots are
+// only taken of runs that started from power-on state).
+type MemImage struct {
+	data []byte
+	brk  uint32
+	hwm  uint32
+}
+
+// SizeBytes returns the image's storage footprint.
+func (img *MemImage) SizeBytes() int64 { return int64(len(img.data)) }
+
+// Image captures the memory state for later SetImage restoration.
+func (m *Memory) Image() *MemImage {
+	return &MemImage{
+		data: append([]byte(nil), m.data[:m.hwm]...),
+		brk:  m.brk,
+		hwm:  m.hwm,
+	}
+}
+
+// SetImage restores a previously captured image, clearing any bytes the
+// current state touched beyond the image's extent, and enters replay
+// mode (see Alloc); the fast-forward resume path leaves replay mode via
+// EndReplay once the host program reaches live execution.
+func (m *Memory) SetImage(img *MemImage) error {
+	if int(img.hwm) > len(m.data) {
+		return fmt.Errorf("gpu: memory image extent %d exceeds capacity %d", img.hwm, len(m.data))
+	}
+	if m.hwm > img.hwm {
+		clear(m.data[img.hwm:m.hwm])
+	}
+	copy(m.data[:img.hwm], img.data)
+	m.brk = img.brk
+	m.hwm = img.hwm
+	m.replay = true
+	m.rbrk = 0
+	return nil
+}
+
+// EndReplay leaves replay mode: subsequent allocations and stores apply
+// to the restored state for real.
+func (m *Memory) EndReplay() {
+	m.replay = false
+	m.rbrk = 0
+}
+
 // Reset zeroes all memory touched since construction and rewinds the
 // allocator. Only the high-water-mark prefix is cleared, which keeps
 // per-injection reset cost proportional to the workload footprint.
@@ -56,6 +127,8 @@ func (m *Memory) Reset() {
 	clear(m.data[:m.hwm])
 	m.brk = 0
 	m.hwm = 0
+	m.replay = false
+	m.rbrk = 0
 }
 
 // check validates an access of size bytes at addr.
@@ -74,12 +147,21 @@ func (m *Memory) Load32(addr uint32) (uint32, error) {
 	return binary.LittleEndian.Uint32(m.data[addr:]), nil
 }
 
-// Store32 writes a 32-bit word.
+// Store32 writes a 32-bit word. Stores beyond the allocator watermark
+// (reachable via fault-corrupted addresses that stay in capacity) raise
+// the high-water mark, so Reset's cheap zeroing and snapshot images
+// always cover every byte ever written.
 func (m *Memory) Store32(addr uint32, v uint32) error {
 	if err := m.check(addr, 4); err != nil {
 		return err
 	}
+	if m.replay {
+		return nil
+	}
 	binary.LittleEndian.PutUint32(m.data[addr:], v)
+	if end := addr + 4; end > m.hwm {
+		m.hwm = end
+	}
 	return nil
 }
 
@@ -99,8 +181,14 @@ func (m *Memory) WriteWords(addr uint32, words []uint32) error {
 	if err := m.check(addr, 4*len(words)); err != nil {
 		return err
 	}
+	if m.replay {
+		return nil
+	}
 	for i, w := range words {
 		binary.LittleEndian.PutUint32(m.data[addr+uint32(4*i):], w)
+	}
+	if end := addr + uint32(4*len(words)); end > m.hwm {
+		m.hwm = end
 	}
 	return nil
 }
@@ -122,8 +210,14 @@ func (m *Memory) WriteFloats(addr uint32, vals []float32) error {
 	if err := m.check(addr, 4*len(vals)); err != nil {
 		return err
 	}
+	if m.replay {
+		return nil
+	}
 	for i, v := range vals {
 		binary.LittleEndian.PutUint32(m.data[addr+uint32(4*i):], math.Float32bits(v))
+	}
+	if end := addr + uint32(4*len(vals)); end > m.hwm {
+		m.hwm = end
 	}
 	return nil
 }

@@ -46,6 +46,12 @@ type Device struct {
 	watchdog     int64
 
 	cycle int64 // global device cycle, monotonic across launches
+
+	// Checkpoint hook (armed on golden runs only; see snapshot.go).
+	ckptFn   func(s gpu.Snapshot) int64
+	ckptNext int64
+	// resume is non-nil between Restore and the fast-forward re-entry.
+	resume *resumeState
 }
 
 type sm struct {
@@ -200,25 +206,42 @@ func (d *Device) Reset() {
 	d.faultApplied = false
 	d.tracer = nil
 	d.watchdog = DefaultWatchdog
+	d.ckptFn = nil
+	d.ckptNext = 0
+	d.resume = nil
 }
 
 // Launch implements gpu.Device: it synchronously executes one kernel
-// launch, advancing the device cycle counter.
+// launch, advancing the device cycle counter. Under an armed
+// fast-forward (see Restore) launches the snapshot already completed
+// return immediately and the interrupted launch resumes mid-loop.
 func (d *Device) Launch(spec gpu.LaunchSpec) error {
 	prog, ok := spec.Kernel.(*sass.Program)
 	if !ok {
 		return fmt.Errorf("nvsim: kernel %T is not a *sass.Program", spec.Kernel)
 	}
+	if r := d.resume; r != nil {
+		if r.skip > 0 {
+			r.skip--
+			return nil
+		}
+		// This is the launch the snapshot interrupted (or, for a
+		// between-launch snapshot, the first launch after it): leave
+		// replay mode and continue from the restored state.
+		d.resume = nil
+		d.mem.EndReplay()
+		if inflight := r.inflight; inflight != nil {
+			lc, _, err := d.prepare(prog, spec)
+			if err != nil {
+				return err
+			}
+			return d.launchLoop(lc, spec.Grid.Count(), inflight.nextBlock, inflight.retired, inflight.launchStart)
+		}
+	}
 	lc, slotsPerSM, err := d.prepare(prog, spec)
 	if err != nil {
 		return err
 	}
-
-	totalBlocks := spec.Grid.Count()
-	nextBlock := 0
-	retired := 0
-	launchStart := d.cycle
-	period := int64(d.chip.IssuePeriod)
 
 	// Initialize slot tables for this launch.
 	for _, s := range d.sms {
@@ -228,10 +251,27 @@ func (d *Device) Launch(spec gpu.LaunchSpec) error {
 		s.greedy = nil
 		s.liveWarp = 0
 	}
+	return d.launchLoop(lc, spec.Grid.Count(), 0, 0, d.cycle)
+}
+
+// launchLoop runs the launch's dispatch/issue/retire loop from the given
+// progress point. Its top is the deterministic boundary where checkpoint
+// snapshots are captured and where restored launches re-enter, so the
+// continuation of a restored run is bit-identical to the original.
+func (d *Device) launchLoop(lc *launchCtx, totalBlocks, nextBlock, retired int, launchStart int64) error {
+	period := int64(d.chip.IssuePeriod)
 
 	for retired < totalBlocks {
 		if d.cycle-launchStart > d.watchdog {
 			return gpu.ErrWatchdog
+		}
+		if d.ckptFn != nil && d.cycle >= d.ckptNext {
+			snap := d.capture(&inflightImage{nextBlock: nextBlock, retired: retired, launchStart: launchStart})
+			if next := d.ckptFn(snap); next > d.cycle {
+				d.ckptNext = next
+			} else {
+				d.ckptFn = nil
+			}
 		}
 		d.applyFault()
 
@@ -240,7 +280,7 @@ func (d *Device) Launch(spec gpu.LaunchSpec) error {
 			if nextBlock >= totalBlocks {
 				break
 			}
-			for slot := 0; slot < slotsPerSM && nextBlock < totalBlocks; slot++ {
+			for slot := 0; slot < len(s.slots) && nextBlock < totalBlocks; slot++ {
 				if s.slots[slot] {
 					continue
 				}

@@ -1,0 +1,227 @@
+package nvsim
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/sass"
+)
+
+// Checkpointed fast-forward: the golden run captures snapshots of the
+// complete device state at scheduling boundaries (the top of the launch
+// loop, where an iteration's dispatch/issue/retire work has not yet
+// begun), and each injection restores the greatest snapshot below its
+// fault cycle instead of re-simulating the fault-free prefix.
+//
+// Restoring arms resume mode: the host program is replayed from its
+// start, device memory suppresses its already-applied allocations and
+// uploads (gpu.Memory replay mode), Launch calls for launches the
+// snapshot already completed return immediately, and the launch the
+// snapshot interrupted re-enters the loop at the captured boundary.
+// Because the loop's continuation depends only on the restored state,
+// execution from that point is bit-identical to an uninterrupted run.
+
+// snapshot is the nvsim implementation of gpu.Snapshot: a deep copy of
+// every piece of state the launch loop reads or writes.
+type snapshot struct {
+	cycle int64
+	stats gpu.RunStats
+	mem   *gpu.MemImage
+	sms   []smImage
+	// launches is the number of completed Launch calls at capture; a
+	// restore skips that many host launches before resuming.
+	launches int
+	// inflight carries the interrupted launch's loop state; nil when the
+	// snapshot was taken between launches.
+	inflight *inflightImage
+	bytes    int64
+}
+
+// Cycle implements gpu.Snapshot.
+func (s *snapshot) Cycle() int64 { return s.cycle }
+
+// SizeBytes implements gpu.Snapshot.
+func (s *snapshot) SizeBytes() int64 { return s.bytes }
+
+// inflightImage is the interrupted launch's loop-local state.
+type inflightImage struct {
+	nextBlock   int
+	retired     int
+	launchStart int64
+}
+
+// smImage is the deep copy of one SM.
+type smImage struct {
+	regs   []uint32
+	shared []byte
+	slots  []bool
+	blocks []*blockImage // indexed by slot; nil = free
+	rrWarp int
+	// greedySlot/greedyWarp locate the GTO head warp; -1 when there is
+	// none worth re-finding (nil, retired or done — all of which the
+	// issue logic treats identically to nil).
+	greedySlot, greedyWarp int
+}
+
+type blockImage struct {
+	id, ctaX, ctaY, slot int
+	regBase, regCount    int
+	shBase, shCount      int
+	live, arrived        int
+	allocCycle           int64
+	warps                []warpImage
+}
+
+type warpImage struct {
+	idx        int
+	pc         int
+	valid      uint32
+	active     uint32
+	exited     uint32
+	stack      []stackEntry
+	preds      [sass.NumPreds]uint32
+	regReady   []int64
+	predReady  [sass.NumPreds]int64
+	atBarrier  bool
+	done       bool
+	wakeAt     int64
+	threadBase int
+}
+
+// Snapshot implements gpu.Device: it captures the state between
+// launches (mid-launch snapshots come from the checkpoint hook, which
+// supplies the in-flight loop state).
+func (d *Device) Snapshot() gpu.Snapshot { return d.capture(nil) }
+
+// capture deep-copies the device state.
+func (d *Device) capture(inflight *inflightImage) *snapshot {
+	snap := &snapshot{
+		cycle:    d.cycle,
+		stats:    d.stats,
+		mem:      d.mem.Image(),
+		launches: d.stats.Launches,
+		inflight: inflight,
+	}
+	snap.bytes = snap.mem.SizeBytes()
+	snap.sms = make([]smImage, len(d.sms))
+	for i, s := range d.sms {
+		img := smImage{
+			regs:       append([]uint32(nil), s.regs...),
+			shared:     append([]byte(nil), s.shared...),
+			slots:      append([]bool(nil), s.slots...),
+			rrWarp:     s.rrWarp,
+			greedySlot: -1, greedyWarp: -1,
+		}
+		img.blocks = make([]*blockImage, len(s.blocks))
+		for slot, blk := range s.blocks {
+			if blk == nil {
+				continue
+			}
+			bi := &blockImage{
+				id: blk.id, ctaX: blk.ctaX, ctaY: blk.ctaY, slot: blk.slot,
+				regBase: blk.regBase, regCount: blk.regCount,
+				shBase: blk.shBase, shCount: blk.shCount,
+				live: blk.live, arrived: blk.arrived, allocCycle: blk.allocCycle,
+			}
+			bi.warps = make([]warpImage, len(blk.warps))
+			for wi, w := range blk.warps {
+				bi.warps[wi] = warpImage{
+					idx: w.idx, pc: w.pc,
+					valid: w.valid, active: w.active, exited: w.exited,
+					stack:     append([]stackEntry(nil), w.stack...),
+					preds:     w.preds,
+					regReady:  append([]int64(nil), w.regReady...),
+					predReady: w.predReady,
+					atBarrier: w.atBarrier, done: w.done,
+					wakeAt: w.wakeAt, threadBase: w.threadBase,
+				}
+				if s.greedy == w && !w.done {
+					img.greedySlot, img.greedyWarp = slot, wi
+				}
+			}
+			img.blocks[slot] = bi
+		}
+		snap.bytes += int64(4*len(img.regs) + len(img.shared) + len(img.slots))
+		snap.sms[i] = img
+	}
+	return snap
+}
+
+// Restore implements gpu.Device. It replaces the execution state with
+// the snapshot's and arms fast-forward resume; the armed fault, tracer
+// and watchdog are left untouched.
+func (d *Device) Restore(s gpu.Snapshot) error {
+	snap, ok := s.(*snapshot)
+	if !ok {
+		return fmt.Errorf("nvsim: cannot restore a %T snapshot", s)
+	}
+	if len(snap.sms) != len(d.sms) ||
+		(len(snap.sms) > 0 && (len(snap.sms[0].regs) != len(d.sms[0].regs) ||
+			len(snap.sms[0].shared) != len(d.sms[0].shared))) {
+		return fmt.Errorf("nvsim: snapshot geometry does not match chip %s", d.chip.Name)
+	}
+	if err := d.mem.SetImage(snap.mem); err != nil {
+		return err
+	}
+	for i, img := range snap.sms {
+		sm := d.sms[i]
+		copy(sm.regs, img.regs)
+		copy(sm.shared, img.shared)
+		sm.slots = append(sm.slots[:0:0], img.slots...)
+		sm.blocks = make([]*block, len(img.blocks))
+		sm.rrWarp = img.rrWarp
+		sm.greedy = nil
+		sm.liveWarp = 0
+		for slot, bi := range img.blocks {
+			if bi == nil {
+				continue
+			}
+			blk := &block{
+				id: bi.id, ctaX: bi.ctaX, ctaY: bi.ctaY, slot: bi.slot,
+				regBase: bi.regBase, regCount: bi.regCount,
+				shBase: bi.shBase, shCount: bi.shCount,
+				live: bi.live, arrived: bi.arrived, allocCycle: bi.allocCycle,
+			}
+			blk.warps = make([]*warp, len(bi.warps))
+			for wi := range bi.warps {
+				w := &bi.warps[wi]
+				warp := &warp{
+					blk: blk, idx: w.idx, pc: w.pc,
+					valid: w.valid, active: w.active, exited: w.exited,
+					stack:     append([]stackEntry(nil), w.stack...),
+					preds:     w.preds,
+					regReady:  append([]int64(nil), w.regReady...),
+					predReady: w.predReady,
+					atBarrier: w.atBarrier, done: w.done,
+					wakeAt: w.wakeAt, threadBase: w.threadBase,
+				}
+				blk.warps[wi] = warp
+				if !w.done {
+					sm.liveWarp++
+				}
+				if slot == img.greedySlot && wi == img.greedyWarp {
+					sm.greedy = warp
+				}
+			}
+			sm.blocks[slot] = blk
+		}
+	}
+	d.stats = snap.stats
+	d.cycle = snap.cycle
+	d.resume = &resumeState{skip: snap.launches, inflight: snap.inflight}
+	return nil
+}
+
+// SetCheckpointHook implements gpu.Device.
+func (d *Device) SetCheckpointHook(next int64, fn func(s gpu.Snapshot) int64) {
+	d.ckptFn = fn
+	d.ckptNext = next
+}
+
+// resumeState tracks an armed fast-forward: skip counts the completed
+// launches the host program will replay, inflight (when non-nil) is the
+// loop state of the launch the snapshot interrupted.
+type resumeState struct {
+	skip     int
+	inflight *inflightImage
+}

@@ -105,6 +105,12 @@ type jobPolicy struct {
 	Margin float64 `json:"margin"`
 	// MaxInjections overrides each cell's injection cap when > 0.
 	MaxInjections int `json:"max_injections"`
+	// Checkpoint overrides the checkpointed fast-forward knob for every
+	// cell of the batch: {"off": true} forces full replay, {"interval":
+	// N} fixes the snapshot spacing. Omitted means each cell's own
+	// setting (default: on, auto-sized). Never affects results or cell
+	// keys — it only trades golden-run memory for injection speed.
+	Checkpoint *finject.Checkpoint `json:"checkpoint,omitempty"`
 }
 
 // NewServer builds a Server around the scheduler.
@@ -177,6 +183,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "bad policy max_injections %d", p.MaxInjections)
 			return
 		}
+		if p.Checkpoint != nil && p.Checkpoint.Interval < 0 {
+			httpError(w, http.StatusBadRequest, "bad policy checkpoint interval %d", p.Checkpoint.Interval)
+			return
+		}
 	}
 	batch := make([]finject.Campaign, len(req.Cells))
 	cells := make([]cellState, len(req.Cells))
@@ -187,10 +197,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if req.Policy != nil {
+			ckpt := c.Policy.Checkpoint // the cell's own knob, unless overridden
+			if req.Policy.Checkpoint != nil {
+				ckpt = *req.Policy.Checkpoint
+			}
 			c.Policy = finject.Policy{
 				Confidence:    req.Policy.Confidence,
 				Margin:        req.Policy.Margin,
 				MaxInjections: req.Policy.MaxInjections,
+				Checkpoint:    ckpt,
 			}
 		}
 		batch[i] = c
