@@ -12,6 +12,7 @@ package repro
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"testing"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -403,6 +405,66 @@ func BenchmarkInjectionLoop(b *testing.B) {
 			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "inj/s")
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead runs the same injection loop with no
+// observers and with every observer running — tracer installed and a
+// goroutine scraping the metrics registry's Prometheus exposition in a
+// tight loop — so the committed baseline pins the cost of observation
+// itself. The always-on counters ride in both variants (they are part
+// of the engine); the delta is the price of actually looking, and the
+// CI bench gate fails if either variant regresses past tolerance.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	bench, err := workloads.ByName("matrixMul")
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip := chips.MiniNVIDIA()
+	golden, err := finject.NewGolden(chip, bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 400
+	loop := func(b *testing.B) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := finject.Run(finject.Campaign{
+				Chip: chip, Benchmark: bench, Structure: gpu.RegisterFile,
+				Injections: n, Seed: 11, Golden: golden,
+				Policy: finject.Policy{Workers: 4},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Injections != n {
+				b.Fatalf("ran %d injections, want %d", res.Injections, n)
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "inj/s")
+	}
+	b.Run("observed=off", loop)
+	b.Run("observed=on", func(b *testing.B) {
+		prev := telemetry.SetTracer(telemetry.NewTracer())
+		defer telemetry.SetTracer(prev)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					telemetry.Default.WritePrometheus(io.Discard)
+				}
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-done
+		}()
+		loop(b)
+	})
 }
 
 // BenchmarkCheckpointVsFull contrasts checkpointed fast-forward against

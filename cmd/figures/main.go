@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -43,6 +44,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/chips"
+	"repro/internal/cli"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -87,6 +89,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		specPath   = fs.String("spec", "", "run this experiment spec (JSON) instead of a canned figure")
 		serverURL  = fs.String("server", "", "with -spec: run on this fiserver (POST /v1/experiments) instead of locally")
 	)
+	obs := cli.AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -94,6 +97,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		// The FlagSet already reported the problem on stderr.
 		return errUsage
 	}
+	// Tables and JSON go to stdout; progress is structured logging on
+	// stderr, so piped output stays parseable.
+	log, closeTrace := obs.Init(stderr, slog.LevelDebug)
+	defer func() {
+		if terr := closeTrace(); terr != nil {
+			fmt.Fprintf(stderr, "figures: %v\n", terr)
+		}
+	}()
 
 	if *margin < 0 || *margin >= 1 {
 		return fmt.Errorf("margin %v outside [0,1)", *margin)
@@ -137,7 +148,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				spec.Policy.Checkpoint = &ck
 			}
 		})
-		return runSpec(ctx, spec, *serverURL, *storePath, *workers, *asJSON, stdout, stderr)
+		return runSpec(ctx, spec, *serverURL, *storePath, *workers, *asJSON, stdout, log)
 	}
 	if *serverURL != "" {
 		return errors.New("-server needs -spec (the canned figures run locally)")
@@ -150,7 +161,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		defer ds.Close()
-		fmt.Fprintf(stderr, "figures: store %s: %d cells\n", ds.Path(), ds.Len())
+		log.Info("store opened", "path", ds.Path(), "cells", ds.Len())
 		store = ds
 	}
 	sched := campaign.New(campaign.Config{Store: store, CampaignWorkers: *workers})
@@ -227,8 +238,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "\n(fig 3 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	st := sched.Stats()
-	fmt.Fprintf(stderr, "figures: campaigns: %d executed (%d injections), %d served from store, %d upgraded, %d goldens\n",
-		st.Runs, st.Injections, st.Hits+st.Joins, st.Upgrades, st.GoldenRuns)
+	log.Info("campaigns done",
+		"runs", st.Runs, "injections", st.Injections,
+		"cached", st.Hits+st.Joins, "upgraded", st.Upgrades, "goldens", st.GoldenRuns)
 	return nil
 }
 
@@ -243,7 +255,7 @@ func writeFigure(w io.Writer, f *core.Figure, title string, asJSON bool) error {
 // runSpec executes one declarative experiment spec — locally over a
 // scheduler (honoring -store and -workers) or on a fiserver via the
 // shared client — and renders the result as tables or JSON.
-func runSpec(ctx context.Context, spec experiment.Spec, serverURL, storePath string, workers int, asJSON bool, stdout, stderr io.Writer) error {
+func runSpec(ctx context.Context, spec experiment.Spec, serverURL, storePath string, workers int, asJSON bool, stdout io.Writer, log *slog.Logger) error {
 	start := time.Now()
 	var res *experiment.Result
 	if serverURL != "" {
@@ -252,13 +264,10 @@ func runSpec(ctx context.Context, spec experiment.Spec, serverURL, storePath str
 		res, err = cl.RunExperiment(ctx, spec, func(ev client.Event) {
 			switch ev.Event {
 			case "job":
-				fmt.Fprintf(stderr, "figures: experiment %s: job %s, %d cells\n", ev.Name, ev.ID, ev.Total)
+				log.Info("experiment accepted", "name", ev.Name, "job", ev.ID, "cells", ev.Total)
 			case "cell":
-				cached := ""
-				if ev.Cached {
-					cached = " (cached)"
-				}
-				fmt.Fprintf(stderr, "figures: cell %d/%d %s/%s/%s%s\n", ev.Done, ev.Total, ev.Chip, ev.Benchmark, ev.Structure, cached)
+				log.Info("cell done", "done", ev.Done, "total", ev.Total,
+					"chip", ev.Chip, "benchmark", ev.Benchmark, "structure", ev.Structure, "cached", ev.Cached)
 			}
 		})
 		if err != nil {
@@ -272,18 +281,15 @@ func runSpec(ctx context.Context, spec experiment.Spec, serverURL, storePath str
 				return err
 			}
 			defer ds.Close()
-			fmt.Fprintf(stderr, "figures: store %s: %d cells\n", ds.Path(), ds.Len())
+			log.Info("store opened", "path", ds.Path(), "cells", ds.Len())
 			store = ds
 		}
 		sched := campaign.New(campaign.Config{Store: store, CampaignWorkers: workers})
 		runner := &experiment.Runner{
 			Scheduler: sched,
 			OnCell: func(p experiment.Progress) {
-				cached := ""
-				if p.Cached {
-					cached = " (cached)"
-				}
-				fmt.Fprintf(stderr, "figures: cell %d/%d %s%s\n", p.Done, p.Total, p.Spec, cached)
+				log.Info("cell done", "done", p.Done, "total", p.Total,
+					"cell", p.Spec.String(), "cached", p.Cached)
 			},
 		}
 		var err error
@@ -292,8 +298,9 @@ func runSpec(ctx context.Context, spec experiment.Spec, serverURL, storePath str
 			return err
 		}
 		st := sched.Stats()
-		defer fmt.Fprintf(stderr, "figures: campaigns: %d executed (%d injections), %d served from store, %d goldens\n",
-			st.Runs, st.Injections, st.Hits+st.Joins, st.GoldenRuns)
+		defer log.Info("campaigns done",
+			"runs", st.Runs, "injections", st.Injections,
+			"cached", st.Hits+st.Joins, "goldens", st.GoldenRuns)
 	}
 	if asJSON {
 		if err := report.WriteExperimentJSON(stdout, res); err != nil {

@@ -22,7 +22,7 @@ func TestRunTinyFigure(t *testing.T) {
 	if !strings.Contains(out.String(), "Fig. 1") || !strings.Contains(out.String(), "vectoradd") {
 		t.Fatalf("figure output:\n%s", out.String())
 	}
-	if !strings.Contains(errOut.String(), "campaigns: 1 executed") {
+	if !strings.Contains(errOut.String(), `msg="campaigns done" runs=1`) {
 		t.Fatalf("campaign summary missing:\n%s", errOut.String())
 	}
 }
@@ -112,7 +112,7 @@ func TestRunSpecFile(t *testing.T) {
 			t.Fatalf("spec output missing %q:\n%s", want, text)
 		}
 	}
-	if !strings.Contains(errOut.String(), "cell 2/2") {
+	if !strings.Contains(errOut.String(), `msg="cell done" done=2 total=2`) {
 		t.Fatalf("progress lines missing:\n%s", errOut.String())
 	}
 }
@@ -156,7 +156,7 @@ func TestRunSpecOnServer(t *testing.T) {
 	if !strings.Contains(out.String(), "protection what-ifs") {
 		t.Fatalf("remote spec output:\n%s", out.String())
 	}
-	if !strings.Contains(errOut.String(), "job exp-") {
+	if !strings.Contains(errOut.String(), "job=exp-") {
 		t.Fatalf("job line missing:\n%s", errOut.String())
 	}
 	if sched.Stats().Runs == 0 {

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/cli"
 	"repro/internal/service"
 )
 
@@ -68,7 +70,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		remote    = fs.Bool("workers-remote", false, "execute cells on remote fiworker processes instead of in-process")
 		leaseTTL  = fs.Duration("lease-ttl", campaign.DefaultLeaseTTL, "remote lease expiry after the last heartbeat")
 		drain     = fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown deadline for in-flight requests and jobs")
+		pprof     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
+	obs := cli.AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -76,6 +80,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		// The FlagSet already reported the problem on stderr.
 		return errUsage
 	}
+	log, closeTrace := obs.Init(stderr, slog.LevelDebug)
+	defer func() {
+		if terr := closeTrace(); terr != nil {
+			fmt.Fprintf(stderr, "fiserver: %v\n", terr)
+		}
+	}()
 
 	var store campaign.Store
 	if *storePath != "" {
@@ -108,6 +118,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	})
 
 	handler := service.NewServer(sched)
+	handler.SetLogger(log)
+	if *pprof {
+		handler.EnablePprof()
+	}
 	if queue != nil {
 		handler.ServeWorkers(queue)
 		fmt.Fprintf(stdout, "remote workers enabled (lease TTL %s)\n", *leaseTTL)

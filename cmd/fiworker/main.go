@@ -17,10 +17,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
+	"repro/internal/cli"
+	"repro/internal/telemetry"
 	"repro/internal/worker"
 )
 
@@ -51,7 +56,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		campWorks = fs.Int("campaign-workers", 0, "parallel simulations per cell (default GOMAXPROCS/concurrency)")
 		poll      = fs.Duration("poll", 2*time.Second, "lease long-poll duration")
 		quiet     = fs.Bool("quiet", false, "suppress per-cell log lines")
+		metrics   = fs.String("metrics-addr", "", "serve GET /metrics (Prometheus text) on this sidecar address, e.g. :9091")
+		pprof     = fs.Bool("pprof", false, "with -metrics-addr: also serve net/http/pprof under /debug/pprof/")
 	)
+	obs := cli.AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -71,15 +79,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
-	var log io.Writer
-	if !*quiet {
-		log = stdout
+	// -quiet floors the logger at warn so the per-lease info lines go
+	// away but failures still surface.
+	floor := slog.LevelDebug
+	if *quiet {
+		floor = slog.LevelWarn
 	}
+	log, closeTrace := obs.Init(stderr, floor)
+	defer func() {
+		if terr := closeTrace(); terr != nil {
+			fmt.Fprintf(stderr, "fiworker: %v\n", terr)
+		}
+	}()
+	log = log.With("worker", *name)
+
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			return err
+		}
+		msrv := &http.Server{Handler: telemetry.MetricsMux(*pprof)}
+		defer msrv.Close()
+		go msrv.Serve(ln)
+		fmt.Fprintf(stdout, "metrics on %s\n", ln.Addr())
+	}
+
 	w := worker.New(&worker.Client{Base: *server, Name: *name}, worker.Options{
 		Concurrency:     *conc,
 		CampaignWorkers: *campWorks,
 		Poll:            *poll,
-		Log:             log,
+		Logger:          log,
 	})
 	fmt.Fprintf(stdout, "worker %s serving %s (concurrency %d)\n", *name, *server, *conc)
 	err := w.Run(ctx)

@@ -1,0 +1,61 @@
+// Command metricslint validates a Prometheus text-exposition payload —
+// the format served by fiserver's GET /metrics and fiworker's
+// -metrics-addr sidecar — read from stdin or from file arguments. It is
+// the CI smoke's scrape checker:
+//
+//	curl -s localhost:8080/metrics | metricslint
+//	metricslint scrape.txt
+//
+// Checks: every line parses, every family declares HELP and TYPE before
+// its samples, no duplicate families or series, histogram samples use
+// only the _bucket/_sum/_count shapes, and every value is numeric. On
+// success it prints the family count; any violation is reported with
+// its line number and the exit status is 1.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run validates each named file, or stdin when no files are given.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		families, err := telemetry.ValidateExposition(stdin)
+		if err != nil {
+			return err
+		}
+		if families == 0 {
+			return errors.New("empty exposition (no metric families)")
+		}
+		fmt.Fprintf(stdout, "ok: %d metric families\n", families)
+		return nil
+	}
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		families, ferr := telemetry.ValidateExposition(f)
+		f.Close()
+		if ferr != nil {
+			return fmt.Errorf("%s: %w", path, ferr)
+		}
+		if families == 0 {
+			return fmt.Errorf("%s: empty exposition (no metric families)", path)
+		}
+		fmt.Fprintf(stdout, "%s: ok, %d metric families\n", path, families)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// validScrape renders the live default registry — exactly what a real
+// /metrics scrape serves.
+func validScrape(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	if err := telemetry.Default.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestLintStdinValid(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(validScrape(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ok: ") {
+		t.Fatalf("output %q", out.String())
+	}
+}
+
+func TestLintStdinInvalid(t *testing.T) {
+	bad := "# HELP x y\n# TYPE x counter\nx notanumber\n"
+	if err := run(nil, strings.NewReader(bad), io.Discard); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+	if err := run(nil, strings.NewReader(""), io.Discard); err == nil {
+		t.Fatal("empty exposition accepted")
+	}
+}
+
+func TestLintFiles(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	if err := os.WriteFile(good, []byte(validScrape(t)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{good}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "good.txt: ok") {
+		t.Fatalf("output %q", out.String())
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("orphan_sample 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, nil, io.Discard); err == nil {
+		t.Fatal("undeclared family accepted")
+	}
+	if err := run([]string{filepath.Join(dir, "missing.txt")}, nil, io.Discard); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/chips"
 	"repro/internal/finject"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -107,6 +108,7 @@ func (e *LocalExecutor) goldenFor(ctx context.Context, chip *chips.Chip, bench *
 		e.gmu.Lock()
 		if gc, ok := e.golden[gkey]; ok {
 			e.gmu.Unlock()
+			telemetry.GoldenCacheHits.Inc()
 			select {
 			case <-gc.done:
 			case <-ctx.Done():
@@ -124,6 +126,7 @@ func (e *LocalExecutor) goldenFor(ctx context.Context, chip *chips.Chip, bench *
 		e.golden[gkey] = gc
 		e.gmu.Unlock()
 
+		telemetry.GoldenCacheMisses.Inc()
 		gc.g, gc.err = finject.NewGolden(chip, bench)
 		if gc.err == nil {
 			e.goldenRuns.Add(1)
@@ -169,5 +172,7 @@ func (e *RemoteExecutor) Execute(ctx context.Context, req Request) (*finject.Res
 		Confidence: req.Policy.Confidence,
 		Checkpoint: req.Policy.Checkpoint,
 	}
-	return e.queue.Do(ctx, Task{Spec: req.Spec, Policy: pol})
+	// The job correlation id rides along for observability only; task
+	// identity and queue joining ignore it (see sameWork).
+	return e.queue.Do(ctx, Task{Spec: req.Spec, Policy: pol, Corr: telemetry.CorrFrom(ctx).Job})
 }

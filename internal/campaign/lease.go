@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/finject"
+	"repro/internal/telemetry"
 )
 
 // DefaultLeaseTTL bounds how long a worker may sit on a leased cell
@@ -26,6 +28,20 @@ type Task struct {
 	// Policy carries only Margin and Confidence on the wire; the cap is
 	// already resolved into Spec.Injections.
 	Policy finject.Policy `json:"policy"`
+	// Corr is the job correlation id of the producer that queued the cell,
+	// carried across the wire purely for observability: workers tag their
+	// logs and spans with it so one grep reconstructs a cell's life across
+	// processes. It never participates in task identity (see sameWork).
+	Corr string `json:"corr,omitempty"`
+}
+
+// sameWork reports whether two tasks describe the same computation —
+// the same normalized cell under the same stopping rule. Correlation
+// metadata is deliberately excluded: two jobs asking for one cell are
+// interchangeable work, and a late completion must be able to fulfill a
+// redo queued under a different job id.
+func sameWork(a, b Task) bool {
+	return a.Spec == b.Spec && a.Policy == b.Policy
 }
 
 // Lease is one granted lease: a work item plus the handle the worker
@@ -102,7 +118,15 @@ type LeaseQueue struct {
 	histOrder []string
 	wake      chan struct{} // closed and replaced when work arrives
 
-	completed, failed, expired int64
+	// Outcome counters are atomics so monitoring paths can read them
+	// without contending for q.mu (they are still only written under it).
+	completed, failed, expired atomic.Int64
+
+	// lastPending/lastLeased remember this queue's previous contribution
+	// to the fleet-wide depth gauges, so multiple queues in one process
+	// (tests, embedded servers) aggregate additively instead of fighting
+	// over an absolute Set.
+	lastPending, lastLeased int
 }
 
 // NewLeaseQueue builds a queue whose leases expire ttl after their last
@@ -139,6 +163,22 @@ func (q *LeaseQueue) wakeLocked() {
 	q.wake = make(chan struct{})
 }
 
+// syncGaugesLocked publishes this queue's current pending/leased counts
+// to the fleet gauges as deltas against its previous contribution.
+// Callers hold q.mu.
+func (q *LeaseQueue) syncGaugesLocked() {
+	pending := 0
+	for _, e := range q.entries {
+		if e.leaseID == "" {
+			pending++
+		}
+	}
+	leased := len(q.leased)
+	telemetry.LeaseQueueDepth.Add(int64(pending - q.lastPending))
+	telemetry.LeaseOutstanding.Add(int64(leased - q.lastLeased))
+	q.lastPending, q.lastLeased = pending, leased
+}
+
 // Do publishes the task (joining an identical cell already queued) and
 // blocks until a worker completes it or ctx ends. Abandoning a cell no
 // other producer waits for removes it from the queue unless a worker
@@ -156,6 +196,7 @@ func (q *LeaseQueue) Do(ctx context.Context, t Task) (*finject.Result, error) {
 		q.wakeLocked()
 	}
 	e.waiters++
+	q.syncGaugesLocked()
 	q.mu.Unlock()
 
 	select {
@@ -167,6 +208,7 @@ func (q *LeaseQueue) Do(ctx context.Context, t Task) (*finject.Result, error) {
 		if e.waiters == 0 && e.leaseID == "" && q.entries[key] == e {
 			delete(q.entries, key)
 		}
+		q.syncGaugesLocked()
 		q.mu.Unlock()
 		return nil, ctx.Err()
 	}
@@ -222,6 +264,8 @@ func (q *LeaseQueue) Lease(worker string, max int) []Lease {
 		q.leased[e.leaseID] = e
 		leases = append(leases, Lease{ID: e.leaseID, Task: e.task, TTLMillis: q.ttl.Milliseconds()})
 	}
+	telemetry.LeasesGranted.Add(int64(len(leases)))
+	q.syncGaugesLocked()
 	return leases
 }
 
@@ -245,11 +289,13 @@ func (q *LeaseQueue) Heartbeat(id string) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.expireLocked()
+	q.syncGaugesLocked()
 	e, ok := q.leased[id]
 	if !ok {
 		return false
 	}
 	e.deadline = q.now().Add(q.ttl)
+	telemetry.LeaseHeartbeats.Inc()
 	return true
 }
 
@@ -264,6 +310,7 @@ func (q *LeaseQueue) Complete(id string, res *finject.Result, errMsg string) err
 	defer q.mu.Unlock()
 	q.expireLocked()
 
+	defer q.syncGaugesLocked()
 	if e, ok := q.leased[id]; ok {
 		q.fulfillLocked(e, res, errMsg)
 		return nil
@@ -280,7 +327,7 @@ func (q *LeaseQueue) Complete(id string, res *finject.Result, errMsg string) err
 	// task comparison matters: the live entry could be a later request
 	// for the same cell under a tighter stopping rule, which this
 	// result — computed under the old rule — would not satisfy.
-	if e, live := q.entries[h.task.Spec.Key()]; live && e.task == h.task {
+	if e, live := q.entries[h.task.Spec.Key()]; live && sameWork(e.task, h.task) {
 		q.fulfillLocked(e, res, errMsg)
 	}
 	return nil
@@ -291,10 +338,12 @@ func (q *LeaseQueue) Complete(id string, res *finject.Result, errMsg string) err
 func (q *LeaseQueue) fulfillLocked(e *leaseEntry, res *finject.Result, errMsg string) {
 	if errMsg != "" {
 		e.err = fmt.Errorf("campaign: worker %s failed %s: %s", e.worker, e.task.Spec, errMsg)
-		q.failed++
+		q.failed.Add(1)
+		telemetry.LeaseFailures.Inc()
 	} else {
 		e.res = res
-		q.completed++
+		q.completed.Add(1)
+		telemetry.LeaseCompletions.Inc()
 	}
 	if e.leaseID != "" {
 		q.recordLocked(e.leaseID, leaseOutcome{task: e.task, completed: true})
@@ -320,7 +369,8 @@ func (q *LeaseQueue) expireLocked() {
 		e.leaseID = ""
 		e.worker = ""
 		e.attempts++
-		q.expired++
+		q.expired.Add(1)
+		telemetry.LeaseExpiries.Inc()
 		if e.waiters == 0 {
 			delete(q.entries, e.key)
 		}
@@ -343,7 +393,8 @@ func (q *LeaseQueue) Stats() LeaseStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.expireLocked()
-	st := LeaseStats{Completed: q.completed, Failed: q.failed, Expired: q.expired}
+	q.syncGaugesLocked()
+	st := LeaseStats{Completed: q.completed.Load(), Failed: q.failed.Load(), Expired: q.expired.Load()}
 	st.Leased = len(q.leased)
 	for _, e := range q.entries {
 		if e.leaseID == "" {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/finject"
+	"repro/internal/telemetry"
 )
 
 // Config configures a Scheduler.
@@ -193,6 +194,7 @@ func (s *Scheduler) run(ctx context.Context, c finject.Campaign) (*finject.Resul
 		} else if ok {
 			if c.Policy.SatisfiedBy(res, spec.Injections) {
 				s.hits.Add(1)
+				telemetry.SchedCacheHits.Inc()
 				s.notify(Progress{Spec: spec, Key: key, Cached: true})
 				return res, true, nil
 			}
@@ -212,6 +214,7 @@ func (s *Scheduler) run(ctx context.Context, c finject.Campaign) (*finject.Resul
 					continue
 				}
 				s.joins.Add(1)
+				telemetry.SchedJoins.Inc()
 				s.notify(Progress{Spec: spec, Key: key, Cached: true})
 				return cl.res, true, nil
 			}
@@ -239,6 +242,7 @@ func (s *Scheduler) run(ctx context.Context, c finject.Campaign) (*finject.Resul
 		}
 		if stale {
 			s.upgrades.Add(1)
+			telemetry.SchedCacheUpgrades.Inc()
 		}
 		s.notify(Progress{Spec: spec, Key: key})
 		return cl.res, false, nil
@@ -253,6 +257,10 @@ func (s *Scheduler) execute(ctx context.Context, c finject.Campaign, spec CellSp
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+	ctx = telemetry.WithCell(ctx, spec.String())
+	telemetry.SchedInflight.Inc()
+	defer telemetry.SchedInflight.Dec()
+	defer telemetry.StartSpan(ctx, "cell_execute")()
 	// Pin the result-determining fields to the normalized spec so the
 	// stored value always matches its key, and strip what must not vary.
 	// The policy's Margin and Confidence ride along untouched (they are
@@ -280,6 +288,7 @@ func (s *Scheduler) execute(ctx context.Context, c finject.Campaign, spec CellSp
 	}
 	s.runs.Add(1)
 	s.injections.Add(int64(res.Injections))
+	telemetry.SchedCellRuns.Inc()
 	if err := s.store.Put(key, res); err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package campaign
 import (
 	"bufio"
 	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/finject"
+	"repro/internal/telemetry"
 )
 
 // Store is a campaign-result cache keyed by cell identity. Implementations
@@ -99,6 +101,21 @@ type DiskStore struct {
 	// records counts the rows physically in the file; records - len(idx)
 	// are dead (shadowed by a later row for the same key).
 	records int
+	// lastLive/lastDead remember this store's previous contribution to the
+	// fleet record gauges so several open stores aggregate additively;
+	// Close withdraws the contribution.
+	lastLive, lastDead int
+}
+
+// syncGaugesLocked publishes the store's live/dead record counts to the
+// fleet gauges as deltas against its previous contribution. Callers
+// hold d.mu.
+func (d *DiskStore) syncGaugesLocked() {
+	live := len(d.idx)
+	dead := d.records - live
+	telemetry.StoreRecordsLive.Add(int64(live - d.lastLive))
+	telemetry.StoreRecordsDead.Add(int64(dead - d.lastDead))
+	d.lastLive, d.lastDead = live, dead
 }
 
 // CompactDeadThreshold is the number of dead (shadowed) records past
@@ -152,6 +169,9 @@ func OpenDiskStore(path string) (*DiskStore, error) {
 			return nil, err
 		}
 	}
+	d.mu.Lock()
+	d.syncGaugesLocked()
+	d.mu.Unlock()
 	return d, nil
 }
 
@@ -163,6 +183,7 @@ func OpenDiskStore(path string) (*DiskStore, error) {
 func (d *DiskStore) Compact() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer telemetry.StartSpan(context.Background(), "store_compact")()
 	tmpPath := d.path + ".compact"
 	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -207,6 +228,8 @@ func (d *DiskStore) Compact() error {
 	d.f = f
 	d.enc = json.NewEncoder(f)
 	d.records = len(d.idx)
+	telemetry.StoreCompactions.Inc()
+	d.syncGaugesLocked()
 	return nil
 }
 
@@ -235,6 +258,8 @@ func (d *DiskStore) Put(key CellKey, res *finject.Result) error {
 	}
 	d.idx[key] = res
 	d.records++
+	telemetry.StorePuts.Inc()
+	d.syncGaugesLocked()
 	return nil
 }
 
@@ -253,5 +278,9 @@ func (d *DiskStore) Path() string { return d.path }
 func (d *DiskStore) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Withdraw this store's contribution from the fleet record gauges.
+	telemetry.StoreRecordsLive.Add(int64(-d.lastLive))
+	telemetry.StoreRecordsDead.Add(int64(-d.lastDead))
+	d.lastLive, d.lastDead = 0, 0
 	return d.f.Close()
 }

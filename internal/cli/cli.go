@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -34,7 +35,7 @@ func Run(tool string, vendor gpu.Vendor, args []string, w io.Writer) error {
 
 // RunContext is Run under a context; the gufi and sifi mains call it
 // with a signal-canceled context so interrupts stop the campaign.
-func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []string, w io.Writer) error {
+func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
 	defaultChip := "HD Radeon 7970"
 	if vendor == gpu.NVIDIA {
@@ -55,6 +56,7 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		asJSON     = fs.Bool("json", false, "with -spec: emit the result as JSON instead of tables")
 		listFlag   = fs.Bool("list", false, "list chips and benchmarks, then exit")
 	)
+	obs := AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			// Usage was printed; asking for help is not a failure.
@@ -62,6 +64,14 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		}
 		return err
 	}
+	// Results go to w; structured logs and spans are observability and go
+	// to stderr / the -trace file, never mixing into parseable output.
+	_, closeTrace := obs.Init(os.Stderr, slog.LevelDebug)
+	defer func() {
+		if terr := closeTrace(); terr != nil && err == nil {
+			err = terr
+		}
+	}()
 
 	if *margin < 0 || *margin >= 1 {
 		return fmt.Errorf("margin %v outside [0,1)", *margin)

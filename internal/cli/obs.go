@@ -1,0 +1,70 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// Obs carries the observability flags shared by every cmd/ binary:
+// -log-level and -log-format select the structured logger, -trace
+// collects campaign spans into a Chrome trace-event JSON file viewable
+// in chrome://tracing or ui.perfetto.dev.
+type Obs struct {
+	level  *string
+	format *string
+	trace  *string
+}
+
+// AddObsFlags registers the shared observability flags on fs.
+func AddObsFlags(fs *flag.FlagSet) *Obs {
+	return &Obs{
+		level:  fs.String("log-level", "info", "log level: debug, info, warn or error"),
+		format: fs.String("log-format", "text", "log format: text or json"),
+		trace:  fs.String("trace", "", "write campaign spans to this file as Chrome trace-event JSON"),
+	}
+}
+
+// Level returns the parsed -log-level.
+func (o *Obs) Level() slog.Level { return telemetry.ParseLevel(*o.level) }
+
+// Init builds the structured logger writing to w (floored at floor, so
+// e.g. a -quiet flag can raise the threshold), installs it as the slog
+// default, and — when -trace was given — installs the process tracer.
+// The returned cleanup uninstalls the tracer and writes the trace file;
+// call it exactly once, after the work is done.
+func (o *Obs) Init(w io.Writer, floor slog.Level) (*slog.Logger, func() error) {
+	level := o.Level()
+	if level < floor {
+		level = floor
+	}
+	log := telemetry.NewLogger(w, level, *o.format)
+	slog.SetDefault(log)
+
+	if *o.trace == "" {
+		return log, func() error { return nil }
+	}
+	tracer := telemetry.NewTracer()
+	telemetry.SetTracer(tracer)
+	path := *o.trace
+	return log, func() error {
+		telemetry.SetTracer(nil)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		log.Info("trace written", "path", path, "spans", tracer.Len())
+		return nil
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+// TestFigureJSONTelemetryEquivalence is the observability tier's
+// inertness proof at the figure level: the same figure computed with
+// every observer running — tracer installed, debug logger as the slog
+// default, and a goroutine hammering the metrics registry's exposition
+// the whole time — must serialize byte-identically to the unobserved
+// run. Campaigns are deterministic functions of (spec, seed); telemetry
+// must stay outside that function.
+func TestFigureJSONTelemetryEquivalence(t *testing.T) {
+	chip, err := chips.ByName("Mini NVIDIA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var benches []*workloads.Benchmark
+	for _, name := range []string{"vectoradd", "matrixMul"} {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		benches = append(benches, b)
+	}
+	opts := Options{
+		Injections: 40, Seed: 7,
+		Chips: []*chips.Chip{chip}, Benchmarks: benches,
+	}
+
+	render := func() []byte {
+		t.Helper()
+		fig, err := FigureRegisterFile(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.Marshal(fig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+
+	// Unobserved reference first (other tests may have bumped counters
+	// already; counters are always-on and proven inert by this very
+	// comparison).
+	off := render()
+
+	// Now with the full observer set running.
+	prevTracer := telemetry.SetTracer(telemetry.NewTracer())
+	prevLog := slog.Default()
+	slog.SetDefault(telemetry.NewLogger(io.Discard, slog.LevelDebug, "json"))
+	scrapeDone := make(chan struct{})
+	stopScrape := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+				telemetry.Default.WritePrometheus(io.Discard)
+			}
+		}
+	}()
+	on := render()
+	close(stopScrape)
+	<-scrapeDone
+	slog.SetDefault(prevLog)
+	telemetry.SetTracer(prevTracer)
+
+	if !bytes.Equal(off, on) {
+		t.Fatalf("figure JSON differs with telemetry on:\noff: %s\non:  %s", off, on)
+	}
+	if telemetry.ActiveTracer() != prevTracer {
+		t.Fatal("tracer not restored")
+	}
+}

@@ -74,7 +74,7 @@ func TestClassifyProducesDUE(t *testing.T) {
 		// R1 of thread 0 holds the pointer; flip bit 25 (beyond the 4MB
 		// device memory) so a live hit must fault.
 		f := gpu.Fault{Structure: gpu.RegisterFile, Unit: 0, Entry: 1, Bit: 25, Cycle: c}
-		if o, _ := classify(d, hp, g, nil, f, g.cycles*20+10000); o == gpu.OutcomeDUE {
+		if o, _, _ := classify(d, hp, g, nil, f, g.cycles*20+10000); o == gpu.OutcomeDUE {
 			sawDUE = true
 		}
 	}
@@ -120,7 +120,7 @@ func TestClassifyProducesTimeout(t *testing.T) {
 		// R2 of thread 0 holds the loop bound; setting bit 30 raises it
 		// to ~1e9 iterations, far past the watchdog.
 		f := gpu.Fault{Structure: gpu.RegisterFile, Unit: 0, Entry: 2, Bit: 30, Cycle: c}
-		if o, _ := classify(d, hp, g, nil, f, g.cycles*4); o == gpu.OutcomeTimeout {
+		if o, _, _ := classify(d, hp, g, nil, f, g.cycles*4); o == gpu.OutcomeTimeout {
 			sawTimeout = true
 		}
 	}
@@ -148,7 +148,7 @@ func TestClassifyMaskedTail(t *testing.T) {
 	}
 	// Flip an entry in the last cycle: nothing can read it afterwards.
 	f := gpu.Fault{Structure: gpu.RegisterFile, Unit: 0, Entry: 1, Bit: 25, Cycle: g.cycles - 1}
-	if got, corrupt := classify(d, hp, g, nil, f, g.cycles*20); got != gpu.OutcomeMasked || corrupt != 0 {
+	if got, corrupt, _ := classify(d, hp, g, nil, f, g.cycles*20); got != gpu.OutcomeMasked || corrupt != 0 {
 		t.Fatalf("tail flip classified as %v (corrupt=%d), want masked", got, corrupt)
 	}
 }

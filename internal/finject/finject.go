@@ -24,6 +24,7 @@ import (
 	"repro/internal/devices"
 	"repro/internal/gpu"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -328,6 +329,7 @@ type golden struct {
 // runGolden executes the fault-free reference run, capturing the
 // checkpoint ladder along the way unless ckpt.Off.
 func runGolden(chip *chips.Chip, bench *workloads.Benchmark, ckpt Checkpoint) (*golden, error) {
+	defer telemetry.StartSpan(context.Background(), "golden_run")()
 	d, err := devices.New(chip)
 	if err != nil {
 		return nil, err
@@ -348,6 +350,13 @@ func runGolden(chip *chips.Chip, bench *workloads.Benchmark, ckpt Checkpoint) (*
 	g := &golden{outputs: hp.Outputs(), stats: d.Stats()}
 	if lb != nil {
 		g.ladder = lb.snaps
+		telemetry.LadderBuilds.Inc()
+		telemetry.LadderSnapshots.Add(int64(len(lb.snaps)))
+		var ladderBytes int64
+		for _, s := range lb.snaps {
+			ladderBytes += s.SizeBytes()
+		}
+		telemetry.LadderBytes.Add(ladderBytes)
 	}
 	g.cycles = g.stats.Cycles
 	if g.cycles <= 0 {
@@ -376,47 +385,64 @@ func sampleFault(rng *stats.RNG, c Campaign, cycles int64, idx uint64) gpu.Fault
 	}
 }
 
+// classifyCost is one injection's execution-cost accounting, consumed by
+// the telemetry counters: whether a checkpoint rung was restored, how
+// many fault-free cycles the restore skipped, and how many cycles the
+// run actually simulated. It never feeds back into outcomes.
+type classifyCost struct {
+	restored  bool
+	ffCycles  int64
+	simCycles int64
+}
+
 // classify runs one injection on a worker-owned device and host program,
-// returning the outcome and (for SDCs) the number of corrupted output
-// bytes. When the ladder holds a snapshot at or below the fault cycle,
-// the run fast-forwards from it instead of replaying the fault-free
-// prefix; the pre-fault execution is identical either way, so the
-// outcome is too (proven by the differential equivalence suite).
-func classify(d gpu.Device, hp *gpu.HostProgram, g *golden, ladder []gpu.Snapshot, f gpu.Fault, watchdog int64) (gpu.Outcome, int) {
-	restored := false
+// returning the outcome, (for SDCs) the number of corrupted output
+// bytes, and the run's cost accounting. When the ladder holds a snapshot
+// at or below the fault cycle, the run fast-forwards from it instead of
+// replaying the fault-free prefix; the pre-fault execution is identical
+// either way, so the outcome is too (proven by the differential
+// equivalence suite).
+func classify(d gpu.Device, hp *gpu.HostProgram, g *golden, ladder []gpu.Snapshot, f gpu.Fault, watchdog int64) (gpu.Outcome, int, classifyCost) {
+	var cost classifyCost
 	if snap := latestBelow(ladder, f.Cycle); snap != nil {
-		restored = d.Restore(snap) == nil
+		if d.Restore(snap) == nil {
+			cost.restored = true
+			cost.ffCycles = snap.Cycle()
+		}
 	}
-	if !restored {
+	if !cost.restored {
 		d.Reset()
 	}
 	d.SetWatchdog(watchdog)
 	d.InjectFault(&f)
 	err := hp.Run(d)
+	if sim := d.Stats().Cycles - cost.ffCycles; sim > 0 {
+		cost.simCycles = sim
+	}
 	switch {
 	case errors.Is(err, gpu.ErrWatchdog):
-		return gpu.OutcomeTimeout, 0
+		return gpu.OutcomeTimeout, 0, cost
 	case err != nil:
-		return gpu.OutcomeDUE, 0
+		return gpu.OutcomeDUE, 0, cost
 	}
 	outs := hp.Outputs()
 	if len(outs) != len(g.outputs) {
-		return gpu.OutcomeDUE, 0
+		return gpu.OutcomeDUE, 0, cost
 	}
 	corrupt := 0
 	for i, r := range outs {
 		bs, err := d.Mem().ReadBytes(r.Addr, int(r.Size))
 		if err != nil {
-			return gpu.OutcomeDUE, 0
+			return gpu.OutcomeDUE, 0, cost
 		}
 		if !bytes.Equal(bs, g.bytes[i]) {
 			corrupt += diffBytes(bs, g.bytes[i])
 		}
 	}
 	if corrupt > 0 {
-		return gpu.OutcomeSDC, corrupt
+		return gpu.OutcomeSDC, corrupt, cost
 	}
-	return gpu.OutcomeMasked, 0
+	return gpu.OutcomeMasked, 0, cost
 }
 
 // diffBytes counts positions where the two equal-length slices differ.
@@ -533,7 +559,10 @@ func RunContext(ctx context.Context, c Campaign) (*Result, error) {
 				end = limit
 			}
 		}
+		endSpan := telemetry.StartSpan(ctx, "injection_round")
 		ran := runRound(ctx, c, pool, g, ladder, watchdog, baseRNG, done, end, res)
+		endSpan()
+		telemetry.InjectRounds.Inc()
 		done += ran
 		if done < end {
 			res.Injections = done
@@ -549,6 +578,9 @@ func RunContext(ctx context.Context, c Campaign) (*Result, error) {
 				return nil, err
 			}
 			if hw <= c.Policy.Margin {
+				if done < limit {
+					telemetry.InjectEarlyStops.Inc()
+				}
 				break
 			}
 		}
@@ -577,21 +609,41 @@ func runRound(ctx context.Context, c Campaign, pool []*injector, g *golden, ladd
 		wg.Add(1)
 		go func(in *injector) {
 			defer wg.Done()
-			var local [gpu.NumOutcomes]int
-			count := 0
+			// Telemetry accumulates in worker-locals and flushes once per
+			// round, so the per-injection hot loop costs no atomics.
+			var (
+				local    [gpu.NumOutcomes]int
+				count    int
+				restores int64
+				replays  int64
+				ffCyc    int64
+				simCyc   int64
+			)
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= end {
 					break
 				}
 				f := sampleFault(rng, c, g.cycles, uint64(i))
-				o, corrupt := classify(in.d, in.hp, g, ladder, f, watchdog)
+				o, corrupt, cost := classify(in.d, in.hp, g, ladder, f, watchdog)
 				local[o]++
 				count++
+				if cost.restored {
+					restores++
+				} else {
+					replays++
+				}
+				ffCyc += cost.ffCycles
+				simCyc += cost.simCycles
 				if res.Records != nil {
 					res.Records[i] = Record{Fault: f, Outcome: o, CorruptBytes: corrupt}
 				}
 			}
+			telemetry.Injections.Add(int64(count))
+			telemetry.CkptRestores.Add(restores)
+			telemetry.FullReplays.Add(replays)
+			telemetry.FastForwardCycles.Add(ffCyc)
+			telemetry.SimulatedCycles.Add(simCyc)
 			mu.Lock()
 			for o, cnt := range local {
 				res.Outcomes[o] += cnt

@@ -1,0 +1,76 @@
+package finject
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/gpu"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+// TestTelemetryInertRecordStream is the engine-level inertness proof:
+// one campaign with per-injection detail recording forced on, run
+// unobserved and then under the full observer set — tracer installed,
+// debug slog default, and concurrent scrapes of the metrics registry —
+// must produce byte-identical serialized results, down to the fault
+// site and outcome of every single injection. The observed run goes
+// through CheckpointEquivalence, so the checkpointed-vs-full proof of
+// PR 5 holds under observation too.
+func TestTelemetryInertRecordStream(t *testing.T) {
+	bench, err := workloads.ByName("matrixMul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Campaign{
+		Chip: chips.MiniNVIDIA(), Benchmark: bench, Structure: gpu.RegisterFile,
+		Injections: 60, Seed: 41, Detail: true,
+		Policy: Policy{Workers: 4},
+	}
+
+	offRes, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := json.Marshal(offRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prevTracer := telemetry.SetTracer(telemetry.NewTracer())
+	prevLog := slog.Default()
+	slog.SetDefault(telemetry.NewLogger(io.Discard, slog.LevelDebug, "json"))
+	scrapeDone := make(chan struct{})
+	stopScrape := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+				telemetry.Default.WritePrometheus(io.Discard)
+			}
+		}
+	}()
+	onRes, err := CheckpointEquivalence(c)
+	close(stopScrape)
+	<-scrapeDone
+	slog.SetDefault(prevLog)
+	telemetry.SetTracer(prevTracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := json.Marshal(onRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(off, on) {
+		t.Fatalf("record stream differs with telemetry on:\noff: %s\non:  %s", off, on)
+	}
+}

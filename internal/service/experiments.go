@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/experiment"
+	"repro/internal/telemetry"
 )
 
 // experimentEvent is one NDJSON line of the experiment stream.
@@ -76,6 +77,9 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	defer s.running.Done()
 
+	ctx = telemetry.WithJob(ctx, j.id)
+	s.log.InfoContext(ctx, "experiment started", "name", plan.Spec.Name, "cells", len(plan.Cells))
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := newLockedEncoder(w, flusher)
@@ -126,6 +130,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		j.errMsg = err.Error()
 	}
 	j.mu.Unlock()
+	s.log.InfoContext(ctx, "experiment finished", "name", plan.Spec.Name, "state", j.state)
 
 	if err != nil {
 		enc.emit(experimentEvent{Event: "error", ID: j.id, Error: err.Error()})

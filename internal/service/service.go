@@ -28,6 +28,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/finject"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -52,6 +55,7 @@ type Server struct {
 	sched *campaign.Scheduler
 	mux   *http.ServeMux
 	queue *campaign.LeaseQueue // non-nil once ServeWorkers ran
+	log   *slog.Logger
 
 	mu      sync.Mutex
 	nextID  int
@@ -119,19 +123,40 @@ func NewServer(sched *campaign.Scheduler) *Server {
 		sched: sched,
 		mux:   http.NewServeMux(),
 		jobs:  make(map[string]*job),
+		log:   slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiment)
-	s.mux.HandleFunc("GET /v1/figure", s.handleFigure)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.handle("POST /v1/jobs", s.handleSubmit)
+	s.handle("GET /v1/jobs/{id}", s.handleStatus)
+	s.handle("GET /v1/jobs/{id}/result", s.handleResult)
+	s.handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.handle("POST /v1/experiments", s.handleExperiment)
+	s.handle("GET /v1/figure", s.handleFigure)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /metrics", telemetry.Handler())
+	s.handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return s
 }
+
+// handle registers a route with per-route request/latency metrics. The
+// pattern doubles as the metric label, so cardinality is fixed at
+// registration time and path parameters like {id} never explode it.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, telemetry.InstrumentHandler(pattern, h))
+}
+
+// SetLogger replaces the server's structured logger (a discarding logger
+// by default, keeping embedded and test servers quiet).
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.log = l
+	}
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ on the server's
+// own mux — opt-in via fiserver's -pprof flag, never on by default.
+func (s *Server) EnablePprof() { telemetry.RegisterPprof(s.mux) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -235,24 +260,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.evictLocked()
 	s.mu.Unlock()
 
+	// The job id rides the context from here through the scheduler and —
+	// on the remote tier — across the lease wire into worker logs.
+	jctx := telemetry.WithJob(ctx, j.id)
+	s.log.InfoContext(jctx, "job submitted", "kind", "batch", "cells", len(batch))
+
 	go func() {
 		// Release the context's resources once the batch settles; DELETE
 		// uses the same cancel to abort early and Shutdown drains on the
 		// same WaitGroup.
 		defer s.running.Done()
 		defer cancel()
-		results, err := s.sched.RunBatch(ctx, batch, func(i int, res *finject.Result, cached bool, cellErr error) {
+		results, err := s.sched.RunBatch(jctx, batch, func(i int, res *finject.Result, cached bool, cellErr error) {
 			j.mu.Lock()
 			defer j.mu.Unlock()
 			j.done++
 			if cellErr != nil {
 				j.cells[i].State = "failed"
 				j.cells[i].Error = cellErr.Error()
+				s.log.WarnContext(jctx, "cell failed", "spec", j.cells[i].Spec, "err", cellErr)
 				return
 			}
 			j.cells[i].State = "done"
 			j.cells[i].Cached = cached
 			j.cells[i].Injections = res.Injections
+			s.log.DebugContext(jctx, "cell done",
+				"spec", j.cells[i].Spec, "cached", cached, "injections", res.Injections)
 		})
 		j.mu.Lock()
 		defer j.mu.Unlock()
@@ -267,6 +300,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			j.state = "failed"
 			j.errMsg = err.Error()
 		}
+		s.log.InfoContext(jctx, "job finished", "state", j.state, "done", j.done, "error", j.errMsg)
 	}()
 
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": j.id, "total": len(batch)})
@@ -577,7 +611,14 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		defer unsub()
 	}
 
-	ctx := r.Context()
+	// Figure runs are not registered jobs, but they still get a job
+	// correlation id so their cells are greppable across the fleet.
+	s.mu.Lock()
+	s.nextID++
+	figID := newJobID("fig", s.nextID)
+	s.mu.Unlock()
+	ctx := telemetry.WithJob(r.Context(), figID)
+	s.log.InfoContext(ctx, "figure run", "fig", figNum)
 	var result any
 	switch figNum {
 	case 1:
@@ -588,8 +629,10 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		result, err = core.FigureEPFContext(ctx, opts)
 	}
 	if err != nil {
+		s.log.WarnContext(ctx, "figure failed", "fig", figNum, "err", err)
 		emit(figureEvent{Event: "error", Error: err.Error()})
 		return
 	}
+	s.log.InfoContext(ctx, "figure done", "fig", figNum)
 	emit(figureEvent{Event: "result", Fig: strconv.Itoa(figNum), Figure: result})
 }

@@ -1,0 +1,210 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/telemetry"
+	"repro/internal/worker"
+)
+
+// TestMetricsEndpointValidExposition boots a server, runs one job, and
+// scrapes GET /metrics: the body must be well-formed Prometheus text
+// exposition (checked by the same validator cmd/metricslint uses in the
+// CI smoke) and must carry all five instrumented subsystem families —
+// scheduler, lease queue, injection engine, store, and HTTP.
+func TestMetricsEndpointValidExposition(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, ts, "/v1/jobs", map[string]any{"cells": []campaign.CellSpec{miniSpec("vectoradd", 3)}}, &submitted, http.StatusAccepted)
+	waitForJob(t, ts, submitted.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics: content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	families, err := telemetry.ValidateExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	if families < 20 {
+		t.Fatalf("only %d families exposed, want the full catalog (>= 20)", families)
+	}
+	for _, group := range []string{"fi_sched_", "fi_lease_", "fi_inject_", "fi_store_", "fi_http_"} {
+		if !strings.Contains(string(body), group) {
+			t.Fatalf("metric group %s missing from /metrics:\n%s", group, body)
+		}
+	}
+	// The job above ran through the instrumented mux, so the per-route
+	// counter must show the route label, not a raw path.
+	if !strings.Contains(string(body), `fi_http_requests_total{route="POST /v1/jobs"}`) {
+		t.Fatalf("per-route HTTP counter missing:\n%s", body)
+	}
+}
+
+// waitForJob polls a job until it leaves the running state.
+func waitForJob(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var status struct {
+			State string `json:"state"`
+		}
+		if getJSON(t, ts, "/v1/jobs/"+id, &status) != http.StatusOK {
+			t.Fatal("status not OK")
+		}
+		if status.State != "running" {
+			if status.State != "done" {
+				t.Fatalf("job ended %q", status.State)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job stuck")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStatsJSONShapePinned byte-pins /v1/stats: the endpoint predates
+// the metrics registry and scripts parse it, so its JSON shape is a
+// compatibility contract — /metrics is the extension point, this body
+// must not move.
+func TestStatsJSONShapePinned(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"golden_runs":0,"hits":0,"injections":0,"joins":0,"runs":0,"store_cells":0,"upgrades":0}` + "\n"
+	if string(body) != want {
+		t.Fatalf("/v1/stats shape moved:\ngot:  %q\nwant: %q", body, want)
+	}
+
+	// With remote workers enabled the queue snapshot joins the body under
+	// the fixed "workers" key.
+	srv2, _ := newTestServer(t)
+	srv2.ServeWorkers(campaign.NewLeaseQueue(time.Second))
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := `{"golden_runs":0,"hits":0,"injections":0,"joins":0,"runs":0,"store_cells":0,"upgrades":0,` +
+		`"workers":{"pending":0,"leased":0,"completed":0,"failed":0,"expired":0}}` + "\n"
+	if string(body2) != want2 {
+		t.Fatalf("/v1/stats shape moved with workers enabled:\ngot:  %q\nwant: %q", body2, want2)
+	}
+}
+
+// syncWriter is a concurrency-safe log sink for worker loggers.
+type syncWriter struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// TestCorrelationIDCrossesLeaseWire is the end-to-end correlation
+// proof: a job submitted to the server runs on a remote worker in
+// another "process" (separate worker loop over HTTP), and the worker's
+// structured log lines must carry the server-minted job id plus lease
+// and cell identities — one grep reconstructs the cell's life across
+// both sides of the wire.
+func TestCorrelationIDCrossesLeaseWire(t *testing.T) {
+	q := campaign.NewLeaseQueue(3 * time.Second)
+	sched := campaign.New(campaign.Config{Executor: campaign.NewRemoteExecutor(q), Workers: 8})
+	srv := NewServer(sched)
+	srv.ServeWorkers(q)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sink := &syncWriter{}
+	wctx, stopWorker := context.WithCancel(context.Background())
+	w := worker.New(&worker.Client{Base: ts.URL, Name: "corr-w1"}, worker.Options{
+		Concurrency: 1, CampaignWorkers: 2, Poll: 50 * time.Millisecond,
+		Logger: telemetry.NewLogger(sink, 0 /* info */, "json"),
+	})
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		w.Run(wctx)
+	}()
+	defer func() {
+		stopWorker()
+		<-workerDone
+	}()
+
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, ts, "/v1/jobs", map[string]any{"cells": []campaign.CellSpec{miniSpec("vectoradd", 5)}}, &submitted, http.StatusAccepted)
+	waitForJob(t, ts, submitted.ID)
+
+	// The job is done server-side, but the worker writes its completion
+	// line after its Complete call returns — give it a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(sink.String(), `"msg":"cell completed"`) {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never logged the completion:\n%s", sink.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	logs := sink.String()
+	if !strings.Contains(logs, `"job":"`+submitted.ID+`"`) {
+		t.Fatalf("worker logs never mention the server-minted job id %s:\n%s", submitted.ID, logs)
+	}
+	for _, field := range []string{`"lease":"`, `"cell":"`} {
+		if !strings.Contains(logs, field) {
+			t.Fatalf("worker logs missing %s:\n%s", field, logs)
+		}
+	}
+}

@@ -26,9 +26,9 @@ const maxLeaseWait = 30 * time.Second
 // makes every completion of a cell interchangeable).
 func (s *Server) ServeWorkers(q *campaign.LeaseQueue) {
 	s.queue = q
-	s.mux.HandleFunc("POST /v1/workers/lease", s.handleWorkerLease)
-	s.mux.HandleFunc("POST /v1/workers/{lease}/heartbeat", s.handleWorkerHeartbeat)
-	s.mux.HandleFunc("POST /v1/workers/{lease}/complete", s.handleWorkerComplete)
+	s.handle("POST /v1/workers/lease", s.handleWorkerLease)
+	s.handle("POST /v1/workers/{lease}/heartbeat", s.handleWorkerHeartbeat)
+	s.handle("POST /v1/workers/{lease}/complete", s.handleWorkerComplete)
 }
 
 // leaseRequest is the POST /v1/workers/lease body.

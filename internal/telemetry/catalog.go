@@ -1,0 +1,80 @@
+package telemetry
+
+// The standard metric catalog. Every instrumented subsystem pulls its
+// metrics from here so the whole fleet shares one naming scheme:
+// fi_<subsystem>_<what>_<unit-or-total>, counters suffixed _total,
+// gauges named for the quantity they track. All metrics live on the
+// Default registry and are exported by fiserver's GET /metrics and
+// fiworker's -metrics-addr sidecar. DESIGN.md "Observability" carries
+// the human-readable table.
+var (
+	// Campaign scheduler (internal/campaign.Scheduler).
+	SchedCellRuns = Default.Counter("fi_sched_cell_runs_total",
+		"Campaign cells executed to completion by the scheduler.")
+	SchedCacheHits = Default.Counter("fi_sched_cache_hits_total",
+		"Cells answered from the result store without execution.")
+	SchedCacheUpgrades = Default.Counter("fi_sched_cache_upgrades_total",
+		"Cached cells re-executed because a request wanted more injections.")
+	SchedJoins = Default.Counter("fi_sched_joins_total",
+		"Requests coalesced onto an identical in-flight cell (singleflight).")
+	SchedInflight = Default.Gauge("fi_sched_inflight_cells",
+		"Cells currently executing under the scheduler.")
+	GoldenCacheHits = Default.Counter("fi_sched_golden_cache_hits_total",
+		"Golden reference runs reused from the per-(chip,benchmark) cache.")
+	GoldenCacheMisses = Default.Counter("fi_sched_golden_cache_misses_total",
+		"Golden reference runs that had to be simulated.")
+
+	// Lease queue (internal/campaign.LeaseQueue).
+	LeasesGranted = Default.Counter("fi_lease_granted_total",
+		"Leases handed to workers, including re-grants after expiry.")
+	LeaseHeartbeats = Default.Counter("fi_lease_heartbeats_total",
+		"Successful lease heartbeat renewals.")
+	LeaseExpiries = Default.Counter("fi_lease_expiries_total",
+		"Leases whose TTL lapsed, re-queueing the cell.")
+	LeaseCompletions = Default.Counter("fi_lease_completed_total",
+		"Cells completed successfully over the worker protocol.")
+	LeaseFailures = Default.Counter("fi_lease_failed_total",
+		"Cells whose worker reported an execution error.")
+	LeaseQueueDepth = Default.Gauge("fi_lease_queue_depth",
+		"Cells waiting in the lease queue, not yet leased.")
+	LeaseOutstanding = Default.Gauge("fi_lease_outstanding",
+		"Cells currently leased to workers and awaiting completion.")
+
+	// Injection engine (internal/finject).
+	Injections = Default.Counter("fi_inject_injections_total",
+		"Fault injections simulated and classified.")
+	InjectRounds = Default.Counter("fi_inject_rounds_total",
+		"Adaptive campaign rounds executed.")
+	InjectEarlyStops = Default.Counter("fi_inject_early_stops_total",
+		"Campaigns stopped early by the confidence-interval policy.")
+	CkptRestores = Default.Counter("fi_inject_ckpt_restores_total",
+		"Injections fast-forwarded by restoring a checkpoint-ladder rung.")
+	FullReplays = Default.Counter("fi_inject_full_replays_total",
+		"Injections replayed from cycle zero (no usable rung).")
+	FastForwardCycles = Default.Counter("fi_inject_ff_cycles_total",
+		"Simulated cycles skipped via checkpoint restore.")
+	SimulatedCycles = Default.Counter("fi_inject_sim_cycles_total",
+		"Cycles actually simulated during injection classification.")
+	LadderBuilds = Default.Counter("fi_ladder_builds_total",
+		"Checkpoint ladders built during golden runs.")
+	LadderSnapshots = Default.Counter("fi_ladder_snapshots_total",
+		"Snapshots taken while building checkpoint ladders.")
+	LadderBytes = Default.Counter("fi_ladder_bytes_total",
+		"Bytes captured into checkpoint-ladder snapshots.")
+
+	// Result store (internal/campaign.DiskStore).
+	StorePuts = Default.Counter("fi_store_disk_puts_total",
+		"Cell results appended to disk stores.")
+	StoreCompactions = Default.Counter("fi_store_disk_compactions_total",
+		"Disk store compactions (dead-record garbage collection).")
+	StoreRecordsLive = Default.Gauge("fi_store_disk_records_live",
+		"Live (most-recent) records across open disk stores.")
+	StoreRecordsDead = Default.Gauge("fi_store_disk_records_dead",
+		"Superseded records across open disk stores, pending compaction.")
+
+	// HTTP control plane (internal/service).
+	HTTPRequests = Default.CounterVec("fi_http_requests_total",
+		"Control-plane HTTP requests served, by route.", "route")
+	HTTPLatency = Default.HistogramVec("fi_http_request_seconds",
+		"Control-plane HTTP request latency in seconds, by route.", "route", DefBuckets)
+)

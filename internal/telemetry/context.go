@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Corr is the correlation identity of a unit of campaign work: the job
+// that requested it, the cell being computed, and (on the distributed
+// tier) the lease under which a worker runs it. Corr travels inside
+// context.Context on both sides of the lease wire — the job id crosses
+// processes in campaign.Task — so one grep over structured logs
+// reconstructs a cell's life from fiserver submit to fiworker complete.
+type Corr struct {
+	Job   string
+	Cell  string
+	Lease string
+}
+
+type corrKey struct{}
+
+// withCorr stores an updated Corr, copying the previous one first.
+func withCorr(ctx context.Context, update func(*Corr)) context.Context {
+	c := CorrFrom(ctx)
+	update(&c)
+	return context.WithValue(ctx, corrKey{}, c)
+}
+
+// WithJob tags ctx with a job correlation id.
+func WithJob(ctx context.Context, job string) context.Context {
+	return withCorr(ctx, func(c *Corr) { c.Job = job })
+}
+
+// WithCell tags ctx with a cell correlation id.
+func WithCell(ctx context.Context, cell string) context.Context {
+	return withCorr(ctx, func(c *Corr) { c.Cell = cell })
+}
+
+// WithLease tags ctx with a lease correlation id.
+func WithLease(ctx context.Context, lease string) context.Context {
+	return withCorr(ctx, func(c *Corr) { c.Lease = lease })
+}
+
+// CorrFrom returns the correlation identity in ctx (zero when untagged).
+func CorrFrom(ctx context.Context) Corr {
+	if ctx == nil {
+		return Corr{}
+	}
+	c, _ := ctx.Value(corrKey{}).(Corr)
+	return c
+}
+
+// corrHandler is a slog.Handler that appends the context's correlation
+// IDs to every record, so call sites log plain messages and correlation
+// comes from where the work runs, not from what the code remembers to
+// pass.
+type corrHandler struct {
+	slog.Handler
+}
+
+func (h corrHandler) Handle(ctx context.Context, r slog.Record) error {
+	c := CorrFrom(ctx)
+	if c.Job != "" {
+		r.AddAttrs(slog.String("job", c.Job))
+	}
+	if c.Cell != "" {
+		r.AddAttrs(slog.String("cell", c.Cell))
+	}
+	if c.Lease != "" {
+		r.AddAttrs(slog.String("lease", c.Lease))
+	}
+	return h.Handler.Handle(ctx, r)
+}
+
+func (h corrHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return corrHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h corrHandler) WithGroup(name string) slog.Handler {
+	return corrHandler{h.Handler.WithGroup(name)}
+}
+
+// ParseLevel maps a -log-level flag value to a slog level. Unknown
+// values default to info rather than erroring: a typo'd log level
+// should never kill a campaign.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// NewLogger builds a structured logger writing to w at the given level,
+// in "text" (logfmt-style) or "json" format, with correlation IDs
+// injected from context on every record.
+func NewLogger(w io.Writer, level slog.Level, format string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if strings.EqualFold(strings.TrimSpace(format), "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(corrHandler{h})
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestCorrThreadsThroughContext(t *testing.T) {
+	ctx := context.Background()
+	if CorrFrom(ctx) != (Corr{}) {
+		t.Fatal("untagged context has a correlation identity")
+	}
+	ctx = WithJob(ctx, "job-1")
+	ctx = WithCell(ctx, "cell-1")
+	ctx = WithLease(ctx, "lease-1")
+	if got := CorrFrom(ctx); got != (Corr{Job: "job-1", Cell: "cell-1", Lease: "lease-1"}) {
+		t.Fatalf("correlation = %+v", got)
+	}
+	// Later tags must not leak into earlier contexts.
+	inner := WithCell(ctx, "cell-2")
+	if CorrFrom(ctx).Cell != "cell-1" || CorrFrom(inner).Cell != "cell-2" {
+		t.Fatal("correlation tagging mutated the parent context")
+	}
+}
+
+func TestLoggerInjectsCorrelationAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo, "json")
+	ctx := WithLease(WithJob(context.Background(), "job-000042"), "ls-7")
+	log.InfoContext(ctx, "cell done", "n", 120)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["job"] != "job-000042" || rec["lease"] != "ls-7" || rec["msg"] != "cell done" {
+		t.Fatalf("log record missing correlation attrs: %v", rec)
+	}
+	if _, hasCell := rec["cell"]; hasCell {
+		t.Fatalf("empty correlation field leaked into the record: %v", rec)
+	}
+}
+
+func TestLoggerTextFormatAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelWarn, "text")
+	ctx := WithJob(context.Background(), "job-9")
+	log.InfoContext(ctx, "dropped")
+	log.WarnContext(ctx, "kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("info record logged at warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "kept") || !strings.Contains(out, "job=job-9") {
+		t.Fatalf("warn record missing or uncorrelated:\n%s", out)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo, " warn ": slog.LevelWarn,
+		"warning": slog.LevelWarn, "error": slog.LevelError, "bogus": slog.LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// InstrumentHandler wraps an HTTP handler with per-route request and
+// latency metrics. The route label is passed explicitly (not derived
+// from the request) so label cardinality is fixed at registration time
+// and path parameters never explode the metric space.
+func InstrumentHandler(route string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := HTTPRequests.With(route)
+	lat := HTTPLatency.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		h(w, r)
+		reqs.Inc()
+		lat.Observe(time.Since(begin).Seconds())
+	}
+}
+
+// RegisterPprof mounts the net/http/pprof handlers on mux under
+// /debug/pprof/, matching what http.DefaultServeMux would get.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// MetricsMux builds the sidecar mux fiworker serves on -metrics-addr:
+// GET /metrics over the Default registry, plus pprof when enabled.
+func MetricsMux(withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", Handler())
+	if withPprof {
+		RegisterPprof(mux)
+	}
+	return mux
+}

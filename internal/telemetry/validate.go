@@ -1,0 +1,254 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The exposition grammar pieces shared by the validator. Metric and
+// label names follow the Prometheus data model.
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelPairRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// ValidateExposition checks a Prometheus text-format payload the way
+// the CI smoke and the /metrics tests need it checked: every line
+// parses, every family has HELP and TYPE before its samples, no family
+// is declared twice, no sample series repeats, histogram samples use
+// only the _bucket/_sum/_count shapes, and every value is a number.
+// It returns the number of metric families on success.
+func ValidateExposition(r io.Reader) (families int, err error) {
+	decls := make(map[string]*familyDecl)
+	seen := make(map[string]bool) // full series: name + sorted label set
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, perr := parseComment(line)
+			if perr != nil {
+				return 0, fmt.Errorf("line %d: %v", lineNo, perr)
+			}
+			d := decls[name]
+			if d == nil {
+				d = &familyDecl{}
+				decls[name] = d
+			}
+			switch kind {
+			case "HELP":
+				if d.help {
+					return 0, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				d.help = true
+			case "TYPE":
+				if d.typ {
+					return 0, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return 0, fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
+				}
+				d.typ = true
+				d.typName = rest
+			}
+			continue
+		}
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			return 0, fmt.Errorf("line %d: unparseable sample %q", lineNo, line)
+		}
+		if _, err := strconv.ParseFloat(strings.TrimPrefix(value, "+"), 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			return 0, fmt.Errorf("line %d: non-numeric value %q", lineNo, value)
+		}
+		fam, ok := familyFor(name, decls)
+		if !ok {
+			return 0, fmt.Errorf("line %d: sample %s has no family declaration", lineNo, name)
+		}
+		d := decls[fam]
+		if !d.help || !d.typ {
+			return 0, fmt.Errorf("line %d: family %s missing HELP or TYPE before samples", lineNo, fam)
+		}
+		if d.typName == "histogram" && fam == name {
+			return 0, fmt.Errorf("line %d: histogram %s must expose _bucket/_sum/_count, not a bare sample", lineNo, name)
+		}
+		if d.typName != "histogram" && d.typName != "summary" && fam != name {
+			return 0, fmt.Errorf("line %d: %s sample %s does not match its family name", lineNo, d.typName, name)
+		}
+		if labels != "" {
+			if err := validateLabels(labels); err != nil {
+				return 0, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		}
+		series := name + "{" + labels + "}"
+		if seen[series] {
+			return 0, fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		seen[series] = true
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	for name, d := range decls {
+		if !d.help || !d.typ {
+			return 0, fmt.Errorf("family %s declared without both HELP and TYPE", name)
+		}
+	}
+	return len(decls), nil
+}
+
+// familyDecl tracks the HELP/TYPE declarations seen for one family.
+type familyDecl struct {
+	help, typ bool
+	typName   string
+}
+
+// parseComment splits a "# HELP name text" / "# TYPE name type" line.
+func parseComment(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	kind = fields[1]
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", fmt.Errorf("unknown comment kind %q", kind)
+	}
+	name = fields[2]
+	if !metricNameRe.MatchString(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	if kind == "TYPE" && rest == "" {
+		return "", "", "", fmt.Errorf("TYPE line for %s missing a type", name)
+	}
+	return kind, name, rest, nil
+}
+
+// parseSample splits a "name{labels} value" sample line. The label body
+// is delimited by the first '}' outside a quoted value, so route labels
+// like {id} path patterns survive; a regex over [^}]* would not.
+func parseSample(line string) (name, labels, value string, ok bool) {
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9') {
+			i++
+			continue
+		}
+		break
+	}
+	if i == 0 {
+		return "", "", "", false
+	}
+	name = line[:i]
+	if i < len(line) && line[i] == '{' {
+		end := -1
+		inQuote, escaping := false, false
+	scan:
+		for j := i + 1; j < len(line); j++ {
+			c := line[j]
+			switch {
+			case escaping:
+				escaping = false
+			case c == '\\':
+				escaping = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				end = j
+				break scan
+			}
+		}
+		if end < 0 {
+			return "", "", "", false
+		}
+		labels = line[i+1 : end]
+		i = end + 1
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", "", "", false
+	}
+	value = line[i+1:]
+	if value == "" || strings.ContainsAny(value, " \t") {
+		return "", "", "", false
+	}
+	return name, labels, value, true
+}
+
+// familyFor maps a sample name to its declared family, stripping the
+// histogram/summary suffixes when the base family is a histogram or
+// summary.
+func familyFor(name string, decls map[string]*familyDecl) (string, bool) {
+	if _, ok := decls[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if d, ok := decls[base]; ok && (d.typName == "histogram" || d.typName == "summary") {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+// validateLabels checks a brace-free label body: comma-separated
+// name="value" pairs with no duplicate names.
+func validateLabels(body string) error {
+	names := make(map[string]bool)
+	for _, pair := range splitLabelPairs(body) {
+		m := labelPairRe.FindStringSubmatch(pair)
+		if m == nil {
+			return fmt.Errorf("malformed label pair %q", pair)
+		}
+		if names[m[1]] {
+			return fmt.Errorf("duplicate label %q", m[1])
+		}
+		names[m[1]] = true
+	}
+	return nil
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(body string) []string {
+	var (
+		pairs    []string
+		start    int
+		inQuote  bool
+		escaping bool
+	)
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case escaping:
+			escaping = false
+		case c == '\\':
+			escaping = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			pairs = append(pairs, body[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(body) {
+		pairs = append(pairs, body[start:])
+	}
+	return pairs
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := `# HELP a_total things
+# TYPE a_total counter
+a_total 3
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{route="x",le="1"} 1
+lat_seconds_bucket{route="x",le="+Inf"} 2
+lat_seconds_sum{route="x"} 1.5
+lat_seconds_count{route="x"} 2
+`
+	n, err := ValidateExposition(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("families = %d, want 2", n)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without declarations": "a_total 3\n",
+		"missing TYPE":                "# HELP a_total x\na_total 3\n",
+		"duplicate TYPE":              "# HELP a_total x\n# TYPE a_total counter\n# TYPE a_total counter\na_total 3\n",
+		"unknown type":                "# HELP a_total x\n# TYPE a_total widget\na_total 3\n",
+		"duplicate series":            "# HELP a_total x\n# TYPE a_total counter\na_total 3\na_total 4\n",
+		"non-numeric value":           "# HELP a_total x\n# TYPE a_total counter\na_total lots\n",
+		"bad metric name":             "# HELP 9a x\n# TYPE 9a counter\n9a 3\n",
+		"bare histogram sample":       "# HELP h x\n# TYPE h histogram\nh 3\n",
+		"counter with suffix sample":  "# HELP a_total x\n# TYPE a_total counter\na_total_bucket 3\n",
+		"duplicate label":             "# HELP a x\n# TYPE a counter\na{l=\"1\",l=\"2\"} 3\n",
+		"malformed label pair":        "# HELP a x\n# TYPE a counter\na{l=unquoted} 3\n",
+		"declaration without samples": "# HELP a x\n",
+	}
+	for name, payload := range cases {
+		if _, err := ValidateExposition(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: invalid exposition accepted:\n%s", name, payload)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -23,6 +24,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/finject"
+	"repro/internal/telemetry"
 )
 
 // Client speaks the fiserver worker protocol.
@@ -138,8 +140,9 @@ type Options struct {
 	CampaignWorkers int
 	// Poll is the lease long-poll duration (2s when 0).
 	Poll time.Duration
-	// Log, when non-nil, receives one line per lease and completion.
-	Log io.Writer
+	// Logger, when non-nil, receives one structured record per lease and
+	// completion, correlated with the job id carried on the lease wire.
+	Logger *slog.Logger
 }
 
 // Worker drains a fiserver's lease queue until its context ends: lease,
@@ -169,6 +172,9 @@ func New(client *Client, opts Options) *Worker {
 	if opts.Poll <= 0 {
 		opts.Poll = 2 * time.Second
 	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return &Worker{client: client, exec: campaign.NewLocalExecutor(), opts: opts}
 }
 
@@ -177,12 +183,6 @@ func (w *Worker) Completed() int64 { return w.completed.Load() }
 
 // Failed reports cells whose execution errored (reported to the server).
 func (w *Worker) Failed() int64 { return w.failed.Load() }
-
-func (w *Worker) logf(format string, args ...any) {
-	if w.opts.Log != nil {
-		fmt.Fprintf(w.opts.Log, format+"\n", args...)
-	}
-}
 
 // Run drains leases until ctx is canceled, then returns nil. Transient
 // server errors (including an unreachable server) are retried after one
@@ -218,7 +218,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			if ctx.Err() != nil {
 				return nil
 			}
-			w.logf("lease: %v (retrying)", err)
+			w.opts.Logger.WarnContext(ctx, "lease request failed, retrying", "err", err)
 			select {
 			case <-time.After(w.opts.Poll):
 			case <-ctx.Done():
@@ -244,7 +244,13 @@ func (w *Worker) Run(ctx context.Context) error {
 // worker canceled mid-cell completes nothing — the lease expires on the
 // server and the cell goes to someone else.
 func (w *Worker) runLease(ctx context.Context, l campaign.Lease) {
-	w.logf("lease %s: %s", l.ID, l.Task.Spec)
+	// Rebuild the correlation identity on this side of the wire: the job
+	// id travels in the task, the lease and cell ids are the lease's own.
+	ctx = telemetry.WithJob(ctx, l.Task.Corr)
+	ctx = telemetry.WithLease(ctx, l.ID)
+	ctx = telemetry.WithCell(ctx, l.Task.Spec.String())
+	log := w.opts.Logger
+	log.InfoContext(ctx, "lease granted")
 	cellCtx, cancel := context.WithCancel(ctx)
 
 	hbEvery := time.Duration(l.TTLMillis) * time.Millisecond / 3
@@ -266,7 +272,7 @@ func (w *Worker) runLease(ctx context.Context, l campaign.Lease) {
 				if err == nil && !alive {
 					// The server gave the cell to someone else; stop
 					// burning cycles on it.
-					w.logf("lease %s: revoked, aborting cell", l.ID)
+					log.InfoContext(cellCtx, "lease revoked, aborting cell")
 					cancel()
 					return
 				}
@@ -301,9 +307,9 @@ func (w *Worker) runLease(ctx context.Context, l campaign.Lease) {
 		if cerr == nil {
 			if errMsg == "" {
 				w.completed.Add(1)
-				w.logf("done %s: %s (n=%d)", l.ID, spec, res.Injections)
+				log.InfoContext(ctx, "cell completed", "injections", res.Injections)
 			} else {
-				w.logf("failed %s: %s: %s", l.ID, spec, errMsg)
+				log.WarnContext(ctx, "cell failed", "err", errMsg)
 			}
 			return
 		}
@@ -312,5 +318,5 @@ func (w *Worker) runLease(ctx context.Context, l campaign.Lease) {
 		}
 		time.Sleep(200 * time.Millisecond)
 	}
-	w.logf("lease %s: could not deliver result, letting it expire", l.ID)
+	log.WarnContext(ctx, "could not deliver result, letting the lease expire")
 }
