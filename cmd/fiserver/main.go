@@ -12,7 +12,13 @@
 // expiring leases (see cmd/fiworker); determinism makes the results
 // byte-identical either way.
 //
+// With -job-store the job table itself is write-ahead journaled: jobs,
+// their per-cell progress and results survive a crash or restart, and
+// unfinished jobs resume on boot with already-completed cells served
+// from the warm result store (zero re-injections).
+//
 //	fiserver -addr :8080 -store cells.jsonl
+//	fiserver -addr :8080 -store cells.jsonl -job-store jobs.jsonl
 //	fiserver -addr :8080 -workers-remote -lease-ttl 30s
 //
 //	curl -s localhost:8080/v1/figure?fig=1\&n=100\&margin=0.03 | tail -1
@@ -64,6 +70,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	var (
 		addr      = fs.String("addr", ":8080", "listen address")
 		storePath = fs.String("store", "", "JSON-lines result store path (in-memory only when empty)")
+		jobStore  = fs.String("job-store", "", "write-ahead job journal path; jobs survive restart and unfinished ones resume on boot")
 		memCap    = fs.Int("mem-cap", 0, "in-memory store capacity in cells (0 = unbounded; ignored with -store)")
 		workers   = fs.Int("workers", 0, "concurrently executing cells (default GOMAXPROCS; with -workers-remote, the fleet-wide in-flight bound, default 256)")
 		campWorks = fs.Int("campaign-workers", 0, "parallel simulations inside one campaign (default GOMAXPROCS)")
@@ -125,6 +132,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if queue != nil {
 		handler.ServeWorkers(queue)
 		fmt.Fprintf(stdout, "remote workers enabled (lease TTL %s)\n", *leaseTTL)
+	}
+	if *jobStore != "" {
+		js, err := service.OpenJobStore(*jobStore)
+		if err != nil {
+			return err
+		}
+		defer js.Close()
+		// FISERVER_CRASH arms a test-only crash barrier (see the chaos
+		// harness in internal/service/chaostest): the process SIGKILLs
+		// itself at the named journal transition. Never set in production.
+		if p := os.Getenv("FISERVER_CRASH"); p != "" {
+			js.SetFaultPoint(p)
+			fmt.Fprintf(stdout, "crash barrier armed: %s\n", p)
+		}
+		rec, err := handler.UseJobStore(js)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "job store %s: %d jobs restored, %d resumed\n", js.Path(), rec.Restored, rec.Resumed)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -2,10 +2,12 @@ package campaign
 
 import (
 	"bufio"
+	"bytes"
 	"container/list"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
@@ -131,34 +133,57 @@ type diskRecord struct {
 }
 
 // OpenDiskStore opens (creating if absent) the JSON-lines store at path
-// and loads its index.
+// and loads its index. A torn final record — the signature of a process
+// killed mid-append — is truncated away so the next append lands on a
+// clean line boundary; a malformed record anywhere else is corruption
+// and stays an error. Complete records survive any crash: each Put is
+// one write of record+newline, so a record is either wholly present or
+// wholly absent.
 func OpenDiskStore(path string) (*DiskStore, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: open store: %w", err)
 	}
 	d := &DiskStore{path: path, f: f, idx: make(map[CellKey]*finject.Result)}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var rec diskRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("campaign: store %s line %d: %w", path, line, err)
-		}
-		if rec.Key == "" || rec.Result == nil {
-			f.Close()
-			return nil, fmt.Errorf("campaign: store %s line %d: incomplete record", path, line)
-		}
-		d.idx[rec.Key] = rec.Result
-		d.records++
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: store %s: %w", path, err)
 	}
-	if err := sc.Err(); err != nil {
+	good, line := 0, 0 // good = byte offset just past the last applied record
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // unterminated tail: torn final write
+		}
+		line++
+		if raw := bytes.TrimSpace(rest[:nl]); len(raw) > 0 {
+			// A newline-terminated line was fully written (the newline is
+			// the record's last byte), so a parse failure here is real
+			// corruption, not a torn write.
+			var rec diskRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("campaign: store %s line %d: %w", path, line, err)
+			}
+			if rec.Key == "" || rec.Result == nil {
+				f.Close()
+				return nil, fmt.Errorf("campaign: store %s line %d: incomplete record", path, line)
+			}
+			d.idx[rec.Key] = rec.Result
+			d.records++
+		}
+		good += nl + 1
+		rest = rest[nl+1:]
+	}
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("campaign: store %s: truncate torn tail: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("campaign: store %s: %w", path, err)
 	}

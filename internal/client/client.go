@@ -16,6 +16,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"time"
 
 	"repro/internal/experiment"
 )
@@ -258,9 +259,55 @@ func (c *Client) ExperimentResult(ctx context.Context, jobID string) (*experimen
 	return out.Result, nil
 }
 
-// Cancel cancels a running job.
+// Cancel cancels a running job (or deletes a finished one from the
+// server's retained set — DELETE is state-dependent on the server).
 func (c *Client) Cancel(ctx context.Context, jobID string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+jobID, nil, nil)
+}
+
+// JobSummary is one row of the GET /v1/jobs listing.
+type JobSummary struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// Jobs lists the server's retained jobs, oldest first — how a client
+// finds its jobs again after a server restart severed its streams.
+func (c *Client) Jobs(ctx context.Context) ([]JobSummary, error) {
+	var out struct {
+		Jobs []JobSummary `json:"jobs"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// WaitDone polls a job until it leaves the running state, retrying
+// transient transport errors (a restarting server) until ctx ends: the
+// reconnect half of restart-proof jobs. With a journaled server, a job
+// whose stream died with one process can be awaited against the next.
+func (c *Client) WaitDone(ctx context.Context, jobID string) (*JobStatus, error) {
+	for {
+		st, err := c.Status(ctx, jobID)
+		if err != nil {
+			// Server-side answers (404, 409, ...) are authoritative;
+			// transport errors mean the server is away — keep polling.
+			if StatusCode(err) != 0 {
+				return nil, err
+			}
+		} else if st.State != "running" {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
 }
 
 // Stats fetches the scheduler counters.

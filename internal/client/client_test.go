@@ -1,0 +1,279 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// TestRunExperimentStream walks the happy path: events stream in order,
+// the callback sees every one, and the final result comes back decoded.
+func TestRunExperimentStream(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/experiments" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		var spec experiment.Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			t.Errorf("undecodable spec: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"event":"start","id":"job-000042","total":2}`)
+		fmt.Fprintln(w, `{"event":"cell","done":1,"total":2,"cached":true}`)
+		fmt.Fprintln(w, `{"event":"result","result":{"chips":["Mini NVIDIA"]}}`)
+	}))
+	defer ts.Close()
+
+	var events []string
+	c := &Client{Base: ts.URL}
+	res, err := c.RunExperiment(context.Background(), experiment.Spec{Version: 1}, func(ev Event) {
+		events = append(events, ev.Event)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chips) != 1 || res.Chips[0] != "Mini NVIDIA" {
+		t.Fatalf("result %+v", res)
+	}
+	if strings.Join(events, ",") != "start,cell,result" {
+		t.Fatalf("event order %v", events)
+	}
+}
+
+// TestRunExperimentStreamInterrupted kills the stream mid-flight — the
+// server dies after a progress event, before the result — and the
+// client must report the truncation, not fabricate a result.
+func TestRunExperimentStreamInterrupted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"event":"start","id":"job-000001","total":3}`)
+		fmt.Fprintln(w, `{"event":"cell","done":1,"total":3}`)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		// Connection drops here: no result event ever arrives.
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	res, err := c.RunExperiment(context.Background(), experiment.Spec{}, nil)
+	if res != nil {
+		t.Fatalf("truncated stream produced a result: %+v", res)
+	}
+	if err == nil || !strings.Contains(err.Error(), "stream ended without a result event") {
+		t.Fatalf("err = %v, want the truncation error", err)
+	}
+}
+
+// TestRunExperimentServerError maps a streamed error event to a client
+// error carrying the server's message.
+func TestRunExperimentServerError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"event":"start","id":"job-000001"}`)
+		fmt.Fprintln(w, `{"event":"error","error":"chip exploded"}`)
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	if _, err := c.RunExperiment(context.Background(), experiment.Spec{}, nil); err == nil || !strings.Contains(err.Error(), "chip exploded") {
+		t.Fatalf("err = %v, want the server's message", err)
+	}
+}
+
+// TestStatusCodeExtraction pins the non-2xx contract: every API call
+// surfaces the server's status through StatusCode and its JSON error
+// body through Error, and transport failures answer 0.
+func TestStatusCodeExtraction(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/v1/jobs/job-000404":
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintln(w, `{"error":"no such job"}`)
+		case "/v1/jobs/job-000409/result":
+			w.WriteHeader(http.StatusConflict)
+			fmt.Fprintln(w, `{"error":"job still running"}`)
+		case "/v1/experiments":
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprintln(w, `{"error":"bad spec"}`)
+		}
+	}))
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+
+	_, err := c.Status(ctx, "job-000404")
+	if StatusCode(err) != http.StatusNotFound || !strings.Contains(err.Error(), "no such job") {
+		t.Fatalf("status err = %v (code %d)", err, StatusCode(err))
+	}
+	_, err = c.ExperimentResult(ctx, "job-000409")
+	if StatusCode(err) != http.StatusConflict || !strings.Contains(err.Error(), "job still running") {
+		t.Fatalf("result err = %v (code %d)", err, StatusCode(err))
+	}
+	_, err = c.RunExperiment(ctx, experiment.Spec{}, nil)
+	if StatusCode(err) != http.StatusBadRequest || !strings.Contains(err.Error(), "bad spec") {
+		t.Fatalf("experiment err = %v (code %d)", err, StatusCode(err))
+	}
+
+	// A server that is simply gone is a transport error: code 0, so
+	// callers (WaitDone) can tell "away" from "authoritative no".
+	dead := &Client{Base: "http://127.0.0.1:1"}
+	_, err = dead.Status(ctx, "job-000001")
+	if err == nil || StatusCode(err) != 0 {
+		t.Fatalf("dead server err = %v (code %d), want transport error with code 0", err, StatusCode(err))
+	}
+}
+
+// TestWaitDoneRidesOutRestart aims WaitDone at a server that answers
+// with transport-level failures (connection drops) for a while — a
+// restarting fiserver — and then comes back with a finished job. The
+// wait must survive the outage and return the final status.
+func TestWaitDoneRidesOutRestart(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			fmt.Fprintln(w, `{"id":"job-000001","state":"running","done":1,"total":3}`)
+		case 2, 3:
+			// Drop the connection without a response: what a client sees
+			// while the server is being restarted.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("recorder cannot hijack")
+				return
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+		default:
+			fmt.Fprintln(w, `{"id":"job-000001","state":"done","done":3,"total":3}`)
+		}
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := c.WaitDone(ctx, "job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.Done != 3 {
+		t.Fatalf("final status %+v", st)
+	}
+	if n := calls.Load(); n < 4 {
+		t.Fatalf("server saw %d polls, want the client to poll through the outage", n)
+	}
+}
+
+// TestWaitDoneAuthoritativeError: a real server-side answer (404) ends
+// the wait immediately — only transport errors are retried.
+func TestWaitDoneAuthoritativeError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintln(w, `{"error":"no such job"}`)
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	_, err := c.WaitDone(context.Background(), "job-000009")
+	if StatusCode(err) != http.StatusNotFound {
+		t.Fatalf("err = %v, want 404 passed through", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("client retried an authoritative 404 (%d calls)", calls.Load())
+	}
+}
+
+// TestWaitDoneContextCancel: with the server away for good, the wait
+// ends when (and only when) the context does.
+func TestWaitDoneContextCancel(t *testing.T) {
+	c := &Client{Base: "http://127.0.0.1:1"}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	_, err := c.WaitDone(ctx, "job-000001")
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestJobsListing decodes the GET /v1/jobs rows in listing order.
+func TestJobsListing(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs" || r.Method != http.MethodGet {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		fmt.Fprintln(w, `{"jobs":[
+			{"id":"job-000001","kind":"batch","state":"done","done":3,"total":3},
+			{"id":"job-000002","kind":"experiment","state":"running","done":1,"total":8}]}`)
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	jobs, err := c.Jobs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != "job-000001" || jobs[1].Kind != "experiment" || jobs[1].Done != 1 {
+		t.Fatalf("jobs %+v", jobs)
+	}
+}
+
+// TestCancelAndHealthy covers the two bodyless calls.
+func TestCancelAndHealthy(t *testing.T) {
+	var gotCancel atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodDelete && r.URL.Path == "/v1/jobs/job-000001":
+			gotCancel.Store(true)
+			fmt.Fprintln(w, `{"id":"job-000001","state":"canceling"}`)
+		case r.URL.Path == "/healthz":
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	if err := c.Cancel(context.Background(), "job-000001"); err != nil || !gotCancel.Load() {
+		t.Fatalf("cancel: %v (delivered %v)", err, gotCancel.Load())
+	}
+	if err := c.Healthy(context.Background()); err != nil {
+		t.Fatalf("healthy: %v", err)
+	}
+}
+
+// TestFigureStream covers the deprecated figure shim: raw document on
+// success, stream error mapped to a client error.
+func TestFigureStream(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("fig") != "1" {
+			t.Errorf("fig param %q", r.URL.Query().Get("fig"))
+		}
+		fmt.Fprintln(w, `{"event":"cell","done":1,"total":1}`)
+		fmt.Fprintln(w, `{"event":"result","fig":"1","figure":{"rows":[1,2,3]}}`)
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	fig, err := c.Figure(context.Background(), 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rows []int `json:"rows"`
+	}
+	if err := json.Unmarshal(fig, &doc); err != nil || len(doc.Rows) != 3 {
+		t.Fatalf("figure doc %s: %v", fig, err)
+	}
+}

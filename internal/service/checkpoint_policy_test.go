@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/testutil"
 )
 
 // TestJobPolicyCheckpoint drives the wire form of the checkpoint knob:
@@ -18,7 +19,7 @@ func TestJobPolicyCheckpoint(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	spec := miniSpec("vectoradd", 5)
+	spec := testutil.MiniSpec("vectoradd", 5)
 	spec.Injections = 40
 
 	submit := func(policy map[string]any) []cellState {
@@ -29,7 +30,7 @@ func TestJobPolicyCheckpoint(t *testing.T) {
 		if policy != nil {
 			req["policy"] = policy
 		}
-		postJSON(t, ts, "/v1/jobs", req, &submitted, http.StatusAccepted)
+		testutil.PostJSON(t, ts.URL, "/v1/jobs", req, &submitted, http.StatusAccepted)
 		status := awaitJob(t, ts, submitted.ID)
 		if status.State != "done" {
 			t.Fatalf("final status %+v", status)
@@ -57,9 +58,9 @@ func TestJobPolicyCheckpointValidation(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	spec := miniSpec("vectoradd", 5)
+	spec := testutil.MiniSpec("vectoradd", 5)
 	var errBody map[string]string
-	postJSON(t, ts, "/v1/jobs", map[string]any{
+	testutil.PostJSON(t, ts.URL, "/v1/jobs", map[string]any{
 		"cells":  []campaign.CellSpec{spec},
 		"policy": map[string]any{"checkpoint": map[string]any{"interval": -5}},
 	}, &errBody, http.StatusBadRequest)

@@ -75,7 +75,11 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, j.id)
 	s.evictLocked()
 	s.mu.Unlock()
-	defer s.running.Done()
+
+	// Journal the normalized spec: replaying it through Parse + Compile on
+	// recovery reproduces this exact plan (normalization is idempotent).
+	rawSpec, _ := json.Marshal(plan.Spec)
+	s.journal(journalRecord{Event: "submit", Job: j.id, Kind: "experiment", Spec: rawSpec})
 
 	ctx = telemetry.WithJob(ctx, j.id)
 	s.log.InfoContext(ctx, "experiment started", "name", plan.Spec.Name, "cells", len(plan.Cells))
@@ -86,12 +90,28 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	enc.emit(experimentEvent{Event: "job", ID: j.id, Name: plan.Spec.Name, Total: len(plan.Cells)})
 
 	defer enc.close()
+	s.runExperimentJob(ctx, cancel, j, plan, func(ev experimentEvent) { enc.emit(ev) })
+}
 
+// runExperimentJob drives one experiment job through the spec runner,
+// journaling cell transitions and the terminal result. The emit hook
+// (nil for detached runs, the NDJSON encoder for streamed ones) receives
+// progress and the final result/error event. Shared between the
+// streaming handler and restart recovery — determinism plus the warm
+// campaign store make a recovered run byte-identical to an
+// uninterrupted one.
+func (s *Server) runExperimentJob(ctx context.Context, cancel context.CancelFunc, j *job, plan *experiment.Plan, emit func(experimentEvent)) {
+	defer s.running.Done()
+	defer cancel()
+	if emit == nil {
+		emit = func(experimentEvent) {}
+	}
 	runner := &experiment.Runner{
 		Scheduler: s.sched,
 		OnCell: func(p experiment.Progress) {
 			j.mu.Lock()
-			st := &j.cells[indexOfCell(p, plan)]
+			i := indexOfCell(p, plan)
+			st := &j.cells[i]
 			j.done++
 			if p.Err != nil {
 				st.State = "failed"
@@ -100,11 +120,15 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 				st.State = "done"
 				st.Cached = p.Cached
 			}
+			s.journal(journalRecord{
+				Event: "cell", Job: j.id, Index: i,
+				State: st.State, Cached: st.Cached, Error: st.Error,
+			})
 			j.mu.Unlock()
 			if p.Err != nil {
 				return
 			}
-			enc.emit(experimentEvent{
+			emit(experimentEvent{
 				Event:     "cell",
 				Chip:      p.Spec.Chip,
 				Benchmark: p.Spec.Benchmark,
@@ -129,14 +153,16 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		j.state = "failed"
 		j.errMsg = err.Error()
 	}
+	state, errMsg := j.state, j.errMsg
 	j.mu.Unlock()
-	s.log.InfoContext(ctx, "experiment finished", "name", plan.Spec.Name, "state", j.state)
+	s.journalFinish(journalRecord{Event: "finish", Job: j.id, State: state, Error: errMsg, ExpResult: res})
+	s.log.InfoContext(ctx, "experiment finished", "name", plan.Spec.Name, "state", state)
 
 	if err != nil {
-		enc.emit(experimentEvent{Event: "error", ID: j.id, Error: err.Error()})
+		emit(experimentEvent{Event: "error", ID: j.id, Error: err.Error()})
 		return
 	}
-	enc.emit(experimentEvent{Event: "result", ID: j.id, Name: plan.Spec.Name, Result: res})
+	emit(experimentEvent{Event: "result", ID: j.id, Name: plan.Spec.Name, Result: res})
 }
 
 // indexOfCell maps a runner progress event back to its flat cell-state

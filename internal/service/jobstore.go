@@ -1,0 +1,444 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/campaign"
+	"repro/internal/experiment"
+	"repro/internal/finject"
+	"repro/internal/telemetry"
+)
+
+// JobStore is the server's write-ahead job journal: one JSON record per
+// line, appended and fsynced at every state transition, so the job table
+// — submissions, per-cell progress and final results — survives a
+// kill -9 of the process. It reuses the campaign.DiskStore machinery's
+// shape: appends shadow earlier records, recovery replays the file, and
+// Compact rewrites it to the live minimum with fsync + atomic rename.
+//
+// Durability contract: a record is either wholly in the journal or
+// wholly absent after a crash. Recovery tolerates exactly one torn tail
+// (a partially written final record, as a mid-write crash leaves) by
+// truncating it; it never invents state that was not durably journaled.
+type JobStore struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	records int // physical records in the file
+
+	snaps  map[string]*jobSnapshot
+	order  []string // job ids in submission order
+	maxSeq int      // highest numeric id suffix ever journaled
+
+	faultPoint string
+	faultFired bool
+}
+
+// journalRecord is one JSON line of the job journal. Event selects which
+// of the remaining fields are meaningful.
+type journalRecord struct {
+	Event string `json:"event"` // "submit", "cell", "finish" or "delete"
+	Job   string `json:"job"`
+
+	// Submit records carry the job's full definition: the raw submitted
+	// cell specs and policy for batches, the normalized experiment spec
+	// for experiments. Recovery replays them through the same validation
+	// and compilation path as a fresh submission.
+	Kind   string              `json:"kind,omitempty"`
+	Cells  []campaign.CellSpec `json:"cells,omitempty"`
+	Policy *jobPolicy          `json:"policy,omitempty"`
+	Spec   json.RawMessage     `json:"spec,omitempty"`
+
+	// Cell records journal one per-cell state transition, including the
+	// result so a finished batch job serves /result from the journal
+	// alone after a restart.
+	Index      int             `json:"index,omitempty"`
+	State      string          `json:"state,omitempty"` // cell state, or the final job state on finish records
+	Cached     bool            `json:"cached,omitempty"`
+	Injections int             `json:"injections,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Result     *finject.Result `json:"result,omitempty"`
+
+	// Finish records carry the experiment's assembled result.
+	ExpResult *experiment.Result `json:"exp_result,omitempty"`
+}
+
+// jobSnapshot is one job as reconstructed from the journal. State stays
+// "" for a job that was still running when the previous process died —
+// the recovery path resumes it through the scheduler.
+type jobSnapshot struct {
+	ID        string
+	Kind      string
+	RawCells  []campaign.CellSpec
+	Policy    *jobPolicy
+	Spec      json.RawMessage
+	Cells     []cellState
+	Results   []*finject.Result
+	State     string
+	ErrMsg    string
+	ExpResult *experiment.Result
+}
+
+// Crash barriers the chaos harness injects via JobStore.SetFaultPoint
+// (wired to the FISERVER_CRASH environment variable by cmd/fiserver;
+// test-only). At each barrier the process delivers SIGKILL to itself —
+// the genuine crash the restart-proof guarantee is tested against: no
+// deferred cleanup, no flushes, no graceful drain.
+const (
+	// CrashPostSubmit kills the process right after a submit record is
+	// durably journaled (the client may never see the job id).
+	CrashPostSubmit = "post-submit"
+	// CrashMidCell kills the process right after the first cell record
+	// is durably journaled (the campaign is demonstrably underway).
+	CrashMidCell = "mid-cell"
+	// CrashPreFinish kills the process after every cell has been
+	// journaled but before the finish record is written.
+	CrashPreFinish = "pre-finish"
+	// CrashTornCell kills the process half-way through writing a cell
+	// record, leaving a genuinely torn journal tail on disk.
+	CrashTornCell = "torn-cell"
+)
+
+// SetFaultPoint arms a crash barrier (one of the Crash* constants). The
+// barrier fires once. Test-only: production servers never set it.
+func (js *JobStore) SetFaultPoint(p string) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.faultPoint = p
+}
+
+// fireLocked reports whether the armed barrier p should trip now, at
+// most once per process. Callers hold js.mu.
+func (js *JobStore) fireLocked(p string) bool {
+	if js.faultPoint != p || js.faultFired {
+		return false
+	}
+	js.faultFired = true
+	return true
+}
+
+// killSelf delivers SIGKILL to the current process and never returns.
+func killSelf() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // SIGKILL delivery is asynchronous; block until it lands
+}
+
+// OpenJobStore opens (creating if absent) the journal at path and
+// replays it. A torn final record — the signature of a crash mid-write —
+// is truncated away so subsequent appends land on a clean line boundary;
+// any other malformed line is an error, not a guess.
+func OpenJobStore(path string) (*JobStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: open job store: %w", err)
+	}
+	js := &JobStore{path: path, f: f, snaps: make(map[string]*jobSnapshot)}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("service: job store %s: %w", path, err)
+	}
+	good := 0 // byte offset just past the last fully applied record
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // unterminated tail: torn write
+		}
+		line := rest[:nl]
+		if len(bytes.TrimSpace(line)) > 0 {
+			// A newline-terminated record was fully written (the newline
+			// is its last byte), so a parse failure here is corruption,
+			// not a torn write — refuse to guess.
+			var rec journalRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("service: job store %s: corrupt record at offset %d: %w", path, good, err)
+			}
+			js.applyLocked(rec)
+			js.records++
+		}
+		good += nl + 1
+		rest = rest[nl+1:]
+	}
+	if good < len(data) {
+		// Drop the torn tail so the next append starts a clean line.
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("service: job store %s: truncate torn tail: %w", path, err)
+		}
+		telemetry.JobJournalTornTails.Inc()
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("service: job store %s: %w", path, err)
+	}
+	if js.records-js.liveRecordsLocked() > campaign.CompactDeadThreshold {
+		if err := js.Compact(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return js, nil
+}
+
+// applyLocked folds one record into the snapshot table. Semantically
+// invalid records (unknown job, out-of-range index) are skipped: the
+// journal never invents state. Callers hold js.mu (or own js
+// exclusively, as OpenJobStore does).
+func (js *JobStore) applyLocked(rec journalRecord) {
+	js.noteSeqLocked(rec.Job)
+	switch rec.Event {
+	case "submit":
+		snap := &jobSnapshot{
+			ID:       rec.Job,
+			Kind:     rec.Kind,
+			RawCells: rec.Cells,
+			Policy:   rec.Policy,
+			Spec:     rec.Spec,
+			Cells:    make([]cellState, len(rec.Cells)),
+			Results:  make([]*finject.Result, len(rec.Cells)),
+		}
+		for i, cs := range rec.Cells {
+			snap.Cells[i] = cellState{Spec: cs.Normalize(), State: "pending"}
+		}
+		if _, ok := js.snaps[rec.Job]; !ok {
+			js.order = append(js.order, rec.Job)
+		}
+		js.snaps[rec.Job] = snap
+	case "cell":
+		snap := js.snaps[rec.Job]
+		if snap == nil || rec.Index < 0 || rec.Index >= len(snap.Cells) {
+			return
+		}
+		snap.Cells[rec.Index] = cellState{
+			Spec:       snap.Cells[rec.Index].Spec,
+			State:      rec.State,
+			Cached:     rec.Cached,
+			Injections: rec.Injections,
+			Error:      rec.Error,
+		}
+		snap.Results[rec.Index] = rec.Result
+	case "finish":
+		snap := js.snaps[rec.Job]
+		if snap == nil {
+			return
+		}
+		snap.State = rec.State
+		snap.ErrMsg = rec.Error
+		snap.ExpResult = rec.ExpResult
+	case "delete":
+		if _, ok := js.snaps[rec.Job]; !ok {
+			return
+		}
+		delete(js.snaps, rec.Job)
+		for i, id := range js.order {
+			if id == rec.Job {
+				js.order = append(js.order[:i], js.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// noteSeqLocked records the numeric suffix of a journaled job id so the
+// id sequence resumes past every id ever minted — deleted ones included.
+func (js *JobStore) noteSeqLocked(id string) {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil || n <= js.maxSeq {
+		return
+	}
+	js.maxSeq = n
+}
+
+// MaxSeq returns the highest numeric id suffix seen in the journal; the
+// server restores its id counter past it so ids never collide across
+// restarts.
+func (js *JobStore) MaxSeq() int {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.maxSeq
+}
+
+// snapshots returns the replayed jobs in submission order.
+func (js *JobStore) snapshots() []*jobSnapshot {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	out := make([]*jobSnapshot, 0, len(js.order))
+	for _, id := range js.order {
+		out = append(out, js.snaps[id])
+	}
+	return out
+}
+
+// append journals one record durably: marshal, write, fsync. The write
+// is a single write(2) of record+newline, so a crash leaves the record
+// wholly present or wholly absent — except under the injected torn-cell
+// barrier, which deliberately crashes half-way through the write.
+func (js *JobStore) append(rec journalRecord) error {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: job store append: %w", err)
+	}
+	buf = append(buf, '\n')
+	if rec.Event == "cell" && js.fireLocked(CrashTornCell) {
+		js.f.Write(buf[:len(buf)/2])
+		js.f.Sync()
+		killSelf()
+	}
+	if _, err := js.f.Write(buf); err != nil {
+		return fmt.Errorf("service: job store append: %w", err)
+	}
+	if err := js.f.Sync(); err != nil {
+		return fmt.Errorf("service: job store append: %w", err)
+	}
+	js.records++
+	js.applyLocked(rec)
+	telemetry.JobJournalAppends.Inc()
+	switch {
+	case rec.Event == "submit" && js.fireLocked(CrashPostSubmit):
+		killSelf()
+	case rec.Event == "cell" && js.fireLocked(CrashMidCell):
+		killSelf()
+	}
+	return nil
+}
+
+// appendFinish journals a job's terminal state. The pre-finish crash
+// barrier sits here: every cell durably journaled, the finish record
+// not — recovery must reassemble the result with zero re-injections.
+func (js *JobStore) appendFinish(rec journalRecord) error {
+	js.mu.Lock()
+	fire := js.fireLocked(CrashPreFinish)
+	js.mu.Unlock()
+	if fire {
+		killSelf()
+	}
+	return js.append(rec)
+}
+
+// liveRecordsLocked counts the records a compacted journal would hold:
+// per retained job, one submit, one record per settled cell and one
+// finish record if the job is finished. Callers hold js.mu (or own js
+// exclusively).
+func (js *JobStore) liveRecordsLocked() int {
+	n := 0
+	for _, snap := range js.snaps {
+		n++
+		for _, c := range snap.Cells {
+			if c.State != "pending" {
+				n++
+			}
+		}
+		if snap.State != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Records reports the physical record count of the backing file.
+func (js *JobStore) Records() int {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.records
+}
+
+// Len reports the number of retained jobs in the journal.
+func (js *JobStore) Len() int {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return len(js.snaps)
+}
+
+// Path returns the backing file's path.
+func (js *JobStore) Path() string { return js.path }
+
+// Compact rewrites the journal down to the live minimum — one submit
+// record, the settled cell records and the finish record per retained
+// job — through a temporary sibling that is fsynced and atomically
+// renamed over the journal, exactly like campaign.DiskStore.Compact: a
+// crash at any point leaves either the old complete file or the new one.
+func (js *JobStore) Compact() error {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	tmpPath := js.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: compact job store: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after a successful rename
+	enc := json.NewEncoder(tmp)
+	written := 0
+	for _, id := range js.order {
+		snap := js.snaps[id]
+		recs := []journalRecord{{
+			Event: "submit", Job: id, Kind: snap.Kind,
+			Cells: snap.RawCells, Policy: snap.Policy, Spec: snap.Spec,
+		}}
+		for i, c := range snap.Cells {
+			if c.State == "pending" {
+				continue
+			}
+			recs = append(recs, journalRecord{
+				Event: "cell", Job: id, Index: i, State: c.State,
+				Cached: c.Cached, Injections: c.Injections, Error: c.Error,
+				Result: snap.Results[i],
+			})
+		}
+		if snap.State != "" {
+			recs = append(recs, journalRecord{
+				Event: "finish", Job: id, State: snap.State,
+				Error: snap.ErrMsg, ExpResult: snap.ExpResult,
+			})
+		}
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				tmp.Close()
+				return fmt.Errorf("service: compact job store: %w", err)
+			}
+			written++
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: compact job store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("service: compact job store: %w", err)
+	}
+	if err := os.Rename(tmpPath, js.path); err != nil {
+		return fmt.Errorf("service: compact job store: %w", err)
+	}
+	f, err := os.OpenFile(js.path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: compact job store: reopen: %w", err)
+	}
+	js.f.Close()
+	js.f = f
+	js.records = written
+	telemetry.JobJournalCompactions.Inc()
+	return nil
+}
+
+// Close flushes and closes the journal. The store must not be used
+// afterwards.
+func (js *JobStore) Close() error {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.f.Close()
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/testutil"
 )
 
 // awaitJob polls a job until it leaves "running" and returns its final
@@ -18,7 +19,7 @@ func awaitJob(t *testing.T, ts *httptest.Server, id string) (status struct {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		if getJSON(t, ts, "/v1/jobs/"+id, &status) != http.StatusOK {
+		if testutil.GetJSON(t, ts.URL, "/v1/jobs/"+id, &status) != http.StatusOK {
 			t.Fatal("status not OK")
 		}
 		if status.State != "running" {
@@ -41,7 +42,7 @@ func TestJobPolicyAdaptive(t *testing.T) {
 	defer ts.Close()
 
 	const cap = 800
-	spec := miniSpec("vectoradd", 3)
+	spec := testutil.MiniSpec("vectoradd", 3)
 	spec.Injections = cap
 
 	var submitted struct {
@@ -51,7 +52,7 @@ func TestJobPolicyAdaptive(t *testing.T) {
 		"cells":  []campaign.CellSpec{spec},
 		"policy": map[string]any{"margin": 0.1, "confidence": 0.99},
 	}
-	postJSON(t, ts, "/v1/jobs", req, &submitted, http.StatusAccepted)
+	testutil.PostJSON(t, ts.URL, "/v1/jobs", req, &submitted, http.StatusAccepted)
 	status := awaitJob(t, ts, submitted.ID)
 	if status.State != "done" {
 		t.Fatalf("final status %+v", status)
@@ -63,7 +64,7 @@ func TestJobPolicyAdaptive(t *testing.T) {
 
 	// The same cell submitted fixed-size must upgrade the cached result.
 	req = map[string]any{"cells": []campaign.CellSpec{spec}}
-	postJSON(t, ts, "/v1/jobs", req, &submitted, http.StatusAccepted)
+	testutil.PostJSON(t, ts.URL, "/v1/jobs", req, &submitted, http.StatusAccepted)
 	status = awaitJob(t, ts, submitted.ID)
 	if status.State != "done" {
 		t.Fatalf("final status %+v", status)
@@ -79,7 +80,7 @@ func TestJobPolicyAdaptive(t *testing.T) {
 		Injections int64 `json:"injections"`
 		Upgrades   int64 `json:"upgrades"`
 	}
-	if getJSON(t, ts, "/v1/stats", &stats) != http.StatusOK {
+	if testutil.GetJSON(t, ts.URL, "/v1/stats", &stats) != http.StatusOK {
 		t.Fatal("stats not OK")
 	}
 	if stats.Injections != int64(realized+cap) || stats.Upgrades != 1 {
@@ -94,7 +95,7 @@ func TestJobPolicyMaxInjections(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	spec := miniSpec("vectoradd", 4)
+	spec := testutil.MiniSpec("vectoradd", 4)
 	spec.Injections = 500
 	var submitted struct {
 		ID string `json:"id"`
@@ -103,7 +104,7 @@ func TestJobPolicyMaxInjections(t *testing.T) {
 		"cells":  []campaign.CellSpec{spec},
 		"policy": map[string]any{"max_injections": 30},
 	}
-	postJSON(t, ts, "/v1/jobs", req, &submitted, http.StatusAccepted)
+	testutil.PostJSON(t, ts.URL, "/v1/jobs", req, &submitted, http.StatusAccepted)
 	status := awaitJob(t, ts, submitted.ID)
 	if status.State != "done" {
 		t.Fatalf("final status %+v", status)
@@ -130,8 +131,8 @@ func TestJobPolicyValidation(t *testing.T) {
 		{"confidence": -1},
 		{"max_injections": -2},
 	} {
-		req := map[string]any{"cells": []campaign.CellSpec{miniSpec("vectoradd", 9)}, "policy": policy}
-		postJSON(t, ts, "/v1/jobs", req, nil, http.StatusBadRequest)
+		req := map[string]any{"cells": []campaign.CellSpec{testutil.MiniSpec("vectoradd", 9)}, "policy": policy}
+		testutil.PostJSON(t, ts.URL, "/v1/jobs", req, nil, http.StatusBadRequest)
 	}
 }
 
@@ -143,7 +144,7 @@ func TestFigureAdaptiveQuery(t *testing.T) {
 	defer ts.Close()
 
 	var last map[string]any
-	code := getJSON(t, ts, "/v1/figure?fig=1&n=600&margin=0.1&chips=Mini+NVIDIA&bench=vectoradd&stream=0", &last)
+	code := testutil.GetJSON(t, ts.URL, "/v1/figure?fig=1&n=600&margin=0.1&chips=Mini+NVIDIA&bench=vectoradd&stream=0", &last)
 	if code != http.StatusOK {
 		t.Fatalf("figure status %d", code)
 	}
@@ -155,10 +156,10 @@ func TestFigureAdaptiveQuery(t *testing.T) {
 		t.Fatalf("figure campaign executed %d injections, want adaptive stop below 600", st.Injections)
 	}
 
-	if getJSON(t, ts, "/v1/figure?fig=1&margin=2", nil) != http.StatusBadRequest {
+	if testutil.GetJSON(t, ts.URL, "/v1/figure?fig=1&margin=2", nil) != http.StatusBadRequest {
 		t.Fatal("bad margin accepted")
 	}
-	if getJSON(t, ts, "/v1/figure?fig=1&confidence=0", nil) != http.StatusBadRequest {
+	if testutil.GetJSON(t, ts.URL, "/v1/figure?fig=1&confidence=0", nil) != http.StatusBadRequest {
 		t.Fatal("bad confidence accepted")
 	}
 }

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"repro/internal/experiment"
+	"repro/internal/finject"
+	"repro/internal/telemetry"
+)
+
+// RecoveryStats summarizes one boot-time journal recovery.
+type RecoveryStats struct {
+	// Restored is the number of jobs rebuilt from the journal, finished
+	// and unfinished alike.
+	Restored int
+	// Resumed is the subset that was still unfinished when the previous
+	// process died and is now re-driven through the scheduler.
+	Resumed int
+}
+
+// resumedJob is one rebuilt unfinished job, ready to re-run: its job is
+// already registered (cancel wired) and run drives it to completion.
+type resumedJob struct {
+	j   *job
+	run func()
+}
+
+// UseJobStore attaches the write-ahead job journal to the server and
+// recovers its contents: every journal transition from here on is
+// durable, the id sequence continues past the highest journaled id, and
+// the journaled jobs come back —
+//
+//   - finished jobs are restored in place, so GET /v1/jobs/{id} and
+//     /result answer exactly as before the restart, with zero
+//     re-execution;
+//   - unfinished jobs (submitted, possibly partially run, never
+//     finished) are resumed: re-driven through the same scheduler path
+//     as a fresh submission. Cells that completed before the crash were
+//     journaled into the campaign store, so they come back as cache
+//     hits with zero re-injections; only genuinely unfinished cells
+//     execute. Determinism makes the final result byte-identical to an
+//     uninterrupted run.
+//
+// A journaled submission that no longer validates (say, a chip renamed
+// between versions) is restored as a failed job carrying the error —
+// recovery never invents results and never drops a job silently.
+//
+// Call it once, after NewServer and before serving traffic.
+func (s *Server) UseJobStore(js *JobStore) (RecoveryStats, error) {
+	var stats RecoveryStats
+	s.mu.Lock()
+	if s.jstore != nil {
+		s.mu.Unlock()
+		return stats, fmt.Errorf("service: job store already attached")
+	}
+	s.jstore = js
+	if seq := js.MaxSeq(); seq > s.nextID {
+		s.nextID = seq
+	}
+	s.mu.Unlock()
+
+	var resumes []resumedJob
+	for _, snap := range js.snapshots() {
+		telemetry.JobsRecovered.Inc()
+		stats.Restored++
+		if snap.State != "" {
+			// Finished before the crash: restore the terminal record as-is.
+			done := 0
+			for _, c := range snap.Cells {
+				if c.State != "pending" {
+					done++
+				}
+			}
+			s.registerRecovered(&job{
+				id: snap.ID, kind: snap.Kind, cancel: func() {},
+				state: snap.State, done: done, cells: snap.Cells,
+				results: snap.Results, expResult: snap.ExpResult,
+				errMsg: snap.ErrMsg,
+			})
+			continue
+		}
+		// Unfinished: rebuild the run from the journaled submission and
+		// re-drive it. Progress resets to pending — the journal's partial
+		// cell records were only hints; the truth comes back from the
+		// warm campaign store as the cells re-resolve.
+		var r resumedJob
+		var err error
+		switch snap.Kind {
+		case "experiment":
+			r, err = s.resumeExperiment(snap)
+		default:
+			r, err = s.resumeBatch(snap)
+		}
+		if err != nil {
+			j := &job{
+				id: snap.ID, kind: snap.Kind, cancel: func() {},
+				state: "failed", cells: snap.Cells,
+				errMsg: fmt.Sprintf("recovery: %v", err),
+			}
+			s.registerRecovered(j)
+			s.journal(journalRecord{Event: "finish", Job: j.id, State: "failed", Error: j.errMsg})
+			s.log.Warn("job recovery failed", "job", j.id, "err", err)
+			continue
+		}
+		telemetry.JobsResumed.Inc()
+		stats.Resumed++
+		resumes = append(resumes, r)
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+
+	for _, r := range resumes {
+		s.running.Add(1)
+		s.log.Info("job resumed after restart", "job", r.j.id, "kind", r.j.kind)
+		go r.run()
+	}
+	return stats, nil
+}
+
+// registerRecovered inserts a rebuilt job into the in-memory table.
+func (s *Server) registerRecovered(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[j.id]; ok {
+		return
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+}
+
+// resumeBatch rebuilds an unfinished batch job from its journaled raw
+// submission, through the same buildBatch path a fresh POST takes.
+func (s *Server) resumeBatch(snap *jobSnapshot) (resumedJob, error) {
+	batch, cells, err := buildBatch(snap.RawCells, snap.Policy)
+	if err != nil {
+		return resumedJob{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id: snap.ID, kind: "batch", state: "running", cancel: cancel,
+		cells: cells, results: make([]*finject.Result, len(batch)),
+	}
+	s.registerRecovered(j)
+	jctx := telemetry.WithJob(ctx, j.id)
+	return resumedJob{j: j, run: func() {
+		s.runBatchJob(jctx, cancel, j, batch)
+	}}, nil
+}
+
+// resumeExperiment rebuilds an unfinished experiment job from its
+// journaled normalized spec, ready to re-run detached (there is no
+// stream left to feed — the result lands in the job table, where the
+// client polls for it).
+func (s *Server) resumeExperiment(snap *jobSnapshot) (resumedJob, error) {
+	spec, err := experiment.Parse(bytes.NewReader(snap.Spec))
+	if err != nil {
+		return resumedJob{}, err
+	}
+	plan, err := spec.Compile()
+	if err != nil {
+		return resumedJob{}, err
+	}
+	cells := make([]cellState, len(plan.Cells))
+	for i, cs := range plan.CellSpecs() {
+		cells[i] = cellState{Spec: cs, State: "pending"}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{id: snap.ID, kind: "experiment", state: "running", cancel: cancel, cells: cells}
+	s.registerRecovered(j)
+	jctx := telemetry.WithJob(ctx, j.id)
+	return resumedJob{j: j, run: func() {
+		s.runExperimentJob(jctx, cancel, j, plan, nil)
+	}}, nil
+}

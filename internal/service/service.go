@@ -7,9 +7,11 @@
 // Endpoints:
 //
 //	POST   /v1/jobs              submit a batch of cells; returns {id}
+//	GET    /v1/jobs              list retained jobs, oldest first
 //	GET    /v1/jobs/{id}         job status with per-cell states
 //	GET    /v1/jobs/{id}/result  results (409 until the job is done)
-//	DELETE /v1/jobs/{id}         cancel a running job
+//	DELETE /v1/jobs/{id}         cancel a running job, or delete a
+//	                             finished one from the retained set
 //	POST   /v1/experiments       run a declarative experiment spec,
 //	                             streaming NDJSON progress + result
 //	GET    /v1/figure            run Fig. 1/2/3, streaming NDJSON progress
@@ -57,12 +59,19 @@ type Server struct {
 	queue *campaign.LeaseQueue // non-nil once ServeWorkers ran
 	log   *slog.Logger
 
-	mu      sync.Mutex
-	nextID  int
-	jobs    map[string]*job
-	order   []string // job ids in submission order, for eviction
-	closed  bool     // Shutdown called; no new jobs
-	running sync.WaitGroup
+	// jstore, when non-nil, write-ahead journals every job transition so
+	// the job table survives restart (see UseJobStore). Lock ordering:
+	// jstore's mutex is strictly innermost — appends may happen while
+	// holding s.mu or a job's mu, never the other way around.
+	jstore *JobStore
+
+	mu          sync.Mutex
+	nextID      int
+	jobs        map[string]*job
+	order       []string // job ids in submission order, for eviction
+	maxRetained int      // finished-job retention bound (maxRetainedJobs)
+	closed      bool     // Shutdown called; no new jobs
+	running     sync.WaitGroup
 }
 
 // job tracks one submitted batch or one streamed experiment run.
@@ -120,12 +129,14 @@ type jobPolicy struct {
 // NewServer builds a Server around the scheduler.
 func NewServer(sched *campaign.Scheduler) *Server {
 	s := &Server{
-		sched: sched,
-		mux:   http.NewServeMux(),
-		jobs:  make(map[string]*job),
-		log:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+		sched:       sched,
+		mux:         http.NewServeMux(),
+		jobs:        make(map[string]*job),
+		maxRetained: maxRetainedJobs,
+		log:         slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 	s.handle("POST /v1/jobs", s.handleSubmit)
+	s.handle("GET /v1/jobs", s.handleJobs)
 	s.handle("GET /v1/jobs/{id}", s.handleStatus)
 	s.handle("GET /v1/jobs/{id}/result", s.handleResult)
 	s.handle("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -173,6 +184,29 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// journal appends one record to the job journal, if one is attached.
+// Journal failures are logged, never fatal: a server whose disk fills
+// keeps serving from memory exactly as an unjournaled one would.
+func (s *Server) journal(rec journalRecord) {
+	if s.jstore == nil {
+		return
+	}
+	if err := s.jstore.append(rec); err != nil {
+		s.log.Warn("job journal append failed", "job", rec.Job, "event", rec.Event, "err", err)
+	}
+}
+
+// journalFinish appends a job's terminal record (the pre-finish crash
+// barrier lives on this path).
+func (s *Server) journalFinish(rec journalRecord) {
+	if s.jstore == nil {
+		return
+	}
+	if err := s.jstore.appendFinish(rec); err != nil {
+		s.log.Warn("job journal append failed", "job", rec.Job, "event", rec.Event, "err", err)
+	}
+}
+
 // submitRequest is the POST /v1/jobs body.
 type submitRequest struct {
 	Cells []campaign.CellSpec `json:"cells"`
@@ -213,28 +247,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	batch := make([]finject.Campaign, len(req.Cells))
-	cells := make([]cellState, len(req.Cells))
-	for i, spec := range req.Cells {
-		c, err := spec.Campaign()
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "cell %d: %v", i, err)
-			return
-		}
-		if req.Policy != nil {
-			ckpt := c.Policy.Checkpoint // the cell's own knob, unless overridden
-			if req.Policy.Checkpoint != nil {
-				ckpt = *req.Policy.Checkpoint
-			}
-			c.Policy = finject.Policy{
-				Confidence:    req.Policy.Confidence,
-				Margin:        req.Policy.Margin,
-				MaxInjections: req.Policy.MaxInjections,
-				Checkpoint:    ckpt,
-			}
-		}
-		batch[i] = c
-		cells[i] = cellState{Spec: campaign.SpecOf(c), State: "pending"}
+	batch, cells, err := buildBatch(req.Cells, req.Policy)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -260,56 +276,111 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.evictLocked()
 	s.mu.Unlock()
 
+	// The submit record goes down before the job goroutine can journal
+	// its first cell, so replay always sees a job before its transitions.
+	s.journal(journalRecord{
+		Event: "submit", Job: j.id, Kind: "batch",
+		Cells: req.Cells, Policy: req.Policy,
+	})
+
 	// The job id rides the context from here through the scheduler and —
 	// on the remote tier — across the lease wire into worker logs.
 	jctx := telemetry.WithJob(ctx, j.id)
 	s.log.InfoContext(jctx, "job submitted", "kind", "batch", "cells", len(batch))
 
-	go func() {
-		// Release the context's resources once the batch settles; DELETE
-		// uses the same cancel to abort early and Shutdown drains on the
-		// same WaitGroup.
-		defer s.running.Done()
-		defer cancel()
-		results, err := s.sched.RunBatch(jctx, batch, func(i int, res *finject.Result, cached bool, cellErr error) {
-			j.mu.Lock()
-			defer j.mu.Unlock()
-			j.done++
-			if cellErr != nil {
-				j.cells[i].State = "failed"
-				j.cells[i].Error = cellErr.Error()
-				s.log.WarnContext(jctx, "cell failed", "spec", j.cells[i].Spec, "err", cellErr)
-				return
-			}
-			j.cells[i].State = "done"
-			j.cells[i].Cached = cached
-			j.cells[i].Injections = res.Injections
-			s.log.DebugContext(jctx, "cell done",
-				"spec", j.cells[i].Spec, "cached", cached, "injections", res.Injections)
-		})
-		j.mu.Lock()
-		defer j.mu.Unlock()
-		j.results = results
-		switch {
-		case err == nil:
-			j.state = "done"
-		case ctx.Err() != nil:
-			j.state = "canceled"
-			j.errMsg = err.Error()
-		default:
-			j.state = "failed"
-			j.errMsg = err.Error()
-		}
-		s.log.InfoContext(jctx, "job finished", "state", j.state, "done", j.done, "error", j.errMsg)
-	}()
+	go s.runBatchJob(jctx, cancel, j, batch)
 
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": j.id, "total": len(batch)})
 }
 
-// evictLocked drops the oldest finished jobs beyond the retention bound.
+// buildBatch compiles submitted cell specs (plus an optional batch-wide
+// policy override) into runnable campaigns and their initial cell
+// states. Shared by submission and restart recovery, so a recovered job
+// re-runs through exactly the validation and policy path it was
+// submitted under.
+func buildBatch(specs []campaign.CellSpec, policy *jobPolicy) ([]finject.Campaign, []cellState, error) {
+	batch := make([]finject.Campaign, len(specs))
+	cells := make([]cellState, len(specs))
+	for i, spec := range specs {
+		c, err := spec.Campaign()
+		if err != nil {
+			return nil, nil, fmt.Errorf("cell %d: %v", i, err)
+		}
+		if policy != nil {
+			ckpt := c.Policy.Checkpoint // the cell's own knob, unless overridden
+			if policy.Checkpoint != nil {
+				ckpt = *policy.Checkpoint
+			}
+			c.Policy = finject.Policy{
+				Confidence:    policy.Confidence,
+				Margin:        policy.Margin,
+				MaxInjections: policy.MaxInjections,
+				Checkpoint:    ckpt,
+			}
+		}
+		batch[i] = c
+		cells[i] = cellState{Spec: campaign.SpecOf(c), State: "pending"}
+	}
+	return batch, cells, nil
+}
+
+// runBatchJob drives one batch job through the scheduler, journaling
+// every cell transition and the terminal state. It is the shared engine
+// behind fresh submissions and restart recovery: because campaigns are
+// deterministic functions of their specs, re-driving a recovered job
+// through the same path yields byte-identical results, with
+// already-journaled cells answered from the warm campaign store.
+func (s *Server) runBatchJob(ctx context.Context, cancel context.CancelFunc, j *job, batch []finject.Campaign) {
+	// Release the context's resources once the batch settles; DELETE
+	// uses the same cancel to abort early and Shutdown drains on the
+	// same WaitGroup.
+	defer s.running.Done()
+	defer cancel()
+	results, err := s.sched.RunBatch(ctx, batch, func(i int, res *finject.Result, cached bool, cellErr error) {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.done++
+		if cellErr != nil {
+			j.cells[i].State = "failed"
+			j.cells[i].Error = cellErr.Error()
+			s.log.WarnContext(ctx, "cell failed", "spec", j.cells[i].Spec, "err", cellErr)
+		} else {
+			j.cells[i].State = "done"
+			j.cells[i].Cached = cached
+			j.cells[i].Injections = res.Injections
+			s.log.DebugContext(ctx, "cell done",
+				"spec", j.cells[i].Spec, "cached", cached, "injections", res.Injections)
+		}
+		s.journal(journalRecord{
+			Event: "cell", Job: j.id, Index: i,
+			State: j.cells[i].State, Cached: j.cells[i].Cached,
+			Injections: j.cells[i].Injections, Error: j.cells[i].Error,
+			Result: res,
+		})
+	})
+	j.mu.Lock()
+	j.results = results
+	switch {
+	case err == nil:
+		j.state = "done"
+	case ctx.Err() != nil:
+		j.state = "canceled"
+		j.errMsg = err.Error()
+	default:
+		j.state = "failed"
+		j.errMsg = err.Error()
+	}
+	state, errMsg, done := j.state, j.errMsg, j.done
+	j.mu.Unlock()
+	s.journalFinish(journalRecord{Event: "finish", Job: j.id, State: state, Error: errMsg})
+	s.log.InfoContext(ctx, "job finished", "state", state, "done", done, "error", errMsg)
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention bound,
+// journaling each eviction so a restarted server retains the same set.
 // Callers hold s.mu.
 func (s *Server) evictLocked() {
-	for i := 0; len(s.jobs) > maxRetainedJobs && i < len(s.order); {
+	for i := 0; len(s.jobs) > s.maxRetained && i < len(s.order); {
 		id := s.order[i]
 		j := s.jobs[id]
 		if j == nil {
@@ -325,6 +396,7 @@ func (s *Server) evictLocked() {
 		}
 		delete(s.jobs, id)
 		s.order = append(s.order[:i], s.order[i+1:]...)
+		s.journal(journalRecord{Event: "delete", Job: id})
 	}
 }
 
@@ -391,14 +463,74 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"id": j.id, "cells": rows})
 }
 
-// handleCancel cancels a running job.
+// jobSummary is one row of the GET /v1/jobs listing.
+type jobSummary struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// handleJobs lists the retained jobs, oldest first — the discovery
+// surface clients use to find their jobs again after a server restart.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			js = append(js, j)
+		}
+	}
+	s.mu.Unlock()
+	rows := make([]jobSummary, len(js))
+	for i, j := range js {
+		j.mu.Lock()
+		rows[i] = jobSummary{ID: j.id, Kind: j.kind, State: j.state, Done: j.done, Total: len(j.cells)}
+		j.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": rows})
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}. The semantics are
+// state-dependent and pinned by TestDeleteJobSemantics:
+//
+//   - running job: request cancellation, answer {"state":"canceling"};
+//     the job settles as "canceled" and stays retrievable until deleted.
+//   - finished job ("done", "failed", "canceled"): remove it from the
+//     retained set, answer {"state":"deleted"}; subsequent requests 404.
+//   - unknown id (never submitted, already deleted or evicted): 404.
+//
+// Removal happens under s.mu — the same lock evictLocked runs under —
+// so a DELETE can never race eviction into a double-removal.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j := s.jobByID(w, r)
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
 	if j == nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	j.cancel()
-	writeJSON(w, http.StatusOK, map[string]string{"id": j.id, "state": "canceling"})
+	j.mu.Lock()
+	finished := j.state != "running"
+	j.mu.Unlock()
+	if !finished {
+		s.mu.Unlock()
+		j.cancel()
+		writeJSON(w, http.StatusOK, map[string]string{"id": j.id, "state": "canceling"})
+		return
+	}
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.journal(journalRecord{Event: "delete", Job: id})
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "deleted"})
 }
 
 // Shutdown stops accepting new jobs, cancels the in-flight ones and

@@ -2,7 +2,6 @@ package service
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -11,59 +10,13 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/testutil"
 )
 
 func newTestServer(t *testing.T) (*Server, *campaign.Scheduler) {
 	t.Helper()
 	sched := campaign.New(campaign.Config{})
 	return NewServer(sched), sched
-}
-
-// postJSON posts v and decodes the JSON response into out.
-func postJSON(t *testing.T, ts *httptest.Server, path string, v any, out any, wantCode int) {
-	t.Helper()
-	body, err := json.Marshal(v)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != wantCode {
-		t.Fatalf("POST %s: status %d, want %d", path, resp.StatusCode, wantCode)
-	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatal(err)
-		}
-	}
-}
-
-// getJSON fetches path and decodes into out, returning the status code.
-func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
-	t.Helper()
-	resp, err := http.Get(ts.URL + path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatalf("GET %s: %v", path, err)
-		}
-	}
-	return resp.StatusCode
-}
-
-func miniSpec(bench string, seed uint64) campaign.CellSpec {
-	return campaign.CellSpec{
-		Chip:       "Mini NVIDIA",
-		Benchmark:  bench,
-		Injections: 20,
-		Seed:       seed,
-	}
 }
 
 func TestJobLifecycle(t *testing.T) {
@@ -76,11 +29,11 @@ func TestJobLifecycle(t *testing.T) {
 		Total int    `json:"total"`
 	}
 	req := map[string]any{"cells": []campaign.CellSpec{
-		miniSpec("vectoradd", 1),
-		miniSpec("transpose", 1),
-		miniSpec("vectoradd", 1), // duplicate: must dedup, not re-run
+		testutil.MiniSpec("vectoradd", 1),
+		testutil.MiniSpec("transpose", 1),
+		testutil.MiniSpec("vectoradd", 1), // duplicate: must dedup, not re-run
 	}}
-	postJSON(t, ts, "/v1/jobs", req, &submitted, http.StatusAccepted)
+	testutil.PostJSON(t, ts.URL, "/v1/jobs", req, &submitted, http.StatusAccepted)
 	if submitted.ID == "" || submitted.Total != 3 {
 		t.Fatalf("submit response %+v", submitted)
 	}
@@ -93,7 +46,7 @@ func TestJobLifecycle(t *testing.T) {
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		if getJSON(t, ts, "/v1/jobs/"+submitted.ID, &status) != http.StatusOK {
+		if testutil.GetJSON(t, ts.URL, "/v1/jobs/"+submitted.ID, &status) != http.StatusOK {
 			t.Fatal("status not OK")
 		}
 		if status.State != "running" {
@@ -116,7 +69,7 @@ func TestJobLifecycle(t *testing.T) {
 	var result struct {
 		Cells []jobResultRow `json:"cells"`
 	}
-	if getJSON(t, ts, "/v1/jobs/"+submitted.ID+"/result", &result) != http.StatusOK {
+	if testutil.GetJSON(t, ts.URL, "/v1/jobs/"+submitted.ID+"/result", &result) != http.StatusOK {
 		t.Fatal("result not OK")
 	}
 	if len(result.Cells) != 3 {
@@ -138,7 +91,7 @@ func TestJobLifecycle(t *testing.T) {
 		Runs       int64 `json:"runs"`
 		StoreCells int   `json:"store_cells"`
 	}
-	if getJSON(t, ts, "/v1/stats", &stats) != http.StatusOK {
+	if testutil.GetJSON(t, ts.URL, "/v1/stats", &stats) != http.StatusOK {
 		t.Fatal("stats not OK")
 	}
 	if stats.Runs != 2 || stats.StoreCells != 2 {
@@ -151,11 +104,11 @@ func TestSubmitValidation(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	postJSON(t, ts, "/v1/jobs", map[string]any{"cells": []campaign.CellSpec{}}, nil, http.StatusBadRequest)
-	postJSON(t, ts, "/v1/jobs",
+	testutil.PostJSON(t, ts.URL, "/v1/jobs", map[string]any{"cells": []campaign.CellSpec{}}, nil, http.StatusBadRequest)
+	testutil.PostJSON(t, ts.URL, "/v1/jobs",
 		map[string]any{"cells": []campaign.CellSpec{{Chip: "no such chip", Benchmark: "vectoradd"}}},
 		nil, http.StatusBadRequest)
-	if getJSON(t, ts, "/v1/jobs/job-999999", nil) != http.StatusNotFound {
+	if testutil.GetJSON(t, ts.URL, "/v1/jobs/job-999999", nil) != http.StatusNotFound {
 		t.Fatal("unknown job not 404")
 	}
 }
@@ -171,12 +124,12 @@ func TestResultConflictWhileRunning(t *testing.T) {
 	// A batch big enough to still be running when we poll the result.
 	var cells []campaign.CellSpec
 	for i := uint64(0); i < 6; i++ {
-		s := miniSpec("matrixMul", 100+i)
+		s := testutil.MiniSpec("matrixMul", 100+i)
 		s.Injections = 150
 		cells = append(cells, s)
 	}
-	postJSON(t, ts, "/v1/jobs", map[string]any{"cells": cells}, &submitted, http.StatusAccepted)
-	code := getJSON(t, ts, "/v1/jobs/"+submitted.ID+"/result", nil)
+	testutil.PostJSON(t, ts.URL, "/v1/jobs", map[string]any{"cells": cells}, &submitted, http.StatusAccepted)
+	code := testutil.GetJSON(t, ts.URL, "/v1/jobs/"+submitted.ID+"/result", nil)
 	if code != http.StatusConflict && code != http.StatusOK {
 		t.Fatalf("result while running: status %d", code)
 	}
@@ -268,7 +221,7 @@ func TestFigureValidation(t *testing.T) {
 		"/v1/figure?fig=1&chips=no+such+chip",
 		"/v1/figure?fig=1&bench=no-such-bench",
 	} {
-		if code := getJSON(t, ts, path, nil); code != http.StatusBadRequest {
+		if code := testutil.GetJSON(t, ts.URL, path, nil); code != http.StatusBadRequest {
 			t.Fatalf("%s: status %d, want 400", path, code)
 		}
 	}

@@ -7,12 +7,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
-	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/telemetry"
+	"repro/internal/testutil"
 	"repro/internal/worker"
 )
 
@@ -29,8 +29,8 @@ func TestMetricsEndpointValidExposition(t *testing.T) {
 	var submitted struct {
 		ID string `json:"id"`
 	}
-	postJSON(t, ts, "/v1/jobs", map[string]any{"cells": []campaign.CellSpec{miniSpec("vectoradd", 3)}}, &submitted, http.StatusAccepted)
-	waitForJob(t, ts, submitted.ID)
+	testutil.PostJSON(t, ts.URL, "/v1/jobs", map[string]any{"cells": []campaign.CellSpec{testutil.MiniSpec("vectoradd", 3)}}, &submitted, http.StatusAccepted)
+	testutil.WaitForJob(t, ts.URL, submitted.ID)
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -63,30 +63,6 @@ func TestMetricsEndpointValidExposition(t *testing.T) {
 	// counter must show the route label, not a raw path.
 	if !strings.Contains(string(body), `fi_http_requests_total{route="POST /v1/jobs"}`) {
 		t.Fatalf("per-route HTTP counter missing:\n%s", body)
-	}
-}
-
-// waitForJob polls a job until it leaves the running state.
-func waitForJob(t *testing.T, ts *httptest.Server, id string) {
-	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		var status struct {
-			State string `json:"state"`
-		}
-		if getJSON(t, ts, "/v1/jobs/"+id, &status) != http.StatusOK {
-			t.Fatal("status not OK")
-		}
-		if status.State != "running" {
-			if status.State != "done" {
-				t.Fatalf("job ended %q", status.State)
-			}
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("job stuck")
-		}
-		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -135,24 +111,6 @@ func TestStatsJSONShapePinned(t *testing.T) {
 	}
 }
 
-// syncWriter is a concurrency-safe log sink for worker loggers.
-type syncWriter struct {
-	mu sync.Mutex
-	b  bytes.Buffer
-}
-
-func (w *syncWriter) Write(p []byte) (int, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.b.Write(p)
-}
-
-func (w *syncWriter) String() string {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.b.String()
-}
-
 // TestCorrelationIDCrossesLeaseWire is the end-to-end correlation
 // proof: a job submitted to the server runs on a remote worker in
 // another "process" (separate worker loop over HTTP), and the worker's
@@ -167,7 +125,7 @@ func TestCorrelationIDCrossesLeaseWire(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	sink := &syncWriter{}
+	sink := &testutil.SyncWriter{}
 	wctx, stopWorker := context.WithCancel(context.Background())
 	w := worker.New(&worker.Client{Base: ts.URL, Name: "corr-w1"}, worker.Options{
 		Concurrency: 1, CampaignWorkers: 2, Poll: 50 * time.Millisecond,
@@ -186,8 +144,8 @@ func TestCorrelationIDCrossesLeaseWire(t *testing.T) {
 	var submitted struct {
 		ID string `json:"id"`
 	}
-	postJSON(t, ts, "/v1/jobs", map[string]any{"cells": []campaign.CellSpec{miniSpec("vectoradd", 5)}}, &submitted, http.StatusAccepted)
-	waitForJob(t, ts, submitted.ID)
+	testutil.PostJSON(t, ts.URL, "/v1/jobs", map[string]any{"cells": []campaign.CellSpec{testutil.MiniSpec("vectoradd", 5)}}, &submitted, http.StatusAccepted)
+	testutil.WaitForJob(t, ts.URL, submitted.ID)
 
 	// The job is done server-side, but the worker writes its completion
 	// line after its Complete call returns — give it a moment.

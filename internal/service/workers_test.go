@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/finject"
+	"repro/internal/testutil"
 )
 
 // newRemoteServer builds a Server whose scheduler executes through a
@@ -31,7 +32,7 @@ func leaseOnce(t *testing.T, ts *httptest.Server, worker string, max int, wait t
 	var resp struct {
 		Leases []campaign.Lease `json:"leases"`
 	}
-	postJSON(t, ts, "/v1/workers/lease",
+	testutil.PostJSON(t, ts.URL, "/v1/workers/lease",
 		map[string]any{"worker": worker, "max": max, "wait_ms": wait.Milliseconds()},
 		&resp, http.StatusOK)
 	return resp.Leases
@@ -46,7 +47,7 @@ func completeLease(t *testing.T, ts *httptest.Server, leaseID string, res *finje
 	} else {
 		body["result"] = res
 	}
-	postJSON(t, ts, "/v1/workers/"+leaseID+"/complete", body, nil, wantCode)
+	testutil.PostJSON(t, ts.URL, "/v1/workers/"+leaseID+"/complete", body, nil, wantCode)
 }
 
 // runRemoteCell computes the cell the way a real worker would.
@@ -69,8 +70,8 @@ func TestWorkerProtocolServesJob(t *testing.T) {
 	var submitted struct {
 		ID string `json:"id"`
 	}
-	cells := []campaign.CellSpec{miniSpec("vectoradd", 41), miniSpec("transpose", 41)}
-	postJSON(t, ts, "/v1/jobs", map[string]any{"cells": cells}, &submitted, http.StatusAccepted)
+	cells := []campaign.CellSpec{testutil.MiniSpec("vectoradd", 41), testutil.MiniSpec("transpose", 41)}
+	testutil.PostJSON(t, ts.URL, "/v1/jobs", map[string]any{"cells": cells}, &submitted, http.StatusAccepted)
 
 	// Drain the queue by hand: every cell of the batch must surface as a
 	// lease, and completing them finishes the job.
@@ -91,7 +92,7 @@ func TestWorkerProtocolServesJob(t *testing.T) {
 		Cells []cellState `json:"cells"`
 	}
 	for {
-		getJSON(t, ts, "/v1/jobs/"+submitted.ID, &status)
+		testutil.GetJSON(t, ts.URL, "/v1/jobs/"+submitted.ID, &status)
 		if status.State != "running" {
 			break
 		}
@@ -116,7 +117,7 @@ func TestWorkerProtocolServesJob(t *testing.T) {
 	var stats struct {
 		Workers *campaign.LeaseStats `json:"workers"`
 	}
-	getJSON(t, ts, "/v1/stats", &stats)
+	testutil.GetJSON(t, ts.URL, "/v1/stats", &stats)
 	if stats.Workers == nil || stats.Workers.Completed != 2 {
 		t.Fatalf("worker stats %+v", stats.Workers)
 	}
@@ -130,7 +131,7 @@ func TestWorkerDiesMidLease(t *testing.T) {
 	var submitted struct {
 		ID string `json:"id"`
 	}
-	postJSON(t, ts, "/v1/jobs", map[string]any{"cells": []campaign.CellSpec{miniSpec("vectoradd", 43)}},
+	testutil.PostJSON(t, ts.URL, "/v1/jobs", map[string]any{"cells": []campaign.CellSpec{testutil.MiniSpec("vectoradd", 43)}},
 		&submitted, http.StatusAccepted)
 
 	// Worker 1 leases the cell and dies without completing it.
@@ -161,7 +162,7 @@ func TestWorkerDiesMidLease(t *testing.T) {
 		State string `json:"state"`
 	}
 	for {
-		getJSON(t, ts, "/v1/jobs/"+submitted.ID, &status)
+		testutil.GetJSON(t, ts.URL, "/v1/jobs/"+submitted.ID, &status)
 		if status.State != "running" {
 			break
 		}
@@ -177,7 +178,7 @@ func TestWorkerDiesMidLease(t *testing.T) {
 	var stats struct {
 		Workers *campaign.LeaseStats `json:"workers"`
 	}
-	getJSON(t, ts, "/v1/stats", &stats)
+	testutil.GetJSON(t, ts.URL, "/v1/stats", &stats)
 	if stats.Workers.Expired < 1 {
 		t.Fatalf("expiry not counted: %+v", stats.Workers)
 	}
@@ -185,7 +186,7 @@ func TestWorkerDiesMidLease(t *testing.T) {
 
 func TestDuplicateCompleteOverHTTPIsIdempotent(t *testing.T) {
 	ts, _, q := newRemoteServer(t, time.Minute)
-	go q.Do(context.Background(), campaign.Task{Spec: miniSpec("vectoradd", 44)})
+	go q.Do(context.Background(), campaign.Task{Spec: testutil.MiniSpec("vectoradd", 44)})
 
 	var leases []campaign.Lease
 	deadline := time.Now().Add(10 * time.Second)
@@ -206,15 +207,15 @@ func TestDuplicateCompleteOverHTTPIsIdempotent(t *testing.T) {
 func TestWorkerEndpointValidation(t *testing.T) {
 	ts, _, _ := newRemoteServer(t, time.Minute)
 
-	postJSON(t, ts, "/v1/workers/lease", map[string]any{"max": 1}, nil, http.StatusBadRequest)
+	testutil.PostJSON(t, ts.URL, "/v1/workers/lease", map[string]any{"max": 1}, nil, http.StatusBadRequest)
 	completeLease(t, ts, "lease-999999", nil, "", http.StatusBadRequest) // neither result nor error
 	completeLease(t, ts, "lease-999999", &finject.Result{}, "", http.StatusNotFound)
-	postJSON(t, ts, "/v1/workers/lease-999999/heartbeat", map[string]any{}, nil, http.StatusGone)
+	testutil.PostJSON(t, ts.URL, "/v1/workers/lease-999999/heartbeat", map[string]any{}, nil, http.StatusGone)
 
 	// Without ServeWorkers the endpoints don't exist.
 	plain := httptest.NewServer(NewServer(campaign.New(campaign.Config{})))
 	defer plain.Close()
-	postJSON(t, plain, "/v1/workers/lease", map[string]any{"worker": "w"}, nil, http.StatusNotFound)
+	testutil.PostJSON(t, plain.URL, "/v1/workers/lease", map[string]any{"worker": "w"}, nil, http.StatusNotFound)
 }
 
 func TestShutdownDrainsRunningJobs(t *testing.T) {
@@ -226,14 +227,14 @@ func TestShutdownDrainsRunningJobs(t *testing.T) {
 
 	var cells []campaign.CellSpec
 	for i := uint64(0); i < 8; i++ {
-		s := miniSpec("matrixMul", 300+i)
+		s := testutil.MiniSpec("matrixMul", 300+i)
 		s.Injections = 200
 		cells = append(cells, s)
 	}
 	var submitted struct {
 		ID string `json:"id"`
 	}
-	postJSON(t, ts, "/v1/jobs", map[string]any{"cells": cells}, &submitted, http.StatusAccepted)
+	testutil.PostJSON(t, ts.URL, "/v1/jobs", map[string]any{"cells": cells}, &submitted, http.StatusAccepted)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
 	defer cancel()
@@ -245,18 +246,18 @@ func TestShutdownDrainsRunningJobs(t *testing.T) {
 	var status struct {
 		State string `json:"state"`
 	}
-	getJSON(t, ts, "/v1/jobs/"+submitted.ID, &status)
+	testutil.GetJSON(t, ts.URL, "/v1/jobs/"+submitted.ID, &status)
 	if status.State == "running" {
 		t.Fatalf("job still running after Shutdown")
 	}
-	postJSON(t, ts, "/v1/jobs", map[string]any{"cells": cells[:1]}, nil, http.StatusServiceUnavailable)
+	testutil.PostJSON(t, ts.URL, "/v1/jobs", map[string]any{"cells": cells[:1]}, nil, http.StatusServiceUnavailable)
 }
 
 func TestLeaseTaskWireFormat(t *testing.T) {
 	// The wire task is (spec, policy) and nothing else: a worker can
 	// reconstruct the campaign from the registries alone.
 	task := campaign.Task{
-		Spec:   miniSpec("vectoradd", 45).Normalize(),
+		Spec:   testutil.MiniSpec("vectoradd", 45).Normalize(),
 		Policy: finject.Policy{Margin: 0.05, Confidence: 0.95},
 	}
 	buf, err := json.Marshal(task)

@@ -72,6 +72,18 @@ var (
 	StoreRecordsDead = Default.Gauge("fi_store_disk_records_dead",
 		"Superseded records across open disk stores, pending compaction.")
 
+	// Job journal and restart recovery (internal/service.JobStore).
+	JobJournalAppends = Default.Counter("fi_store_job_journal_appends_total",
+		"Records durably appended (fsynced) to the job journal.")
+	JobJournalTornTails = Default.Counter("fi_store_job_journal_torn_tails_total",
+		"Torn journal tails (partial final records) truncated on recovery.")
+	JobJournalCompactions = Default.Counter("fi_store_job_journal_compactions_total",
+		"Job journal compactions (rewrite to the live record minimum).")
+	JobsRecovered = Default.Counter("fi_store_jobs_recovered_total",
+		"Jobs restored from the journal on boot (finished and unfinished).")
+	JobsResumed = Default.Counter("fi_store_jobs_resumed_total",
+		"Unfinished jobs re-driven through the scheduler after a restart.")
+
 	// HTTP control plane (internal/service).
 	HTTPRequests = Default.CounterVec("fi_http_requests_total",
 		"Control-plane HTTP requests served, by route.", "route")

@@ -1,0 +1,142 @@
+// Package testutil holds the boot-a-server helpers shared by the
+// service end-to-end tests, the chaos/crash-injection harness and the
+// client tests: tiny JSON HTTP helpers, a canonical mini campaign cell,
+// job polling and a concurrency-safe log sink. Everything addresses
+// servers by base URL, so the same helpers drive an in-process
+// httptest.Server and a real fiserver subprocess alike.
+package testutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// PostJSON posts v to base+path and decodes the JSON response into out
+// (ignored when nil), failing the test unless the status is wantCode.
+func PostJSON(t *testing.T, base, path string, v, out any, wantCode int) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: status %d, want %d", path, resp.StatusCode, wantCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// GetJSON fetches base+path and decodes into out (ignored when nil),
+// returning the status code.
+func GetJSON(t *testing.T, base, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// DeleteJSON sends DELETE to base+path and decodes into out (ignored
+// when nil), returning the status code.
+func DeleteJSON(t *testing.T, base, path string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("DELETE %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// MiniSpec is the canonical tiny campaign cell of the service tests: the
+// Mini NVIDIA chip, 20 injections, seeded for determinism.
+func MiniSpec(bench string, seed uint64) campaign.CellSpec {
+	return campaign.CellSpec{
+		Chip:       "Mini NVIDIA",
+		Benchmark:  bench,
+		Injections: 20,
+		Seed:       seed,
+	}
+}
+
+// WaitForJob polls base until job id leaves the running state, failing
+// the test unless it ends "done".
+func WaitForJob(t *testing.T, base, id string) {
+	t.Helper()
+	if state := WaitForJobState(t, base, id); state != "done" {
+		t.Fatalf("job %s ended %q", id, state)
+	}
+}
+
+// WaitForJobState polls base until job id leaves the running state and
+// returns the terminal state.
+func WaitForJobState(t *testing.T, base, id string) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var status struct {
+			State string `json:"state"`
+		}
+		if code := GetJSON(t, base, "/v1/jobs/"+id, &status); code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s: status %d", id, code)
+		}
+		if status.State != "running" {
+			return status.State
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// SyncWriter is a concurrency-safe log sink for worker and server
+// loggers.
+type SyncWriter struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+// Write implements io.Writer.
+func (w *SyncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+// String snapshots everything written so far.
+func (w *SyncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
