@@ -1,14 +1,23 @@
 // Command benchgate is the CI benchmark regression gate: it parses `go
-// test -bench` output, aggregates ns/op per benchmark (minimum across
-// -count repetitions, the noise-robust choice), records the numbers as
-// JSON, and compares them against a committed baseline with a relative
-// tolerance — exiting non-zero when any benchmark regressed or
-// disappeared.
+// test -bench` output, aggregates ns/op and allocs/op per benchmark
+// (minimum across -count repetitions, the noise-robust choice), records
+// the numbers as JSON, and compares them against a committed baseline
+// with relative tolerances — exiting non-zero when any benchmark
+// regressed or disappeared.
 //
-//	go test -bench 'BenchmarkInjectionLoop|BenchmarkAdaptiveVsFixed' \
-//	    -benchtime 3x -count 3 . | tee bench.txt
+//	go test -run xxx -bench 'BenchmarkInjectionLoop' \
+//	    -benchmem -benchtime 3x -count 3 . | tee bench.txt
 //	benchgate -record BENCH_new.json bench.txt                # first run
 //	benchgate -baseline BENCH_baseline.json -tolerance 0.25 bench.txt
+//
+// Beyond per-benchmark numbers, the baseline may carry a "scaling"
+// block — a wall-clock ratio gate between two benchmarks, e.g.
+// workers=8 over workers=1 of the injection loop. The ratio gate is
+// enforced only when the fresh run's recorded CPU count (the -N
+// GOMAXPROCS suffix of the result lines) is at least the block's
+// min_cpus: parallel speedup cannot be measured on a box without the
+// cores, so underprovisioned runs skip it with a note instead of
+// failing (or worse, silently passing a meaningless ratio).
 package main
 
 import (
@@ -27,6 +36,18 @@ import (
 // errUsage marks argument errors already reported on stderr.
 var errUsage = errors.New("usage error")
 
+// ScalingGate is the baseline's wall-clock ratio gate: the fresh run
+// fails when ns/op(Numerator) / ns/op(Denominator) exceeds MaxRatio,
+// provided the run had at least MinCPUs cores.
+type ScalingGate struct {
+	Numerator   string  `json:"numerator"`
+	Denominator string  `json:"denominator"`
+	MaxRatio    float64 `json:"max_ratio"`
+	// MinCPUs guards the gate against underprovisioned runners (1 when
+	// omitted, i.e. always enforced).
+	MinCPUs int `json:"min_cpus,omitempty"`
+}
+
 // Report is the JSON format of a recorded benchmark run and of the
 // committed baseline.
 type Report struct {
@@ -34,6 +55,15 @@ type Report struct {
 	// path, without the -N GOMAXPROCS suffix) to its best observed
 	// ns/op.
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// AllocsPerOp is the matching minimum allocs/op, present for runs
+	// made with -benchmem.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
+	// CPUs is the GOMAXPROCS the run was made under, recovered from the
+	// benchmark-name suffix (1 when the suffix is absent).
+	CPUs int `json:"cpus,omitempty"`
+	// Scaling, when present in a baseline, turns on the ratio gate. It
+	// is configuration, not measurement: -record never writes it.
+	Scaling *ScalingGate `json:"scaling,omitempty"`
 }
 
 func main() {
@@ -52,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		baseline  = fs.String("baseline", "", "baseline JSON to compare against (no comparison when empty)")
 		record    = fs.String("record", "", "write the parsed numbers to this JSON file")
 		tolerance = fs.Float64("tolerance", 0.25, "allowed relative ns/op regression (0.25 = +25%)")
+		allocTol  = fs.Float64("alloc-tolerance", 0.25, "allowed relative allocs/op regression (0.25 = +25%)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -59,8 +90,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return errUsage
 	}
-	if *tolerance < 0 {
-		fmt.Fprintln(stderr, "benchgate: -tolerance must be >= 0")
+	if *tolerance < 0 || *allocTol < 0 {
+		fmt.Fprintln(stderr, "benchgate: tolerances must be >= 0")
 		return errUsage
 	}
 	if *baseline == "" && *record == "" {
@@ -100,65 +131,100 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return Compare(stdout, base, report, *tolerance)
+		return Compare(stdout, base, report, *tolerance, *allocTol)
 	}
 	return nil
 }
 
-// Parse extracts ns/op per benchmark from `go test -bench` output,
-// keeping the minimum over repeated runs of the same benchmark.
+// Parse extracts ns/op (and, with -benchmem, allocs/op) per benchmark
+// from `go test -bench` output, keeping the minimum over repeated runs
+// of the same benchmark and the largest GOMAXPROCS suffix seen.
 func Parse(r io.Reader) (*Report, error) {
-	rep := &Report{NsPerOp: make(map[string]float64)}
+	rep := &Report{NsPerOp: make(map[string]float64), CPUs: 1}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
 	for sc.Scan() {
-		name, ns, ok := parseLine(sc.Text())
+		res, ok := parseLine(sc.Text())
 		if !ok {
 			continue
 		}
-		if prev, seen := rep.NsPerOp[name]; !seen || ns < prev {
-			rep.NsPerOp[name] = ns
+		if prev, seen := rep.NsPerOp[res.name]; !seen || res.ns < prev {
+			rep.NsPerOp[res.name] = res.ns
+		}
+		if res.allocs >= 0 {
+			if rep.AllocsPerOp == nil {
+				rep.AllocsPerOp = make(map[string]float64)
+			}
+			if prev, seen := rep.AllocsPerOp[res.name]; !seen || res.allocs < prev {
+				rep.AllocsPerOp[res.name] = res.allocs
+			}
+		}
+		if res.cpus > rep.CPUs {
+			rep.CPUs = res.cpus
 		}
 	}
 	return rep, sc.Err()
 }
 
+// lineResult is one parsed benchmark result line.
+type lineResult struct {
+	name   string
+	ns     float64
+	allocs float64 // -1 when the line has no allocs/op column
+	cpus   int
+}
+
 // parseLine reads one result line, e.g.
 //
-//	BenchmarkInjectionLoop/workers=4-8  3  41769284 ns/op  9576 inj/s
+//	BenchmarkInjectionLoop/workers=4-8  3  41769284 ns/op  9576 inj/s  2585 allocs/op
 //
 // returning the name with the trailing -GOMAXPROCS suffix stripped so
-// baselines survive machines with different core counts.
-func parseLine(line string) (string, float64, bool) {
+// baselines survive machines with different core counts (the suffix
+// itself is kept as the run's CPU count).
+func parseLine(line string) (lineResult, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, false
+		return lineResult{}, false
 	}
-	// Find the "ns/op" unit; its value is the preceding field.
+	res := lineResult{allocs: -1, cpus: 1}
+	found := false
 	for i := 3; i < len(fields); i++ {
-		if fields[i] != "ns/op" {
-			continue
-		}
-		ns, err := strconv.ParseFloat(fields[i-1], 64)
-		if err != nil {
-			return "", 0, false
-		}
-		name := fields[0]
-		if dash := strings.LastIndex(name, "-"); dash > 0 {
-			if _, err := strconv.Atoi(name[dash+1:]); err == nil {
-				name = name[:dash]
+		switch fields[i] {
+		case "ns/op":
+			ns, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return lineResult{}, false
+			}
+			res.ns = ns
+			found = true
+		case "allocs/op":
+			if a, err := strconv.ParseFloat(fields[i-1], 64); err == nil {
+				res.allocs = a
 			}
 		}
-		return name, ns, true
 	}
-	return "", 0, false
+	if !found {
+		return lineResult{}, false
+	}
+	res.name = fields[0]
+	if dash := strings.LastIndex(res.name, "-"); dash > 0 {
+		if n, err := strconv.Atoi(res.name[dash+1:]); err == nil {
+			res.name = res.name[:dash]
+			res.cpus = n
+		}
+	}
+	return res, true
 }
 
 // Compare fails (with a per-benchmark report) when any baseline
-// benchmark is missing from fresh or regressed beyond the tolerance.
-// New benchmarks absent from the baseline pass with a note — they gate
-// once the baseline is refreshed.
-func Compare(w io.Writer, base, fresh *Report, tolerance float64) error {
+// benchmark is missing from fresh, regressed beyond the ns/op
+// tolerance, or regressed beyond the allocs/op tolerance (checked only
+// where both sides recorded allocations). New benchmarks absent from
+// the baseline pass with a note — they gate once the baseline is
+// refreshed. A scaling block in the baseline additionally gates the
+// wall-clock ratio between two benchmarks, skipped with a note when the
+// fresh run had fewer CPUs than the block requires.
+func Compare(w io.Writer, base, fresh *Report, tolerance, allocTolerance float64) error {
 	names := make([]string, 0, len(base.NsPerOp))
 	for name := range base.NsPerOp {
 		names = append(names, name)
@@ -181,16 +247,69 @@ func Compare(w io.Writer, base, fresh *Report, tolerance float64) error {
 		}
 		fmt.Fprintf(w, "%s %-50s %12.0f -> %12.0f ns/op (%+.1f%%, tolerance +%.0f%%)\n",
 			status, name, old, now, 100*change, 100*tolerance)
+
+		oldAllocs, haveOld := base.AllocsPerOp[name]
+		newAllocs, haveNew := fresh.AllocsPerOp[name]
+		if !haveOld || !haveNew || oldAllocs == 0 {
+			continue
+		}
+		achange := (newAllocs - oldAllocs) / oldAllocs
+		astatus := "ok      "
+		if achange > allocTolerance {
+			astatus = "REGRESS "
+			bad++
+		}
+		fmt.Fprintf(w, "%s %-50s %12.0f -> %12.0f allocs/op (%+.1f%%, tolerance +%.0f%%)\n",
+			astatus, name, oldAllocs, newAllocs, 100*achange, 100*allocTolerance)
 	}
 	for name := range fresh.NsPerOp {
 		if _, ok := base.NsPerOp[name]; !ok {
 			fmt.Fprintf(w, "new      %-50s %12.0f ns/op (not in baseline)\n", name, fresh.NsPerOp[name])
 		}
 	}
+	if g := base.Scaling; g != nil {
+		if err := checkScaling(w, g, fresh); err != nil {
+			fmt.Fprintf(w, "REGRESS  scaling gate: %v\n", err)
+			bad++
+		}
+	}
 	if bad > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed or went missing against the baseline", bad)
 	}
 	return nil
+}
+
+// checkScaling evaluates the baseline's ratio gate against the fresh
+// run. A run on fewer CPUs than the gate requires is a skip, not a
+// failure — and never a fabricated pass: the skip is printed so the log
+// shows the gate did not run.
+func checkScaling(w io.Writer, g *ScalingGate, fresh *Report) error {
+	if g.Numerator == "" || g.Denominator == "" || g.MaxRatio <= 0 {
+		return fmt.Errorf("malformed scaling block %+v", *g)
+	}
+	if minCPUs := g.MinCPUs; minCPUs > 1 && fresh.CPUs < minCPUs {
+		fmt.Fprintf(w, "skip     scaling gate %s : %s (run used %d CPU(s), gate needs >= %d)\n",
+			g.Numerator, g.Denominator, fresh.CPUs, minCPUs)
+		return nil
+	}
+	num, ok := fresh.NsPerOp[g.Numerator]
+	if !ok {
+		return fmt.Errorf("numerator %q not in fresh run", g.Numerator)
+	}
+	den, ok := fresh.NsPerOp[g.Denominator]
+	if !ok || den == 0 {
+		return fmt.Errorf("denominator %q not in fresh run", g.Denominator)
+	}
+	ratio := num / den
+	status := "ok      "
+	var err error
+	if ratio > g.MaxRatio {
+		status = "REGRESS "
+		err = fmt.Errorf("%s / %s = %.2f exceeds max ratio %.2f", g.Numerator, g.Denominator, ratio, g.MaxRatio)
+	}
+	fmt.Fprintf(w, "%s scaling %s : %s = %.2f (max %.2f, cpus %d)\n",
+		status, g.Numerator, g.Denominator, ratio, g.MaxRatio, fresh.CPUs)
+	return err
 }
 
 func readReport(path string) (*Report, error) {
@@ -209,6 +328,7 @@ func readReport(path string) (*Report, error) {
 }
 
 func writeReport(path string, rep *Report) error {
+	rep.Scaling = nil // configuration lives only in hand-edited baselines
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -44,7 +44,7 @@ func TestCompareWithinTolerance(t *testing.T) {
 	base := &Report{NsPerOp: map[string]float64{"BenchmarkX": 100}}
 	fresh := &Report{NsPerOp: map[string]float64{"BenchmarkX": 120, "BenchmarkNew": 5}}
 	var out strings.Builder
-	if err := Compare(&out, base, fresh, 0.25); err != nil {
+	if err := Compare(&out, base, fresh, 0.25, 0.25); err != nil {
 		t.Fatalf("+20%% failed a 25%% gate: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "new") {
@@ -56,7 +56,7 @@ func TestCompareFailsOnRegression(t *testing.T) {
 	base := &Report{NsPerOp: map[string]float64{"BenchmarkX": 100, "BenchmarkY": 100}}
 	fresh := &Report{NsPerOp: map[string]float64{"BenchmarkX": 130, "BenchmarkY": 99}}
 	var out strings.Builder
-	err := Compare(&out, base, fresh, 0.25)
+	err := Compare(&out, base, fresh, 0.25, 0.25)
 	if err == nil {
 		t.Fatalf("+30%% passed a 25%% gate:\n%s", out.String())
 	}
@@ -69,7 +69,7 @@ func TestCompareFailsOnMissingBenchmark(t *testing.T) {
 	base := &Report{NsPerOp: map[string]float64{"BenchmarkGone": 100}}
 	fresh := &Report{NsPerOp: map[string]float64{"BenchmarkOther": 100}}
 	var out strings.Builder
-	if err := Compare(&out, base, fresh, 0.25); err == nil {
+	if err := Compare(&out, base, fresh, 0.25, 0.25); err == nil {
 		t.Fatal("missing baseline benchmark passed the gate")
 	}
 }
@@ -103,6 +103,149 @@ func TestRunRecordAndGate(t *testing.T) {
 	}
 	if err := run([]string{"-baseline", baseline, "-tolerance", "0.25", input}, &out, &errOut); err == nil {
 		t.Fatalf("3.5x slowdown passed the gate:\n%s", out.String())
+	}
+}
+
+const benchmemOutput = `goos: linux
+BenchmarkInjectionLoop/workers=1-8  3  41769284 ns/op  9576 inj/s  1048576 B/op  2585 allocs/op
+BenchmarkInjectionLoop/workers=8-8  3  12769284 ns/op  31301 inj/s  1048576 B/op  2985 allocs/op
+PASS
+`
+
+func TestParseBenchmemAndCPUs(t *testing.T) {
+	rep, err := Parse(strings.NewReader(benchmemOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CPUs != 8 {
+		t.Errorf("cpus = %d, want 8 (from the -8 suffix)", rep.CPUs)
+	}
+	if got := rep.AllocsPerOp["BenchmarkInjectionLoop/workers=1"]; got != 2585 {
+		t.Errorf("allocs/op = %v, want 2585", got)
+	}
+	// Output without -benchmem leaves AllocsPerOp nil.
+	rep, err = Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AllocsPerOp != nil {
+		t.Errorf("allocs parsed from benchmem-less output: %+v", rep.AllocsPerOp)
+	}
+}
+
+func TestCompareGatesAllocs(t *testing.T) {
+	base := &Report{
+		NsPerOp:     map[string]float64{"BenchmarkX": 100},
+		AllocsPerOp: map[string]float64{"BenchmarkX": 1000},
+	}
+	fresh := &Report{
+		NsPerOp:     map[string]float64{"BenchmarkX": 100},
+		AllocsPerOp: map[string]float64{"BenchmarkX": 1300},
+	}
+	var out strings.Builder
+	if err := Compare(&out, base, fresh, 0.25, 0.25); err == nil {
+		t.Fatalf("+30%% allocs passed a 25%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op") {
+		t.Fatalf("alloc regression not reported:\n%s", out.String())
+	}
+	// Within tolerance passes; a baseline without alloc numbers never
+	// gates them.
+	fresh.AllocsPerOp["BenchmarkX"] = 1200
+	out.Reset()
+	if err := Compare(&out, base, fresh, 0.25, 0.25); err != nil {
+		t.Fatalf("+20%% allocs failed a 25%% gate: %v\n%s", err, out.String())
+	}
+	base.AllocsPerOp = nil
+	fresh.AllocsPerOp["BenchmarkX"] = 1e9
+	out.Reset()
+	if err := Compare(&out, base, fresh, 0.25, 0.25); err != nil {
+		t.Fatalf("alloc gate fired without baseline numbers: %v\n%s", err, out.String())
+	}
+}
+
+func TestScalingGate(t *testing.T) {
+	gate := &ScalingGate{
+		Numerator:   "BenchmarkInjectionLoop/workers=8",
+		Denominator: "BenchmarkInjectionLoop/workers=1",
+		MaxRatio:    0.35,
+		MinCPUs:     8,
+	}
+	base := &Report{
+		NsPerOp: map[string]float64{
+			"BenchmarkInjectionLoop/workers=1": 100,
+			"BenchmarkInjectionLoop/workers=8": 30,
+		},
+		Scaling: gate,
+	}
+	fresh := &Report{
+		NsPerOp: map[string]float64{
+			"BenchmarkInjectionLoop/workers=1": 100,
+			"BenchmarkInjectionLoop/workers=8": 30,
+		},
+		CPUs: 8,
+	}
+
+	var out strings.Builder
+	if err := Compare(&out, base, fresh, 0.25, 0.25); err != nil {
+		t.Fatalf("ratio 0.30 failed a 0.35 gate: %v\n%s", err, out.String())
+	}
+
+	// Serialized run: workers=8 no faster than workers=1. Keep the
+	// per-benchmark ns/op gate quiet (same baseline) so the failure is
+	// attributable to the ratio alone.
+	fresh.NsPerOp["BenchmarkInjectionLoop/workers=8"] = 98
+	base.NsPerOp["BenchmarkInjectionLoop/workers=8"] = 98
+	out.Reset()
+	if err := Compare(&out, base, fresh, 0.25, 0.25); err == nil {
+		t.Fatalf("ratio 0.98 passed a 0.35 gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "scaling") {
+		t.Fatalf("ratio failure not attributed to the scaling gate:\n%s", out.String())
+	}
+
+	// The same serialized numbers on an underprovisioned box skip the
+	// gate with a note instead of failing (parallel speedup cannot be
+	// measured without the cores) — and instead of silently passing.
+	fresh.CPUs = 1
+	out.Reset()
+	if err := Compare(&out, base, fresh, 0.25, 0.25); err != nil {
+		t.Fatalf("scaling gate enforced on a 1-CPU run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "skip") {
+		t.Fatalf("skipped gate not reported:\n%s", out.String())
+	}
+
+	// A gate whose benchmarks are missing from the run fails loudly.
+	fresh.CPUs = 8
+	delete(fresh.NsPerOp, "BenchmarkInjectionLoop/workers=8")
+	delete(base.NsPerOp, "BenchmarkInjectionLoop/workers=8") // keep the per-benchmark gate quiet
+	out.Reset()
+	if err := Compare(&out, base, fresh, 0.25, 0.25); err == nil {
+		t.Fatalf("scaling gate with missing numerator passed:\n%s", out.String())
+	}
+}
+
+func TestRecordStripsScalingConfig(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(input, []byte(benchmemOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recorded := filepath.Join(dir, "rec.json")
+	var out, errOut strings.Builder
+	if err := run([]string{"-record", recorded, input}, &out, &errOut); err != nil {
+		t.Fatalf("record: %v\n%s", err, errOut.String())
+	}
+	rep, err := readReport(recorded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scaling != nil {
+		t.Error("recorded report carries scaling configuration")
+	}
+	if rep.CPUs != 8 || rep.AllocsPerOp == nil {
+		t.Errorf("recorded report lost measurements: %+v", rep)
 	}
 }
 

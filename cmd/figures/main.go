@@ -48,7 +48,6 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/experiment"
-	"repro/internal/finject"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
@@ -75,20 +74,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig        = fs.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
-		n          = fs.Int("n", finject.DefaultInjections, "fault injections per campaign (the cap when -margin is set)")
-		seed       = fs.Uint64("seed", 1, "campaign seed")
-		benches    = fs.String("bench", "", "comma-separated benchmark subset (default: figure-appropriate suite)")
-		chipSel    = fs.String("chips", "", "comma-separated chip subset (default: the paper's four)")
-		workers    = fs.Int("workers", 0, "parallel simulations per campaign (default GOMAXPROCS)")
-		confidence = fs.Float64("confidence", finject.DefaultConfidence, "confidence level for AVF intervals and adaptive stopping")
-		margin     = fs.Float64("margin", 0, "adaptive mode: stop each campaign once the AVF interval half-width reaches this (0 = run exactly -n injections)")
-		checkpoint = fs.String("checkpoint", "auto", "checkpointed fast-forward: auto, off, or a snapshot interval in cycles")
-		storePath  = fs.String("store", "", "JSON-lines result store path (in-memory only when empty)")
-		asJSON     = fs.Bool("json", false, "emit figures as JSON instead of tables")
-		specPath   = fs.String("spec", "", "run this experiment spec (JSON) instead of a canned figure")
-		serverURL  = fs.String("server", "", "with -spec: run on this fiserver (POST /v1/experiments) instead of locally")
+		fig       = fs.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
+		seed      = fs.Uint64("seed", 1, "campaign seed")
+		benches   = fs.String("bench", "", "comma-separated benchmark subset (default: figure-appropriate suite)")
+		chipSel   = fs.String("chips", "", "comma-separated chip subset (default: the paper's four)")
+		storePath = fs.String("store", "", "JSON-lines result store path (in-memory only when empty)")
+		asJSON    = fs.Bool("json", false, "emit figures as JSON instead of tables")
+		specPath  = fs.String("spec", "", "run this experiment spec (JSON) instead of a canned figure")
+		serverURL = fs.String("server", "", "with -spec: run on this fiserver (POST /v1/experiments) instead of locally")
 	)
+	pf := cli.AddPolicyFlags(fs)
 	obs := cli.AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -106,19 +101,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}()
 
-	if *margin < 0 || *margin >= 1 {
-		return fmt.Errorf("margin %v outside [0,1)", *margin)
-	}
-	if *confidence <= 0 || *confidence >= 1 {
-		return fmt.Errorf("confidence %v outside (0,1)", *confidence)
-	}
-	ckpt, err := finject.ParseCheckpoint(*checkpoint)
-	if err != nil {
+	if err := pf.Validate(); err != nil {
 		return err
 	}
 
 	if *specPath != "" {
-		if *serverURL != "" && (*storePath != "" || *workers != 0) {
+		if *serverURL != "" && (*storePath != "" || pf.Workers != 0) {
 			return errors.New("-store and -workers are local-only: with -server the fiserver owns its store and worker pool")
 		}
 		f, err := os.Open(*specPath)
@@ -134,21 +122,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		// quick local runs can shrink a committed spec without editing
 		// it; the grid axes always come from the file.
 		fs.Visit(func(fl *flag.Flag) {
-			switch fl.Name {
-			case "n":
-				spec.Injections = *n
-			case "seed":
+			if pf.Override(fl.Name, &spec) {
+				return
+			}
+			if fl.Name == "seed" {
 				spec.Seed = *seed
-			case "margin":
-				spec.Policy.Margin = *margin
-			case "confidence":
-				spec.Policy.Confidence = *confidence
-			case "checkpoint":
-				ck := ckpt
-				spec.Policy.Checkpoint = &ck
 			}
 		})
-		return runSpec(ctx, spec, *serverURL, *storePath, *workers, *asJSON, stdout, log)
+		return runSpec(ctx, spec, *serverURL, *storePath, pf.Workers, *asJSON, stdout, log)
 	}
 	if *serverURL != "" {
 		return errors.New("-server needs -spec (the canned figures run locally)")
@@ -164,10 +145,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		log.Info("store opened", "path", ds.Path(), "cells", ds.Len())
 		store = ds
 	}
-	sched := campaign.New(campaign.Config{Store: store, CampaignWorkers: *workers})
+	sched := campaign.New(campaign.Config{Store: store, CampaignWorkers: pf.Workers})
 	opts := core.Options{
-		Injections: *n, Seed: *seed, Workers: *workers,
-		Confidence: *confidence, Margin: *margin, Checkpoint: ckpt, Scheduler: sched,
+		Injections: pf.N, Seed: *seed, Workers: pf.Workers,
+		Confidence: pf.Confidence, Margin: pf.Margin, Checkpoint: pf.Checkpoint(), Scheduler: sched,
 	}
 	if *chipSel != "" {
 		for _, name := range strings.Split(*chipSel, ",") {

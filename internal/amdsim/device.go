@@ -58,6 +58,61 @@ type cu struct {
 	rrWave   int
 	greedy   *wavefront // GTO: wavefront that issued most recently
 	liveWave int
+
+	// order is the issue scan's scratch slice, rebuilt every cycle (a
+	// per-cycle allocation here dominated the injection loop's heap
+	// churn; see the nvsim twin for details).
+	order []*wavefront
+	// freeGrps recycles retired group objects (with their wavefront
+	// objects and slices); every field is rewritten on reuse.
+	freeGrps []*group
+}
+
+// takeGroup returns a recycled group or a fresh one. The caller must
+// initialize every field.
+func (c *cu) takeGroup() *group {
+	if n := len(c.freeGrps); n > 0 {
+		g := c.freeGrps[n-1]
+		c.freeGrps[n-1] = nil
+		c.freeGrps = c.freeGrps[:n-1]
+		return g
+	}
+	return &group{}
+}
+
+// recycleGroups moves every resident group to the freelist and clears
+// the slot table.
+func (c *cu) recycleGroups() {
+	for slot, g := range c.groups {
+		if g != nil {
+			c.freeGrps = append(c.freeGrps, g)
+			c.groups[slot] = nil
+		}
+		c.slots[slot] = false
+	}
+}
+
+// waveAt returns g.waves[w], reviving a recycled wavefront object when
+// one is available. The caller must initialize every field.
+func waveAt(g *group, w int) *wavefront {
+	wf := g.waves[w]
+	if wf == nil {
+		wf = &wavefront{}
+		g.waves[w] = wf
+	}
+	return wf
+}
+
+// sizeWaves resizes g.waves to n, keeping recycled wavefront objects
+// within the retained capacity.
+func sizeWaves(g *group, n int) {
+	if cap(g.waves) >= n {
+		g.waves = g.waves[:n]
+		return
+	}
+	old := g.waves[:cap(g.waves)]
+	g.waves = make([]*wavefront, n)
+	copy(g.waves, old)
 }
 
 type group struct {
@@ -147,6 +202,10 @@ func (d *Device) Stats() gpu.RunStats { return d.stats }
 // Units implements gpu.Device.
 func (d *Device) Units() int { return d.chip.Units }
 
+// RestorePageStats implements gpu.RestoreCoster: cumulative COW page
+// copy/skip counts from snapshot restores into this device's memory.
+func (d *Device) RestorePageStats() (copied, shared int64) { return d.mem.RestorePageStats() }
+
 // StructSize implements gpu.Device.
 func (d *Device) StructSize(st gpu.Structure) int { return d.chip.StructSize(st) }
 
@@ -180,11 +239,13 @@ func (d *Device) Reset() {
 	for _, c := range d.cus {
 		clear(c.vgprs)
 		clear(c.lds)
-		c.groups = nil
-		c.slots = nil
+		c.recycleGroups()
+		c.groups = c.groups[:0]
+		c.slots = c.slots[:0]
 		c.rrWave = 0
 		c.greedy = nil
 		c.liveWave = 0
+		c.order = c.order[:0]
 	}
 	d.stats = gpu.RunStats{}
 	d.cycle = 0
@@ -228,9 +289,22 @@ func (d *Device) Launch(spec gpu.LaunchSpec) error {
 		return err
 	}
 
+	// Initialize slot tables for this launch, recycling any residue from
+	// an aborted previous launch and reusing table capacity.
 	for _, c := range d.cus {
-		c.groups = make([]*group, slotsPerCU)
-		c.slots = make([]bool, slotsPerCU)
+		c.recycleGroups()
+		if cap(c.groups) >= slotsPerCU {
+			c.groups = c.groups[:slotsPerCU]
+			clear(c.groups)
+		} else {
+			c.groups = make([]*group, slotsPerCU)
+		}
+		if cap(c.slots) >= slotsPerCU {
+			c.slots = c.slots[:slotsPerCU]
+			clear(c.slots)
+		} else {
+			c.slots = make([]bool, slotsPerCU)
+		}
 		c.rrWave = 0
 		c.greedy = nil
 		c.liveWave = 0
@@ -359,18 +433,18 @@ func (d *Device) dispatch(c *cu, slot, groupID int, lc *launchCtx) {
 	if gx <= 0 {
 		gx = 1
 	}
-	g := &group{
-		id:         groupID,
-		wgX:        groupID % gx,
-		wgY:        groupID / gx,
-		slot:       slot,
-		vgprBase:   slot * lc.vgprPerG,
-		vgprCount:  lc.vgprPerG,
-		ldsBase:    slot * lc.ldsPerG,
-		ldsCount:   lc.ldsPerG,
-		live:       lc.wavesPerG,
-		allocCycle: d.cycle,
-	}
+	g := c.takeGroup()
+	g.id = groupID
+	g.wgX = groupID % gx
+	g.wgY = groupID / gx
+	g.slot = slot
+	g.vgprBase = slot * lc.vgprPerG
+	g.vgprCount = lc.vgprPerG
+	g.ldsBase = slot * lc.ldsPerG
+	g.ldsCount = lc.ldsPerG
+	g.live = lc.wavesPerG
+	g.arrived = 0
+	g.allocCycle = d.cycle
 	ww := d.chip.WarpWidth
 	nv := lc.prog.NumVGPRs
 	lsx := lc.group.X
@@ -381,7 +455,7 @@ func (d *Device) dispatch(c *cu, slot, groupID int, lc *launchCtx) {
 	if lsy <= 0 {
 		lsy = 1
 	}
-	g.waves = make([]*wavefront, lc.wavesPerG)
+	sizeWaves(g, lc.wavesPerG)
 	for w := range g.waves {
 		base := w * ww
 		var valid uint64
@@ -391,12 +465,30 @@ func (d *Device) dispatch(c *cu, slot, groupID int, lc *launchCtx) {
 		} else {
 			valid = (uint64(1) << n) - 1
 		}
-		wf := &wavefront{
-			grp: g, idx: w, valid: valid, exec: valid,
-			vgprReady:  make([]int64, nv),
-			threadBase: base,
-			vgprWBase:  g.vgprBase + w*ww*nv,
+		wf := waveAt(g, w)
+		wf.grp = g
+		wf.idx = w
+		wf.pc = 0
+		wf.valid = valid
+		wf.exec = valid
+		wf.vcc = 0
+		wf.scc = false
+		wf.sgprs = [siasm.MaxSGPRs]uint32{}
+		if cap(wf.vgprReady) >= nv {
+			wf.vgprReady = wf.vgprReady[:nv]
+			clear(wf.vgprReady)
+		} else {
+			wf.vgprReady = make([]int64, nv)
 		}
+		wf.sgprReady = [siasm.MaxSGPRs]int64{}
+		wf.vccReady = 0
+		wf.execReady = 0
+		wf.sccReady = 0
+		wf.atBarrier = false
+		wf.done = false
+		wf.wakeAt = 0
+		wf.threadBase = base
+		wf.vgprWBase = g.vgprBase + w*ww*nv
 		wf.sgprs[siasm.SRegWGIDX] = uint32(g.wgX)
 		wf.sgprs[siasm.SRegWGIDY] = uint32(g.wgY)
 		// Hardware preloads the work-item local id into v0 (and v1 for
@@ -411,7 +503,6 @@ func (d *Device) dispatch(c *cu, slot, groupID int, lc *launchCtx) {
 				d.writeVGPR(c, wf, lane, 1, uint32((t/lsx)%lsy))
 			}
 		}
-		g.waves[w] = wf
 	}
 	c.groups[slot] = g
 	c.slots[slot] = true
@@ -440,6 +531,13 @@ func (d *Device) retire(c *cu, slot int, g *group) {
 	}
 	c.groups[slot] = nil
 	c.slots[slot] = false
+	// Drop a greedy pointer into the retired group before recycling it
+	// (a done greedy is skipped everywhere, so this is behaviorally
+	// identical — see the nvsim twin).
+	if c.greedy != nil && c.greedy.grp == g {
+		c.greedy = nil
+	}
+	c.freeGrps = append(c.freeGrps, g)
 }
 
 func (d *Device) applyFault() {
@@ -467,7 +565,9 @@ func (d *Device) applyFault() {
 func (d *Device) issueCU(c *cu, lc *launchCtx) (int, int64, error) {
 	issued := 0
 	nextWake := int64(1) << 62
-	var order []*wavefront
+	// Persistent scratch slice — a fresh per-cycle slice here was the
+	// dominant allocation of the whole injection loop.
+	order := c.order[:0]
 	for _, g := range c.groups {
 		if g == nil {
 			continue
@@ -478,6 +578,7 @@ func (d *Device) issueCU(c *cu, lc *launchCtx) (int, int64, error) {
 			}
 		}
 	}
+	c.order = order
 	n := len(order)
 	if n == 0 {
 		return 0, nextWake, nil

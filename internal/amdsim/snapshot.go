@@ -161,35 +161,42 @@ func (d *Device) Restore(s gpu.Snapshot) error {
 		cu := d.cus[i]
 		copy(cu.vgprs, img.vgprs)
 		copy(cu.lds, img.lds)
-		cu.slots = append(cu.slots[:0:0], img.slots...)
-		cu.groups = make([]*group, len(img.groups))
+		// Recycle current residents, then rebuild from the image reusing
+		// retained object and slice capacity: restore runs once per
+		// injection, so it must not allocate.
+		cu.recycleGroups()
+		cu.slots = append(cu.slots[:0], img.slots...)
+		if cap(cu.groups) >= len(img.groups) {
+			cu.groups = cu.groups[:len(img.groups)]
+			clear(cu.groups)
+		} else {
+			cu.groups = make([]*group, len(img.groups))
+		}
 		cu.rrWave = img.rrWave
 		cu.greedy = nil
 		cu.liveWave = 0
+		cu.order = cu.order[:0]
 		for slot, gi := range img.groups {
 			if gi == nil {
 				continue
 			}
-			g := &group{
-				id: gi.id, wgX: gi.wgX, wgY: gi.wgY, slot: gi.slot,
-				vgprBase: gi.vgprBase, vgprCount: gi.vgprCount,
-				ldsBase: gi.ldsBase, ldsCount: gi.ldsCount,
-				live: gi.live, arrived: gi.arrived, allocCycle: gi.allocCycle,
-			}
-			g.waves = make([]*wavefront, len(gi.waves))
+			g := cu.takeGroup()
+			g.id, g.wgX, g.wgY, g.slot = gi.id, gi.wgX, gi.wgY, gi.slot
+			g.vgprBase, g.vgprCount = gi.vgprBase, gi.vgprCount
+			g.ldsBase, g.ldsCount = gi.ldsBase, gi.ldsCount
+			g.live, g.arrived, g.allocCycle = gi.live, gi.arrived, gi.allocCycle
+			sizeWaves(g, len(gi.waves))
 			for wi := range gi.waves {
 				w := &gi.waves[wi]
-				wf := &wavefront{
-					grp: g, idx: w.idx, pc: w.pc,
-					valid: w.valid, exec: w.exec, vcc: w.vcc, scc: w.scc,
-					sgprs:     w.sgprs,
-					vgprReady: append([]int64(nil), w.vgprReady...),
-					sgprReady: w.sgprReady,
-					vccReady:  w.vccReady, execReady: w.execReady, sccReady: w.sccReady,
-					atBarrier: w.atBarrier, done: w.done,
-					wakeAt: w.wakeAt, threadBase: w.threadBase, vgprWBase: w.vgprWBase,
-				}
-				g.waves[wi] = wf
+				wf := waveAt(g, wi)
+				wf.grp, wf.idx, wf.pc = g, w.idx, w.pc
+				wf.valid, wf.exec, wf.vcc, wf.scc = w.valid, w.exec, w.vcc, w.scc
+				wf.sgprs = w.sgprs
+				wf.vgprReady = append(wf.vgprReady[:0], w.vgprReady...)
+				wf.sgprReady = w.sgprReady
+				wf.vccReady, wf.execReady, wf.sccReady = w.vccReady, w.execReady, w.sccReady
+				wf.atBarrier, wf.done = w.atBarrier, w.done
+				wf.wakeAt, wf.threadBase, wf.vgprWBase = w.wakeAt, w.threadBase, w.vgprWBase
 				if !w.done {
 					cu.liveWave++
 				}

@@ -61,9 +61,15 @@ type Executor interface {
 // engine, sharing one golden reference run per (chip, benchmark) pair
 // across all structures and campaigns — the execute path previously
 // embedded in the scheduler, now reusable by remote workers too.
+//
+// The golden cache is lock-free for readers: lookups load an immutable
+// map through an atomic pointer, writers clone-and-swap under gmu. A
+// figure fanning a (chip, benchmark) pair across every structure hits
+// the cached entry on all but the first request, so the hit path never
+// serializes campaigns.
 type LocalExecutor struct {
-	gmu    sync.Mutex
-	golden map[string]*goldenCall
+	gmu    sync.Mutex // serializes golden-map writers only
+	golden atomic.Pointer[map[string]*goldenCall]
 
 	goldenRuns atomic.Int64
 }
@@ -77,7 +83,31 @@ type goldenCall struct {
 
 // NewLocalExecutor builds a LocalExecutor with an empty golden cache.
 func NewLocalExecutor() *LocalExecutor {
-	return &LocalExecutor{golden: make(map[string]*goldenCall)}
+	e := &LocalExecutor{}
+	e.publishGolden(make(map[string]*goldenCall))
+	return e
+}
+
+// goldenMap returns the current immutable golden map.
+func (e *LocalExecutor) goldenMap() map[string]*goldenCall { return *e.golden.Load() }
+
+// publishGolden installs next as the current golden map. Callers hold
+// e.gmu (except the constructor) and must treat prior maps as frozen.
+func (e *LocalExecutor) publishGolden(next map[string]*goldenCall) { e.golden.Store(&next) }
+
+// withGolden clones a frozen golden map with one entry set (or deleted
+// when gc is nil).
+func withGolden(m map[string]*goldenCall, key string, gc *goldenCall) map[string]*goldenCall {
+	next := make(map[string]*goldenCall, len(m)+1)
+	for k, v := range m {
+		next[k] = v
+	}
+	if gc == nil {
+		delete(next, key)
+	} else {
+		next[key] = gc
+	}
+	return next
 }
 
 // GoldenRuns reports the number of golden reference simulations executed;
@@ -105,9 +135,17 @@ func (e *LocalExecutor) Execute(ctx context.Context, req Request) (*finject.Resu
 func (e *LocalExecutor) goldenFor(ctx context.Context, chip *chips.Chip, bench *workloads.Benchmark) (*finject.Golden, error) {
 	gkey := chip.Name + "\x00" + bench.Name
 	for {
-		e.gmu.Lock()
-		if gc, ok := e.golden[gkey]; ok {
+		gc, ok := e.goldenMap()[gkey]
+		if !ok {
+			e.gmu.Lock()
+			gc, ok = e.goldenMap()[gkey]
+			if !ok {
+				gc = &goldenCall{done: make(chan struct{})}
+				e.publishGolden(withGolden(e.goldenMap(), gkey, gc))
+			}
 			e.gmu.Unlock()
+		}
+		if ok {
 			telemetry.GoldenCacheHits.Inc()
 			select {
 			case <-gc.done:
@@ -122,9 +160,6 @@ func (e *LocalExecutor) goldenFor(ctx context.Context, chip *chips.Chip, bench *
 			}
 			continue
 		}
-		gc := &goldenCall{done: make(chan struct{})}
-		e.golden[gkey] = gc
-		e.gmu.Unlock()
 
 		telemetry.GoldenCacheMisses.Inc()
 		gc.g, gc.err = finject.NewGolden(chip, bench)
@@ -135,7 +170,7 @@ func (e *LocalExecutor) goldenFor(ctx context.Context, chip *chips.Chip, bench *
 		}
 		// Drop the failed entry so the next request retries.
 		e.gmu.Lock()
-		delete(e.golden, gkey)
+		e.publishGolden(withGolden(e.goldenMap(), gkey, nil))
 		e.gmu.Unlock()
 		close(gc.done)
 		return nil, gc.err
@@ -167,12 +202,14 @@ func (e *RemoteExecutor) Queue() *LeaseQueue { return e.queue }
 // does checkpointing — it only decides how much fault-free prefix each
 // worker re-simulates).
 func (e *RemoteExecutor) Execute(ctx context.Context, req Request) (*finject.Result, error) {
-	pol := finject.Policy{
+	ck := req.Policy.Checkpoint
+	cfg := finject.Config{
+		Version:    finject.ConfigVersion,
 		Margin:     req.Policy.Margin,
 		Confidence: req.Policy.Confidence,
-		Checkpoint: req.Policy.Checkpoint,
+		Checkpoint: &ck,
 	}
 	// The job correlation id rides along for observability only; task
 	// identity and queue joining ignore it (see sameWork).
-	return e.queue.Do(ctx, Task{Spec: req.Spec, Policy: pol, Corr: telemetry.CorrFrom(ctx).Job})
+	return e.queue.Do(ctx, Task{Spec: req.Spec, Policy: cfg, Corr: telemetry.CorrFrom(ctx).Job})
 }

@@ -82,7 +82,8 @@ func drainQueue(q *LeaseQueue, stop chan struct{}) {
 		}
 		for _, l := range leases {
 			res, err := exec.Execute(context.Background(), Request{
-				Spec: l.Task.Spec, Key: l.Task.Spec.Key(), Policy: l.Task.Policy,
+				Spec: l.Task.Spec, Key: l.Task.Spec.Key(),
+				Policy: l.Task.Policy.Policy(l.Task.Spec.CheckpointPolicy()),
 			})
 			msg := ""
 			if err != nil {

@@ -51,6 +51,13 @@ func (s CellSpec) CheckpointPolicy() finject.Checkpoint {
 	return finject.Checkpoint{Off: s.CheckpointOff, Interval: s.CheckpointInterval}
 }
 
+// Config returns the spec's execution configuration in the engine's
+// versioned form — the construction path Campaign() goes through.
+func (s CellSpec) Config() finject.Config {
+	ck := s.CheckpointPolicy()
+	return finject.Config{Version: finject.ConfigVersion, Seed: s.Seed, Checkpoint: &ck}
+}
+
 // Normalize resolves defaulted fields so that specs describing the same
 // campaign compare and hash equal no matter how they were written.
 func (s CellSpec) Normalize() CellSpec {
@@ -106,7 +113,7 @@ func (s CellSpec) Campaign() (finject.Campaign, error) {
 	if err != nil {
 		return finject.Campaign{}, err
 	}
-	return finject.Campaign{
+	c := finject.Campaign{
 		Chip:           chip,
 		Benchmark:      bench,
 		Structure:      s.Structure,
@@ -114,8 +121,9 @@ func (s CellSpec) Campaign() (finject.Campaign, error) {
 		Seed:           s.Seed,
 		FaultWidth:     s.FaultWidth,
 		WatchdogFactor: s.WatchdogFactor,
-		Policy:         finject.Policy{Checkpoint: s.CheckpointPolicy()},
-	}, nil
+	}
+	s.Config().ApplyTo(&c)
+	return c, nil
 }
 
 // String renders the spec for logs and progress lines.

@@ -25,9 +25,10 @@ const leaseHistoryCap = 4096
 // guarantees the result depends on nothing else.
 type Task struct {
 	Spec CellSpec `json:"spec"`
-	// Policy carries only Margin and Confidence on the wire; the cap is
-	// already resolved into Spec.Injections.
-	Policy finject.Policy `json:"policy"`
+	// Policy carries the stopping rule in the engine's versioned Config
+	// form; the cap is already resolved into Spec.Injections, and worker
+	// counts are each worker's own business (workers overwrite them).
+	Policy finject.Config `json:"policy"`
 	// Corr is the job correlation id of the producer that queued the cell,
 	// carried across the wire purely for observability: workers tag their
 	// logs and spans with it so one grep reconstructs a cell's life across
@@ -41,7 +42,7 @@ type Task struct {
 // interchangeable work, and a late completion must be able to fulfill a
 // redo queued under a different job id.
 func sameWork(a, b Task) bool {
-	return a.Spec == b.Spec && a.Policy == b.Policy
+	return a.Spec == b.Spec && a.Policy.Equal(b.Policy)
 }
 
 // Lease is one granted lease: a work item plus the handle the worker

@@ -208,8 +208,8 @@ func TestLateCompleteFromExpiredLeaseStillLands(t *testing.T) {
 func TestLateCompleteUnderStalePolicyDoesNotLand(t *testing.T) {
 	q, clk := newTestQueue(time.Minute)
 	spec := testSpec(16, 2000)
-	loose := Task{Spec: spec, Policy: finject.Policy{Margin: 0.10}}
-	tight := Task{Spec: spec, Policy: finject.Policy{Margin: 0.01}}
+	loose := Task{Spec: spec, Policy: finject.Config{Margin: 0.10}}
+	tight := Task{Spec: spec, Policy: finject.Config{Margin: 0.01}}
 
 	// The loose request is leased, presumed dead, redone and completed.
 	_, looseErr := doAsync(q, loose)

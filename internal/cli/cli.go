@@ -19,7 +19,6 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/chips"
 	"repro/internal/experiment"
-	"repro/internal/finject"
 	"repro/internal/gpu"
 	"repro/internal/metrics"
 	"repro/internal/report"
@@ -42,20 +41,16 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		defaultChip = "GeForce GTX 480"
 	}
 	var (
-		chipName   = fs.String("chip", defaultChip, "chip to simulate")
-		benchName  = fs.String("bench", "vectoradd", "benchmark to run")
-		structSel  = fs.String("structure", "regfile", "structure: regfile or local")
-		n          = fs.Int("n", finject.DefaultInjections, "fault injections (the cap when -margin is set)")
-		seed       = fs.Uint64("seed", 1, "campaign seed")
-		workers    = fs.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
-		confidence = fs.Float64("confidence", finject.DefaultConfidence, "confidence level for AVF intervals and adaptive stopping")
-		margin     = fs.Float64("margin", 0, "adaptive mode: stop once the AVF interval half-width reaches this (0 = run exactly -n injections)")
-		checkpoint = fs.String("checkpoint", "auto", "checkpointed fast-forward: auto, off, or a snapshot interval in cycles")
-		storePath  = fs.String("store", "", "JSON-lines result store; repeated identical campaigns are served from it")
-		specPath   = fs.String("spec", "", "run this experiment spec (JSON) instead of one flag-built cell")
-		asJSON     = fs.Bool("json", false, "with -spec: emit the result as JSON instead of tables")
-		listFlag   = fs.Bool("list", false, "list chips and benchmarks, then exit")
+		chipName  = fs.String("chip", defaultChip, "chip to simulate")
+		benchName = fs.String("bench", "vectoradd", "benchmark to run")
+		structSel = fs.String("structure", "regfile", "structure: regfile or local")
+		seed      = fs.Uint64("seed", 1, "campaign seed")
+		storePath = fs.String("store", "", "JSON-lines result store; repeated identical campaigns are served from it")
+		specPath  = fs.String("spec", "", "run this experiment spec (JSON) instead of one flag-built cell")
+		asJSON    = fs.Bool("json", false, "with -spec: emit the result as JSON instead of tables")
+		listFlag  = fs.Bool("list", false, "list chips and benchmarks, then exit")
 	)
+	pf := AddPolicyFlags(fs)
 	obs := AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -73,14 +68,7 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		}
 	}()
 
-	if *margin < 0 || *margin >= 1 {
-		return fmt.Errorf("margin %v outside [0,1)", *margin)
-	}
-	if *confidence <= 0 || *confidence >= 1 {
-		return fmt.Errorf("confidence %v outside (0,1)", *confidence)
-	}
-	ckpt, err := finject.ParseCheckpoint(*checkpoint)
-	if err != nil {
+	if err := pf.Validate(); err != nil {
 		return err
 	}
 
@@ -114,7 +102,7 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 			store = ds
 			closeStore = func() { ds.Close() }
 		}
-		sched := campaign.New(campaign.Config{Store: store, CampaignWorkers: *workers})
+		sched := campaign.New(campaign.Config{Store: store, CampaignWorkers: pf.Workers})
 		summary := func(out io.Writer) {
 			defer closeStore()
 			if *storePath != "" {
@@ -138,18 +126,11 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		// Explicitly set campaign flags override the file, matching
 		// cmd/figures, so committed specs shrink to any budget.
 		fs.Visit(func(fl *flag.Flag) {
-			switch fl.Name {
-			case "n":
-				spec.Injections = *n
-			case "seed":
+			if pf.Override(fl.Name, &spec) {
+				return
+			}
+			if fl.Name == "seed" {
 				spec.Seed = *seed
-			case "margin":
-				spec.Policy.Margin = *margin
-			case "confidence":
-				spec.Policy.Confidence = *confidence
-			case "checkpoint":
-				ck := ckpt
-				spec.Policy.Checkpoint = &ck
 			}
 		})
 		// A spec without a chip axis would normalize to the paper's
@@ -224,13 +205,9 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		Benchmarks: []string{bench.Name},
 		Structures: []gpu.Structure{st},
 		Estimator:  experiment.EstimatorBoth,
-		Injections: *n,
+		Injections: pf.N,
 		Seed:       *seed,
-		Policy:     experiment.Policy{Margin: *margin, Confidence: *confidence},
-	}
-	if ckpt != (finject.Checkpoint{}) {
-		ck := ckpt
-		spec.Policy.Checkpoint = &ck
+		Policy:     pf.SpecPolicy(),
 	}
 	sched, statsLine, err := scheduler()
 	if err != nil {
@@ -246,7 +223,7 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 	elapsed := time.Since(start)
 	cell := res.Tables[0].Cells[0][0]
 
-	worstCase, err := stats.MarginOfError(cell.Injections, 0, *confidence)
+	worstCase, err := stats.MarginOfError(cell.Injections, 0, pf.Confidence)
 	if err != nil {
 		return err
 	}
@@ -256,15 +233,15 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 	}
 
 	fmt.Fprintf(w, "%s campaign: %s / %s / %s\n", tool, chip.Name, bench.Name, st)
-	if *margin > 0 {
+	if pf.Margin > 0 {
 		fmt.Fprintf(w, "  injections        %d of cap %d (adaptive: half-width %.2f%% <= margin %.2f%% at %.0f%% confidence, or cap)\n",
-			cell.Injections, *n, 100*(cell.AVFFIHi-cell.AVFFILo)/2, 100**margin, 100**confidence)
+			cell.Injections, pf.N, 100*(cell.AVFFIHi-cell.AVFFILo)/2, 100*pf.Margin, 100*pf.Confidence)
 	} else {
-		fmt.Fprintf(w, "  injections        %d (worst-case margin ±%.2f%% at %.0f%% confidence)\n", cell.Injections, 100*worstCase, 100**confidence)
+		fmt.Fprintf(w, "  injections        %d (worst-case margin ±%.2f%% at %.0f%% confidence)\n", cell.Injections, 100*worstCase, 100*pf.Confidence)
 	}
 	fmt.Fprintf(w, "  golden cycles     %d  (%.3e s at %.3f GHz)\n", cell.Cycles, secs, chip.ClockGHz)
 	fmt.Fprintf(w, "  occupancy         %.2f%%\n", 100*cell.Occupancy)
-	fmt.Fprintf(w, "  AVF (FI)          %.2f%%  [%.2f%%, %.2f%%] @%.0f%%\n", 100*cell.AVFFI, 100*cell.AVFFILo, 100*cell.AVFFIHi, 100**confidence)
+	fmt.Fprintf(w, "  AVF (FI)          %.2f%%  [%.2f%%, %.2f%%] @%.0f%%\n", 100*cell.AVFFI, 100*cell.AVFFILo, 100*cell.AVFFIHi, 100*pf.Confidence)
 	fmt.Fprintf(w, "  AVF (ACE)         %.2f%%\n", 100*cell.AVFACE)
 	fmt.Fprintf(w, "  outcomes          masked=%d sdc=%d due=%d timeout=%d\n",
 		cell.Outcomes[gpu.OutcomeMasked], cell.Outcomes[gpu.OutcomeSDC],

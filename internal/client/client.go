@@ -57,13 +57,32 @@ func StatusCode(err error) int {
 }
 
 // errorFrom turns a non-2xx response into an error carrying the
-// server's JSON error body.
+// server's JSON error body. It understands both the unified envelope
+// {"error":{"code","message","job_id"}} and the legacy flat
+// {"error":"..."} shape, so one client binary works across server
+// versions.
 func errorFrom(resp *http.Response) error {
 	var e struct {
-		Error string `json:"error"`
+		Error json.RawMessage `json:"error"`
 	}
 	json.NewDecoder(resp.Body).Decode(&e)
-	return &apiError{code: resp.StatusCode, msg: e.Error}
+	return &apiError{code: resp.StatusCode, msg: decodeErrorMessage(e.Error)}
+}
+
+// decodeErrorMessage extracts the human-readable message from either
+// error-body shape.
+func decodeErrorMessage(raw json.RawMessage) string {
+	var msg string
+	if json.Unmarshal(raw, &msg) == nil {
+		return msg
+	}
+	var env struct {
+		Message string `json:"message"`
+	}
+	if json.Unmarshal(raw, &env) == nil {
+		return env.Message
+	}
+	return ""
 }
 
 // do sends one request with a JSON body (nil for none) and decodes the

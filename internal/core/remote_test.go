@@ -104,9 +104,9 @@ func drainForTest(q *campaign.LeaseQueue, stop chan struct{}) {
 		}
 		for _, l := range leases {
 			spec := l.Task.Spec.Normalize()
-			pol := l.Task.Policy
-			pol.Workers = 1
-			res, err := exec.Execute(context.Background(), campaign.Request{Spec: spec, Key: spec.Key(), Policy: pol})
+			cfg := l.Task.Policy
+			cfg.Workers = 1
+			res, err := exec.Execute(context.Background(), campaign.Request{Spec: spec, Key: spec.Key(), Policy: cfg.Policy(spec.CheckpointPolicy())})
 			msg := ""
 			if err != nil {
 				msg, res = err.Error(), nil

@@ -74,6 +74,18 @@ type Policy struct {
 	Checkpoint *finject.Checkpoint `json:"checkpoint,omitempty"`
 }
 
+// Config lowers the spec policy block into the engine's versioned
+// execution configuration. The seed is per-cell (CellSeed), so callers
+// stamp it before applying.
+func (p Policy) Config() finject.Config {
+	return finject.Config{
+		Version:    finject.ConfigVersion,
+		Margin:     p.Margin,
+		Confidence: p.Confidence,
+		Checkpoint: p.Checkpoint,
+	}
+}
+
 // Protection is one what-if configuration of the protection sweep: a
 // named set of per-structure schemes evaluated against the measured
 // cells. An empty scheme list is the unprotected baseline.
@@ -375,21 +387,16 @@ func (s Spec) compileWith(cs []*chips.Chip, bs []*workloads.Benchmark) (*Plan, e
 // structure, injections) always produce equal campaign.CellKeys, whether
 // the cell came from a spec, a figure driver or a CLI flag set.
 func (s Spec) campaignFor(chip *chips.Chip, bench *workloads.Benchmark, st gpu.Structure) finject.Campaign {
-	pol := finject.Policy{
-		Margin:     s.Policy.Margin,
-		Confidence: s.Policy.Confidence,
-	}
-	if s.Policy.Checkpoint != nil {
-		pol.Checkpoint = *s.Policy.Checkpoint
-	}
-	return finject.Campaign{
+	c := finject.Campaign{
 		Chip:       chip,
 		Benchmark:  bench,
 		Structure:  st,
 		Injections: s.Injections,
-		Seed:       CellSeed(s.Seed, chip.Name, bench.Name, st),
-		Policy:     pol,
 	}
+	cfg := s.Policy.Config()
+	cfg.Seed = CellSeed(s.Seed, chip.Name, bench.Name, st)
+	cfg.ApplyTo(&c)
+	return c
 }
 
 // CellSeed derives a distinct campaign seed per cell (FNV-style mixing)

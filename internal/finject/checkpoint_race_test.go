@@ -3,23 +3,28 @@ package finject
 import (
 	"context"
 	"errors"
+	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/chips"
 	"repro/internal/gpu"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
 // TestCheckpointLadderSharedUnderRace hammers one Golden's checkpoint
 // ladder from many directions at once — several concurrent campaigns,
-// each with a multi-worker pool, all restoring the same snapshots, one
-// of them canceled mid-flight — and asserts (a) the ladder is never
-// mutated (restores deep-copy out of it), (b) every surviving campaign
-// is bit-identical to a serial full-replay reference, and (c) the
-// canceled campaign returns the documented clean partial result. Run
-// under -race (CI does), this is the proof that the ladder is safe to
-// hang off the scheduler's shared golden cache.
+// each with an eight-worker replica pool, all restoring the same
+// snapshots, one canceled genuinely mid-flight while a Prometheus
+// scraper reads the shared telemetry registry in a tight loop — and
+// asserts (a) the ladder is never mutated (restores deep-copy out of
+// it), (b) every surviving campaign is bit-identical to a serial
+// full-replay reference, and (c) the canceled campaign returns the
+// documented clean partial result. Run under -race (CI does), this is
+// the proof that the ladder and the per-round telemetry flushes are
+// safe to hang off the scheduler's shared golden cache.
 func TestCheckpointLadderSharedUnderRace(t *testing.T) {
 	chip := chips.MiniNVIDIA()
 	bench, err := workloads.ByName("reduction")
@@ -39,7 +44,7 @@ func TestCheckpointLadderSharedUnderRace(t *testing.T) {
 		return Campaign{
 			Chip: chip, Benchmark: bench, Structure: gpu.RegisterFile,
 			Injections: 60, Seed: seed, Golden: golden, Detail: true,
-			Policy: Policy{Workers: 4},
+			Policy: Policy{Workers: 8},
 		}
 	}
 
@@ -54,6 +59,10 @@ func TestCheckpointLadderSharedUnderRace(t *testing.T) {
 		}
 		refs[seed] = ref
 	}
+	// Injection telemetry flushes once per round; the watcher below uses
+	// the global counter to time the cancel, so baseline it after the
+	// reference runs.
+	startInj := telemetry.Injections.Value()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -63,6 +72,27 @@ func TestCheckpointLadderSharedUnderRace(t *testing.T) {
 	var cancelRes *Result
 	var cancelErr error
 
+	// A concurrent scraper: the telemetry registry is shared fleet-wide,
+	// so a Prometheus scrape can land at any instant of a campaign —
+	// including during the per-round counter flush from eight workers.
+	scrapeDone := make(chan struct{})
+	var scraperWG sync.WaitGroup
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		for {
+			select {
+			case <-scrapeDone:
+				return
+			default:
+				if err := telemetry.Default.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("scrape failed: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
 	for i := 0; i < 2; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -70,16 +100,28 @@ func TestCheckpointLadderSharedUnderRace(t *testing.T) {
 			results[i], errs[i] = RunContext(context.Background(), campaignFor(uint64(i+1)))
 		}(i)
 	}
-	// The doomed campaign: canceled as soon as its first record lands.
+	// The doomed campaign runs adaptively so it flushes telemetry after
+	// every round; the watcher cancels it only after the global counter
+	// proves at least one of its rounds completed — a genuine
+	// mid-campaign cancel, not a cancel-before-start.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		c := campaignFor(99)
 		c.Injections = 100_000 // far more than the cancel lets happen
+		c.Policy.Margin = 1e-9 // adaptive rounds, but unreachably tight
 		cancelRes, cancelErr = RunContext(ctx, c)
 	}()
+	// The two survivors contribute at most 2*60 injections; anything past
+	// that came from the doomed campaign's first adaptive round (100).
+	const survivorsMax = 2 * 60
+	for telemetry.Injections.Value()-startInj < survivorsMax+adaptiveFirstRound {
+		time.Sleep(200 * time.Microsecond)
+	}
 	cancel()
 	wg.Wait()
+	close(scrapeDone)
+	scraperWG.Wait()
 
 	for i, err := range errs {
 		if err != nil {

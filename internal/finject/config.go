@@ -1,0 +1,128 @@
+package finject
+
+import "fmt"
+
+// ConfigVersion is the current schema version of Config. Version 0 on
+// the wire normalizes to it; any other version is rejected so a future
+// v2 can change field semantics without silently misreading v1 blocks.
+const ConfigVersion = 1
+
+// Config is the engine's one versioned execution-configuration surface:
+// stopping rule, injection cap, worker count, seed and checkpoint knob
+// in a single JSON-serializable block. Every producer — campaign cell
+// specs, experiment spec v1 policy blocks, the /v1/jobs policy body and
+// the lease wire — constructs campaigns through it instead of each
+// assembling a finject.Policy by hand. Policy remains as a frozen
+// compatibility shim the engine consumes internally; new knobs land
+// here, not there.
+//
+// Field semantics match the historical wire forms exactly: zero values
+// mean "default" everywhere, and a nil Checkpoint means "keep the
+// campaign's own checkpoint knob" (the presence distinction the job
+// policy block has always had).
+type Config struct {
+	// Version is the schema version (0 normalizes to ConfigVersion).
+	Version int `json:"v,omitempty"`
+	// Workers bounds the parallel device replicas of one campaign
+	// (GOMAXPROCS when 0). Execution-only: never part of cell identity.
+	Workers int `json:"workers,omitempty"`
+	// Margin > 0 enables adaptive sampling down to this Wilson
+	// half-width.
+	Margin float64 `json:"margin,omitempty"`
+	// Confidence is the stopping rule's level (DefaultConfidence when 0).
+	Confidence float64 `json:"confidence,omitempty"`
+	// MaxInjections caps the campaign when > 0.
+	MaxInjections int `json:"max_injections,omitempty"`
+	// Seed selects the fault sample when > 0.
+	Seed uint64 `json:"seed,omitempty"`
+	// Checkpoint overrides the checkpointed fast-forward knob when
+	// non-nil; nil keeps the target campaign's own setting.
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
+}
+
+// Normalize validates the config and resolves its version. Error text
+// is part of the HTTP API (the /v1/jobs policy validation) — change it
+// only with the corresponding compat tests.
+func (c Config) Normalize() (Config, error) {
+	if c.Version == 0 {
+		c.Version = ConfigVersion
+	}
+	if c.Version != ConfigVersion {
+		return c, fmt.Errorf("bad policy version %d (want %d)", c.Version, ConfigVersion)
+	}
+	if c.Margin < 0 || c.Margin >= 1 {
+		return c, fmt.Errorf("bad policy margin %v (want [0,1))", c.Margin)
+	}
+	if c.Confidence < 0 || c.Confidence >= 1 {
+		return c, fmt.Errorf("bad policy confidence %v (want [0,1))", c.Confidence)
+	}
+	if c.MaxInjections < 0 {
+		return c, fmt.Errorf("bad policy max_injections %d", c.MaxInjections)
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("bad policy workers %d", c.Workers)
+	}
+	if c.Checkpoint != nil && c.Checkpoint.Interval < 0 {
+		return c, fmt.Errorf("bad policy checkpoint interval %d", c.Checkpoint.Interval)
+	}
+	return c, nil
+}
+
+// Equal reports whether two configs describe the same execution
+// configuration (checkpoint compared by value, not pointer).
+func (c Config) Equal(o Config) bool {
+	if c.Version != o.Version || c.Workers != o.Workers ||
+		c.Margin != o.Margin || c.Confidence != o.Confidence ||
+		c.MaxInjections != o.MaxInjections || c.Seed != o.Seed {
+		return false
+	}
+	switch {
+	case c.Checkpoint == nil && o.Checkpoint == nil:
+		return true
+	case c.Checkpoint == nil || o.Checkpoint == nil:
+		return false
+	default:
+		return *c.Checkpoint == *o.Checkpoint
+	}
+}
+
+// Policy flattens the config onto the frozen Policy shim, using base as
+// the checkpoint knob when the config leaves it unset.
+func (c Config) Policy(base Checkpoint) Policy {
+	ck := base
+	if c.Checkpoint != nil {
+		ck = *c.Checkpoint
+	}
+	return Policy{
+		Workers:       c.Workers,
+		Margin:        c.Margin,
+		Confidence:    c.Confidence,
+		MaxInjections: c.MaxInjections,
+		Checkpoint:    ck,
+	}
+}
+
+// ApplyTo installs the config on a campaign: the single construction
+// path from any wire or spec form to a runnable campaign. The
+// campaign's existing checkpoint knob survives a nil Checkpoint, and
+// its seed survives a zero Seed.
+func (c Config) ApplyTo(cp *Campaign) {
+	cp.Policy = c.Policy(cp.Policy.Checkpoint)
+	if c.Seed != 0 {
+		cp.Seed = c.Seed
+	}
+}
+
+// ConfigOf snapshots a campaign's execution configuration in wire form.
+func ConfigOf(cp Campaign) Config {
+	ck := cp.Policy.Checkpoint
+	return Config{
+		Version:       ConfigVersion,
+		Workers:       cp.Policy.Workers,
+		Margin:        cp.Policy.Margin,
+		Confidence:    cp.Policy.Confidence,
+		MaxInjections: cp.Policy.MaxInjections,
+		Seed:          cp.Seed,
+		Checkpoint:    &ck,
+	}
+}

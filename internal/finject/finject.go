@@ -51,6 +51,11 @@ const adaptiveFirstRound = 100
 // never changes which fault injection #i draws — that is fixed by
 // (Seed, i) — so two policies that end up running the same number of
 // injections produce bit-identical results.
+//
+// Policy is a frozen compatibility shim: the engine consumes it
+// internally, but external producers construct campaigns through the
+// versioned Config (see config.go), which is where any new execution
+// knob lands. Do not add fields here.
 type Policy struct {
 	// Workers bounds the parallel simulations (GOMAXPROCS when 0).
 	Workers int
@@ -215,10 +220,19 @@ type Golden struct {
 	// The default checkpoint ladder is captured during the reference run
 	// itself; ladders for explicit interval overrides are built lazily
 	// (one extra fault-free run each) and cached. All ladders are
-	// immutable once published and shared read-only by every worker.
+	// immutable once published and shared read-only by every worker:
+	// readers load the current map through an atomic pointer and never
+	// lock, writers clone-and-swap the map under mu.
 	mu      sync.Mutex
-	ladders map[int64]*ladderCall
+	ladders atomic.Pointer[map[int64]*ladderCall]
 }
+
+// ladderMap returns the current immutable ladder map.
+func (g *Golden) ladderMap() map[int64]*ladderCall { return *g.ladders.Load() }
+
+// publishLadders installs next as the current ladder map. Callers hold
+// g.mu and must treat previously published maps as frozen.
+func (g *Golden) publishLadders(next map[int64]*ladderCall) { g.ladders.Store(&next) }
 
 // ladderCall is one ladder build others may wait on, so a slow override
 // build never holds the Golden's mutex while it simulates.
@@ -247,19 +261,18 @@ func NewGolden(chip *chips.Chip, bench *workloads.Benchmark) (*Golden, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Golden{
+	gold := &Golden{
 		chip: chip.Name, bench: bench.Name,
 		chipRef: chip, benchRef: bench, g: g,
-		ladders: map[int64]*ladderCall{0: readyLadder(g.ladder)},
-	}, nil
+	}
+	gold.publishLadders(map[int64]*ladderCall{0: readyLadder(g.ladder)})
+	return gold, nil
 }
 
 // CheckpointCycles returns the capture cycles of the default checkpoint
 // ladder, in ascending order — introspection for tests and reports.
 func (g *Golden) CheckpointCycles() []int64 {
-	g.mu.Lock()
-	lc := g.ladders[0]
-	g.mu.Unlock()
+	lc := g.ladderMap()[0]
 	<-lc.done
 	cycles := make([]int64, len(lc.snaps))
 	for i, s := range lc.snaps {
@@ -271,9 +284,11 @@ func (g *Golden) CheckpointCycles() []int64 {
 // ladderFor returns the checkpoint ladder for the configuration,
 // building and caching one per distinct interval on first use. A nil
 // ladder (checkpointing off) makes every injection replay in full.
-// Builds run outside the mutex (only the leader simulates; concurrent
-// requesters for the same interval wait on it, other intervals and the
-// default ladder are never blocked); failed builds are not cached.
+// The cached-ladder fast path is lock-free (an atomic load of the
+// immutable map); builds run outside the writer mutex (only the leader
+// simulates; concurrent requesters for the same interval wait on it,
+// other intervals and the default ladder are never blocked); failed
+// builds are not cached.
 func (g *Golden) ladderFor(cfg Checkpoint) ([]gpu.Snapshot, error) {
 	if cfg.Off {
 		return nil, nil
@@ -281,27 +296,46 @@ func (g *Golden) ladderFor(cfg Checkpoint) ([]gpu.Snapshot, error) {
 	if cfg.Interval < 0 {
 		cfg.Interval = 0 // defensive: negative means auto, not a new cache entry
 	}
-	g.mu.Lock()
-	if lc, ok := g.ladders[cfg.Interval]; ok {
-		g.mu.Unlock()
+	if lc, ok := g.ladderMap()[cfg.Interval]; ok {
 		<-lc.done
 		return lc.snaps, lc.err
 	}
-	lc := &ladderCall{done: make(chan struct{})}
-	g.ladders[cfg.Interval] = lc
+	g.mu.Lock()
+	lc, ok := g.ladderMap()[cfg.Interval]
+	if !ok {
+		lc = &ladderCall{done: make(chan struct{})}
+		g.publishLadders(withLadder(g.ladderMap(), cfg.Interval, lc))
+	}
 	g.mu.Unlock()
+	if ok {
+		<-lc.done
+		return lc.snaps, lc.err
+	}
 
 	run, err := runGolden(g.chipRef, g.benchRef, cfg)
 	if err != nil {
 		lc.err = err
 		g.mu.Lock()
-		delete(g.ladders, cfg.Interval) // let a later request retry
+		// Republish without the failed entry so a later request retries.
+		next := withLadder(g.ladderMap(), cfg.Interval, nil)
+		delete(next, cfg.Interval)
+		g.publishLadders(next)
 		g.mu.Unlock()
 	} else {
 		lc.snaps = run.ladder
 	}
 	close(lc.done)
 	return lc.snaps, lc.err
+}
+
+// withLadder clones a frozen ladder map with one entry replaced.
+func withLadder(m map[int64]*ladderCall, interval int64, lc *ladderCall) map[int64]*ladderCall {
+	next := make(map[int64]*ladderCall, len(m)+1)
+	for k, v := range m {
+		next[k] = v
+	}
+	next[interval] = lc
+	return next
 }
 
 // Chip returns the name of the chip the reference was run on.
@@ -387,12 +421,15 @@ func sampleFault(rng *stats.RNG, c Campaign, cycles int64, idx uint64) gpu.Fault
 
 // classifyCost is one injection's execution-cost accounting, consumed by
 // the telemetry counters: whether a checkpoint rung was restored, how
-// many fault-free cycles the restore skipped, and how many cycles the
-// run actually simulated. It never feeds back into outcomes.
+// many fault-free cycles the restore skipped, how many cycles the run
+// actually simulated, and how many COW memory pages the restore copied
+// versus skipped by identity. It never feeds back into outcomes.
 type classifyCost struct {
-	restored  bool
-	ffCycles  int64
-	simCycles int64
+	restored    bool
+	ffCycles    int64
+	simCycles   int64
+	pagesCopied int64
+	pagesShared int64
 }
 
 // classify runs one injection on a worker-owned device and host program,
@@ -405,9 +442,19 @@ type classifyCost struct {
 func classify(d gpu.Device, hp *gpu.HostProgram, g *golden, ladder []gpu.Snapshot, f gpu.Fault, watchdog int64) (gpu.Outcome, int, classifyCost) {
 	var cost classifyCost
 	if snap := latestBelow(ladder, f.Cycle); snap != nil {
+		rc, _ := d.(gpu.RestoreCoster)
+		var c0, s0 int64
+		if rc != nil {
+			c0, s0 = rc.RestorePageStats()
+		}
 		if d.Restore(snap) == nil {
 			cost.restored = true
 			cost.ffCycles = snap.Cycle()
+			if rc != nil {
+				c1, s1 := rc.RestorePageStats()
+				cost.pagesCopied = c1 - c0
+				cost.pagesShared = s1 - s0
+			}
 		}
 	}
 	if !cost.restored {
@@ -461,11 +508,53 @@ func Run(c Campaign) (*Result, error) {
 	return RunContext(context.Background(), c)
 }
 
-// injector is one worker's private simulation state, reused across every
-// injection (and every adaptive round) the worker executes.
+// injector is one worker's private device replica: a full simulator
+// instance plus host program, reused across every injection (and every
+// adaptive round) the worker executes. Workers never share a device —
+// the only shared state during a round is the immutable golden/ladder.
 type injector struct {
 	d  gpu.Device
 	hp *gpu.HostProgram
+}
+
+// replicaPools caches injector replicas per (chip, benchmark) so
+// back-to-back campaigns over the same pair (every structure of a
+// figure, every cell of a sweep) stop paying device construction and
+// first-restore page faults. Entries are sync.Pools, so idle replicas
+// are reclaimable by the GC.
+var replicaPools sync.Map // string -> *sync.Pool
+
+// replicaKey identifies the replica pool for a campaign's (chip,
+// benchmark) pair.
+func replicaKey(c Campaign) string { return c.Chip.Name + "\x00" + c.Benchmark.Name }
+
+// acquireReplica returns a pooled injector for the campaign or builds a
+// fresh one. Every injection path resets or restores the device before
+// running, so recycled simulator state is never observable.
+func acquireReplica(c Campaign) (*injector, error) {
+	p, _ := replicaPools.LoadOrStore(replicaKey(c), &sync.Pool{})
+	if in, ok := p.(*sync.Pool).Get().(*injector); ok {
+		return in, nil
+	}
+	d, err := devices.New(c.Chip)
+	if err != nil {
+		return nil, err
+	}
+	hp, err := c.Benchmark.New(c.Chip.Vendor)
+	if err != nil {
+		return nil, err
+	}
+	return &injector{d: d, hp: hp}, nil
+}
+
+// releaseReplicas returns a campaign's worker replicas to its pool.
+func releaseReplicas(c Campaign, pool []*injector) {
+	p, _ := replicaPools.LoadOrStore(replicaKey(c), &sync.Pool{})
+	for _, in := range pool {
+		if in != nil {
+			p.(*sync.Pool).Put(in)
+		}
+	}
 }
 
 // RunContext executes the campaign, stopping promptly when ctx is
@@ -536,16 +625,14 @@ func RunContext(ctx context.Context, c Campaign) (*Result, error) {
 
 	pool := make([]*injector, workers)
 	for i := range pool {
-		d, err := devices.New(c.Chip)
+		in, err := acquireReplica(c)
 		if err != nil {
+			releaseReplicas(c, pool[:i])
 			return nil, err
 		}
-		hp, err := c.Benchmark.New(c.Chip.Vendor)
-		if err != nil {
-			return nil, err
-		}
-		pool[i] = &injector{d: d, hp: hp}
+		pool[i] = in
 	}
+	defer releaseReplicas(c, pool)
 
 	done := 0
 	for done < limit {
@@ -618,6 +705,8 @@ func runRound(ctx context.Context, c Campaign, pool []*injector, g *golden, ladd
 				replays  int64
 				ffCyc    int64
 				simCyc   int64
+				pgCopied int64
+				pgShared int64
 			)
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
@@ -635,6 +724,8 @@ func runRound(ctx context.Context, c Campaign, pool []*injector, g *golden, ladd
 				}
 				ffCyc += cost.ffCycles
 				simCyc += cost.simCycles
+				pgCopied += cost.pagesCopied
+				pgShared += cost.pagesShared
 				if res.Records != nil {
 					res.Records[i] = Record{Fault: f, Outcome: o, CorruptBytes: corrupt}
 				}
@@ -644,6 +735,8 @@ func runRound(ctx context.Context, c Campaign, pool []*injector, g *golden, ladd
 			telemetry.FullReplays.Add(replays)
 			telemetry.FastForwardCycles.Add(ffCyc)
 			telemetry.SimulatedCycles.Add(simCyc)
+			telemetry.RestorePagesCopied.Add(pgCopied)
+			telemetry.RestorePagesShared.Add(pgShared)
 			mu.Lock()
 			for o, cnt := range local {
 				res.Outcomes[o] += cnt

@@ -301,17 +301,25 @@ func (s RunStats) Occupancy(st Structure, totalEntries int64) float64 {
 
 // Snapshot is an opaque, immutable image of a device's complete
 // execution state, captured at a scheduling boundary by Device.Snapshot
-// or by a checkpoint hook during Launch. Snapshots are deep copies: they
-// never alias live device storage, so one snapshot can be restored
+// or by a checkpoint hook during Launch. Snapshots never alias mutable
+// device storage (memory pages are copy-on-write: shared between images
+// but immutable once captured), so one snapshot can be restored
 // concurrently into any number of device instances of the same chip
 // configuration (the fault-injection engine shares one golden checkpoint
-// ladder across its whole worker pool).
+// ladder across its whole worker pool of per-worker device replicas).
 type Snapshot interface {
 	// Cycle returns the global device cycle the snapshot was captured at.
 	Cycle() int64
 	// SizeBytes estimates the snapshot's memory footprint, used to size
 	// checkpoint ladders against a memory budget.
 	SizeBytes() int64
+}
+
+// RestoreCoster is optionally implemented by devices that account the
+// page-level cost of COW snapshot restores. Counters are cumulative;
+// the fault-injection engine reads deltas around each restore.
+type RestoreCoster interface {
+	RestorePageStats() (copiedPages, sharedPages int64)
 }
 
 // Device is the simulator-side contract the reliability engines program

@@ -10,10 +10,32 @@ import (
 // with a bump allocator. All accesses are bounds-checked; a failed check
 // aborts the launch and is classified as a DUE by the fault-injection
 // engine, mirroring how GPGPU-Sim/Multi2Sim abort on wild accesses.
+//
+// Snapshots are copy-on-write at page granularity: src tracks, per page,
+// the immutable image page the live data is currently byte-identical to
+// (nil = the page has been written since it was last captured or
+// restored). Image shares clean pages with the capturing image instead
+// of copying them, and SetImage skips pages whose identity already
+// matches the image being restored — so a restore to a nearby ladder
+// rung touches only the pages the run actually dirtied.
 type Memory struct {
 	data []byte
 	brk  uint32 // bump-allocation watermark
 	hwm  uint32 // high-water mark since last Reset (for cheap zeroing)
+
+	// src[p] is the immutable page data[p<<pageShift:] is identical to,
+	// or nil when the page is dirty. Invariant: src[p] != nil implies the
+	// live page and src[p] hold the same bytes (the live tail past
+	// len(data) in the final page is treated as zero).
+	src [][]byte
+
+	// arena bump-allocates image pages in chunks to keep capture from
+	// hitting the allocator once per page.
+	arena []byte
+
+	// Cumulative SetImage page accounting (see RestorePageStats).
+	pagesCopied int64
+	pagesShared int64
 
 	// Replay mode (between Snapshot restore and fast-forward resume):
 	// the host program re-executes allocations and uploads whose effects
@@ -27,13 +49,65 @@ type Memory struct {
 // memAlign is the allocation alignment in bytes.
 const memAlign = 256
 
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift // 4 KiB COW granularity
+	arenaPgs  = 64             // pages per arena chunk (256 KiB)
+)
+
+// zeroPage is the canonical identity of an all-zero page. Never written.
+var zeroPage = make([]byte, pageSize)
+
 // NewMemory creates a device memory of the given size in bytes.
 func NewMemory(size int) *Memory {
-	return &Memory{data: make([]byte, size)}
+	m := &Memory{data: make([]byte, size)}
+	m.src = make([][]byte, pagesFor(uint32(size)))
+	for p := range m.src {
+		m.src[p] = zeroPage
+	}
+	return m
 }
+
+// pagesFor returns the number of pages covering the first n bytes.
+func pagesFor(n uint32) int { return int((uint64(n) + pageSize - 1) >> pageShift) }
 
 // Size returns the memory capacity in bytes.
 func (m *Memory) Size() int { return len(m.data) }
+
+// dirty invalidates the page identities covering [addr, addr+size).
+// Callers bounds-check first.
+func (m *Memory) dirty(addr uint32, size int) {
+	first := int(addr >> pageShift)
+	last := int((uint64(addr) + uint64(size) - 1) >> pageShift)
+	for p := first; p <= last; p++ {
+		m.src[p] = nil
+	}
+}
+
+// samePage reports whether a and b are the same underlying page.
+func samePage(a, b []byte) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// newArenaPage returns a fresh zeroed page from the bump arena.
+func (m *Memory) newArenaPage() []byte {
+	if len(m.arena) < pageSize {
+		m.arena = make([]byte, arenaPgs*pageSize)
+	}
+	pg := m.arena[:pageSize:pageSize]
+	m.arena = m.arena[pageSize:]
+	return pg
+}
+
+// pageBounds returns the live-data range [lo, hi) of page p.
+func (m *Memory) pageBounds(p int) (lo, hi int) {
+	lo = p << pageShift
+	hi = lo + pageSize
+	if hi > len(m.data) {
+		hi = len(m.data)
+	}
+	return lo, hi
+}
 
 // Alloc reserves size bytes and returns the device address. Address 0 is
 // never returned (the first allocation starts at memAlign) so that 0 can
@@ -72,45 +146,97 @@ func (m *Memory) Alloc(size int) (uint32, error) {
 	return addr, nil
 }
 
-// MemImage is a compact, immutable copy of a Memory's state: the
-// high-water-mark prefix of the data plus the allocator watermarks.
-// Everything beyond the prefix is zero by construction (snapshots are
-// only taken of runs that started from power-on state).
+// MemImage is a compact, immutable copy of a Memory's state: the pages
+// covering the high-water-mark prefix plus the allocator watermarks.
+// Pages are shared structurally with the Memory they were captured from
+// and with neighbouring images (copy-on-write), so consecutive ladder
+// rungs pay only for the pages that changed between them. Everything
+// beyond the prefix is zero by construction (snapshots are only taken of
+// runs that started from power-on state).
 type MemImage struct {
-	data []byte
-	brk  uint32
-	hwm  uint32
+	pages [][]byte
+	brk   uint32
+	hwm   uint32
+	owned int // pages copied fresh at capture (not shared with an older image)
 }
 
-// SizeBytes returns the image's storage footprint.
-func (img *MemImage) SizeBytes() int64 { return int64(len(img.data)) }
+// SizeBytes returns the image's unique storage footprint: pages copied
+// at capture count, pages shared with an earlier image or the canonical
+// zero page are free.
+func (img *MemImage) SizeBytes() int64 { return int64(img.owned) * pageSize }
 
-// Image captures the memory state for later SetImage restoration.
+// Image captures the memory state for later SetImage restoration. Clean
+// pages (unwritten since the last capture or restore) are shared with
+// the image that already holds them; dirty pages are copied into arena
+// storage and become the new identity of the live page.
 func (m *Memory) Image() *MemImage {
-	return &MemImage{
-		data: append([]byte(nil), m.data[:m.hwm]...),
-		brk:  m.brk,
-		hwm:  m.hwm,
+	np := pagesFor(m.hwm)
+	img := &MemImage{
+		pages: make([][]byte, np),
+		brk:   m.brk,
+		hwm:   m.hwm,
 	}
+	for p := 0; p < np; p++ {
+		if pg := m.src[p]; pg != nil {
+			img.pages[p] = pg
+			continue
+		}
+		pg := m.newArenaPage()
+		lo, hi := m.pageBounds(p)
+		copy(pg, m.data[lo:hi])
+		img.pages[p] = pg
+		m.src[p] = pg
+		img.owned++
+	}
+	return img
 }
 
 // SetImage restores a previously captured image, clearing any bytes the
 // current state touched beyond the image's extent, and enters replay
 // mode (see Alloc); the fast-forward resume path leaves replay mode via
-// EndReplay once the host program reaches live execution.
+// EndReplay once the host program reaches live execution. Pages whose
+// identity already matches the image are skipped, so restoring to a
+// nearby rung costs only the pages that differ.
 func (m *Memory) SetImage(img *MemImage) error {
 	if int(img.hwm) > len(m.data) {
 		return fmt.Errorf("gpu: memory image extent %d exceeds capacity %d", img.hwm, len(m.data))
 	}
-	if m.hwm > img.hwm {
-		clear(m.data[img.hwm:m.hwm])
+	np := len(img.pages)
+	for p := 0; p < np; p++ {
+		pg := img.pages[p]
+		if samePage(m.src[p], pg) {
+			m.pagesShared++
+			continue
+		}
+		lo, hi := m.pageBounds(p)
+		copy(m.data[lo:hi], pg)
+		m.src[p] = pg
+		m.pagesCopied++
 	}
-	copy(m.data[:img.hwm], img.data)
+	// Pages the current state touched beyond the image's extent go back
+	// to zero (image pages contain zeros past img.hwm by construction,
+	// so only whole pages above the image's last page need clearing).
+	for p, hp := np, pagesFor(m.hwm); p < hp; p++ {
+		if samePage(m.src[p], zeroPage) {
+			continue
+		}
+		lo, hi := m.pageBounds(p)
+		clear(m.data[lo:hi])
+		m.src[p] = zeroPage
+	}
 	m.brk = img.brk
 	m.hwm = img.hwm
 	m.replay = true
 	m.rbrk = 0
 	return nil
+}
+
+// RestorePageStats returns the cumulative number of pages SetImage
+// copied versus skipped via identity match since construction. The
+// fault-injection engine reads deltas around each restore for cost
+// accounting.
+func (m *Memory) RestorePageStats() (copied, shared int64) {
+	return m.pagesCopied, m.pagesShared
 }
 
 // EndReplay leaves replay mode: subsequent allocations and stores apply
@@ -121,10 +247,18 @@ func (m *Memory) EndReplay() {
 }
 
 // Reset zeroes all memory touched since construction and rewinds the
-// allocator. Only the high-water-mark prefix is cleared, which keeps
-// per-injection reset cost proportional to the workload footprint.
+// allocator. Only dirty pages under the high-water mark are cleared,
+// which keeps per-injection reset cost proportional to the pages the
+// workload actually wrote.
 func (m *Memory) Reset() {
-	clear(m.data[:m.hwm])
+	for p, hp := 0, pagesFor(m.hwm); p < hp; p++ {
+		if samePage(m.src[p], zeroPage) {
+			continue
+		}
+		lo, hi := m.pageBounds(p)
+		clear(m.data[lo:hi])
+		m.src[p] = zeroPage
+	}
 	m.brk = 0
 	m.hwm = 0
 	m.replay = false
@@ -158,6 +292,7 @@ func (m *Memory) Store32(addr uint32, v uint32) error {
 	if m.replay {
 		return nil
 	}
+	m.dirty(addr, 4)
 	binary.LittleEndian.PutUint32(m.data[addr:], v)
 	if end := addr + 4; end > m.hwm {
 		m.hwm = end
@@ -184,6 +319,10 @@ func (m *Memory) WriteWords(addr uint32, words []uint32) error {
 	if m.replay {
 		return nil
 	}
+	if len(words) == 0 {
+		return nil
+	}
+	m.dirty(addr, 4*len(words))
 	for i, w := range words {
 		binary.LittleEndian.PutUint32(m.data[addr+uint32(4*i):], w)
 	}
@@ -213,6 +352,10 @@ func (m *Memory) WriteFloats(addr uint32, vals []float32) error {
 	if m.replay {
 		return nil
 	}
+	if len(vals) == 0 {
+		return nil
+	}
+	m.dirty(addr, 4*len(vals))
 	for i, v := range vals {
 		binary.LittleEndian.PutUint32(m.data[addr+uint32(4*i):], math.Float32bits(v))
 	}

@@ -1,0 +1,209 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// flatModel is a reference implementation of the image semantics the COW
+// Memory must preserve: full deep copies, full restores.
+type flatModel struct {
+	data []byte
+	brk  uint32
+	hwm  uint32
+}
+
+func (f *flatModel) store32(addr uint32, v uint32) {
+	f.data[addr] = byte(v)
+	f.data[addr+1] = byte(v >> 8)
+	f.data[addr+2] = byte(v >> 16)
+	f.data[addr+3] = byte(v >> 24)
+	if end := addr + 4; end > f.hwm {
+		f.hwm = end
+	}
+}
+
+func (f *flatModel) image() *flatModel {
+	return &flatModel{data: append([]byte(nil), f.data...), brk: f.brk, hwm: f.hwm}
+}
+
+func (f *flatModel) restore(img *flatModel) {
+	copy(f.data, img.data)
+	f.brk = img.brk
+	f.hwm = img.hwm
+}
+
+// TestMemoryCOWDifferential drives the COW Memory and the flat reference
+// model through the same randomized store/capture/restore schedule and
+// demands byte-identical visible state after every step.
+func TestMemoryCOWDifferential(t *testing.T) {
+	const size = 10 * pageSize
+	rng := rand.New(rand.NewSource(7))
+	m := NewMemory(size)
+	ref := &flatModel{data: make([]byte, size)}
+	if _, err := m.Alloc(3 * pageSize); err != nil {
+		t.Fatal(err)
+	}
+	ref.brk, ref.hwm = m.brk, m.hwm
+
+	type pair struct {
+		img *MemImage
+		ref *flatModel
+	}
+	var snaps []pair
+	checkAll := func(step int) {
+		t.Helper()
+		for addr := uint32(0); addr < size; addr += 4 {
+			got, err := m.Load32(addr)
+			if err != nil {
+				t.Fatalf("step %d: load %#x: %v", step, addr, err)
+			}
+			want := uint32(ref.data[addr]) | uint32(ref.data[addr+1])<<8 |
+				uint32(ref.data[addr+2])<<16 | uint32(ref.data[addr+3])<<24
+			if got != want {
+				t.Fatalf("step %d: addr %#x: got %#x want %#x", step, addr, got, want)
+			}
+		}
+		if m.brk != ref.brk || m.hwm != ref.hwm {
+			t.Fatalf("step %d: watermarks (brk=%d hwm=%d) want (brk=%d hwm=%d)",
+				step, m.brk, m.hwm, ref.brk, ref.hwm)
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // store somewhere, sometimes straddling a page edge
+			addr := uint32(rng.Intn(size - 4))
+			if rng.Intn(4) == 0 {
+				addr = uint32(rng.Intn(9)+1)*pageSize - 2 // spans two pages
+			}
+			v := rng.Uint32()
+			if err := m.Store32(addr, v); err != nil {
+				t.Fatal(err)
+			}
+			ref.store32(addr, v)
+		case op < 8: // capture
+			snaps = append(snaps, pair{img: m.Image(), ref: ref.image()})
+		default: // restore a random prior snapshot
+			if len(snaps) == 0 {
+				continue
+			}
+			p := snaps[rng.Intn(len(snaps))]
+			if err := m.SetImage(p.img); err != nil {
+				t.Fatal(err)
+			}
+			m.EndReplay()
+			ref.restore(p.ref)
+		}
+		checkAll(step)
+	}
+}
+
+// TestMemoryCOWPageSharing pins the capture economics: pages untouched
+// between two captures are shared (same backing array), and SizeBytes
+// charges only freshly copied pages.
+func TestMemoryCOWPageSharing(t *testing.T) {
+	m := NewMemory(8 * pageSize)
+	if _, err := m.Alloc(4 * pageSize); err != nil {
+		t.Fatal(err)
+	}
+	for addr := uint32(0); addr < 4*pageSize; addr += 4 {
+		if err := m.Store32(addr, addr^0x5a5a5a5a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img1 := m.Image()
+	if img1.owned != 4 {
+		t.Fatalf("first capture owned %d pages, want 4", img1.owned)
+	}
+	// Dirty exactly one page, capture again.
+	if err := m.Store32(2*pageSize+16, 1); err != nil {
+		t.Fatal(err)
+	}
+	img2 := m.Image()
+	if img2.owned != 1 {
+		t.Fatalf("second capture owned %d pages, want 1", img2.owned)
+	}
+	for p := 0; p < 4; p++ {
+		shared := samePage(img1.pages[p], img2.pages[p])
+		if p == 2 && shared {
+			t.Fatalf("page %d dirtied between captures is still shared", p)
+		}
+		if p != 2 && !shared {
+			t.Fatalf("clean page %d was copied instead of shared", p)
+		}
+	}
+	if img2.SizeBytes() != pageSize {
+		t.Fatalf("img2.SizeBytes() = %d, want %d", img2.SizeBytes(), pageSize)
+	}
+}
+
+// TestMemoryCOWRestoreSkipsCleanPages pins the restore economics: going
+// back to an image after touching one page copies only that page.
+func TestMemoryCOWRestoreSkipsCleanPages(t *testing.T) {
+	m := NewMemory(8 * pageSize)
+	if _, err := m.Alloc(6 * pageSize); err != nil {
+		t.Fatal(err)
+	}
+	for addr := uint32(0); addr < 6*pageSize; addr += 64 {
+		if err := m.Store32(addr, addr*3+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := m.Image()
+	c0, s0 := m.RestorePageStats()
+
+	if err := m.Store32(5*pageSize, 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetImage(img); err != nil {
+		t.Fatal(err)
+	}
+	m.EndReplay()
+	c1, s1 := m.RestorePageStats()
+	if copied := c1 - c0; copied != 1 {
+		t.Fatalf("restore copied %d pages, want 1", copied)
+	}
+	// Alloc starts at memAlign, so the 6-page allocation spans 7 pages.
+	if shared := s1 - s0; shared != 6 {
+		t.Fatalf("restore skipped %d pages, want 6", shared)
+	}
+	got, err := m.Load32(5 * pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint32(5*pageSize)*3 + 1; got != want {
+		t.Fatalf("restored word = %#x, want %#x", got, want)
+	}
+}
+
+// TestMemoryCOWRestoreClearsAboveExtent pins the shrink path: restoring
+// an image with a smaller extent zeroes everything the current state
+// touched above it, including fault-scribbled pages far past brk.
+func TestMemoryCOWRestoreClearsAboveExtent(t *testing.T) {
+	m := NewMemory(8 * pageSize)
+	if _, err := m.Alloc(pageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store32(256, 42); err != nil {
+		t.Fatal(err)
+	}
+	img := m.Image()
+	// Scribble far above the image extent (fault-corrupted address).
+	if err := m.Store32(6*pageSize+8, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetImage(img); err != nil {
+		t.Fatal(err)
+	}
+	m.EndReplay()
+	if got, _ := m.Load32(6*pageSize + 8); got != 0 {
+		t.Fatalf("page above restored extent not cleared: %#x", got)
+	}
+	if got, _ := m.Load32(256); got != 42 {
+		t.Fatalf("restored word = %d, want 42", got)
+	}
+	if m.hwm != img.hwm {
+		t.Fatalf("hwm = %d, want %d", m.hwm, img.hwm)
+	}
+}

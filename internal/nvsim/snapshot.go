@@ -167,40 +167,47 @@ func (d *Device) Restore(s gpu.Snapshot) error {
 		sm := d.sms[i]
 		copy(sm.regs, img.regs)
 		copy(sm.shared, img.shared)
-		sm.slots = append(sm.slots[:0:0], img.slots...)
-		sm.blocks = make([]*block, len(img.blocks))
+		// Recycle the current residents, then rebuild the slot tables
+		// from the image reusing retained object and slice capacity:
+		// restore runs once per injection, so it must not allocate.
+		sm.recycleBlocks()
+		sm.slots = append(sm.slots[:0], img.slots...)
+		if cap(sm.blocks) >= len(img.blocks) {
+			sm.blocks = sm.blocks[:len(img.blocks)]
+			clear(sm.blocks)
+		} else {
+			sm.blocks = make([]*block, len(img.blocks))
+		}
 		sm.rrWarp = img.rrWarp
 		sm.greedy = nil
 		sm.liveWarp = 0
+		sm.order = sm.order[:0]
 		for slot, bi := range img.blocks {
 			if bi == nil {
 				continue
 			}
-			blk := &block{
-				id: bi.id, ctaX: bi.ctaX, ctaY: bi.ctaY, slot: bi.slot,
-				regBase: bi.regBase, regCount: bi.regCount,
-				shBase: bi.shBase, shCount: bi.shCount,
-				live: bi.live, arrived: bi.arrived, allocCycle: bi.allocCycle,
-			}
-			blk.warps = make([]*warp, len(bi.warps))
+			blk := sm.takeBlock()
+			blk.id, blk.ctaX, blk.ctaY, blk.slot = bi.id, bi.ctaX, bi.ctaY, bi.slot
+			blk.regBase, blk.regCount = bi.regBase, bi.regCount
+			blk.shBase, blk.shCount = bi.shBase, bi.shCount
+			blk.live, blk.arrived, blk.allocCycle = bi.live, bi.arrived, bi.allocCycle
+			sizeWarps(blk, len(bi.warps))
 			for wi := range bi.warps {
 				w := &bi.warps[wi]
-				warp := &warp{
-					blk: blk, idx: w.idx, pc: w.pc,
-					valid: w.valid, active: w.active, exited: w.exited,
-					stack:     append([]stackEntry(nil), w.stack...),
-					preds:     w.preds,
-					regReady:  append([]int64(nil), w.regReady...),
-					predReady: w.predReady,
-					atBarrier: w.atBarrier, done: w.done,
-					wakeAt: w.wakeAt, threadBase: w.threadBase,
-				}
-				blk.warps[wi] = warp
+				wp := warpAt(blk, wi)
+				wp.blk, wp.idx, wp.pc = blk, w.idx, w.pc
+				wp.valid, wp.active, wp.exited = w.valid, w.active, w.exited
+				wp.stack = append(wp.stack[:0], w.stack...)
+				wp.preds = w.preds
+				wp.regReady = append(wp.regReady[:0], w.regReady...)
+				wp.predReady = w.predReady
+				wp.atBarrier, wp.done = w.atBarrier, w.done
+				wp.wakeAt, wp.threadBase = w.wakeAt, w.threadBase
 				if !w.done {
 					sm.liveWarp++
 				}
 				if slot == img.greedySlot && wi == img.greedyWarp {
-					sm.greedy = warp
+					sm.greedy = wp
 				}
 			}
 			sm.blocks[slot] = blk

@@ -3,6 +3,7 @@ package service
 import (
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/campaign"
@@ -59,9 +60,17 @@ func TestJobPolicyCheckpointValidation(t *testing.T) {
 	defer ts.Close()
 
 	spec := testutil.MiniSpec("vectoradd", 5)
-	var errBody map[string]string
+	var errBody struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
 	testutil.PostJSON(t, ts.URL, "/v1/jobs", map[string]any{
 		"cells":  []campaign.CellSpec{spec},
 		"policy": map[string]any{"checkpoint": map[string]any{"interval": -5}},
 	}, &errBody, http.StatusBadRequest)
+	if errBody.Error.Code != "bad_request" || !strings.Contains(errBody.Error.Message, "checkpoint interval") {
+		t.Fatalf("error envelope %+v", errBody)
+	}
 }

@@ -108,23 +108,14 @@ type cellState struct {
 }
 
 // jobPolicy is the wire form of the execution policy applied to every
-// cell of a submitted batch. Worker counts stay server-owned (the
-// scheduler divides the machine across cells), so only the
-// result-affecting fields are exposed.
-type jobPolicy struct {
-	// Confidence is the adaptive stopping rule's level (0.99 when 0).
-	Confidence float64 `json:"confidence"`
-	// Margin > 0 turns on adaptive sampling per cell.
-	Margin float64 `json:"margin"`
-	// MaxInjections overrides each cell's injection cap when > 0.
-	MaxInjections int `json:"max_injections"`
-	// Checkpoint overrides the checkpointed fast-forward knob for every
-	// cell of the batch: {"off": true} forces full replay, {"interval":
-	// N} fixes the snapshot spacing. Omitted means each cell's own
-	// setting (default: on, auto-sized). Never affects results or cell
-	// keys — it only trades golden-run memory for injection speed.
-	Checkpoint *finject.Checkpoint `json:"checkpoint,omitempty"`
-}
+// cell of a submitted batch: the engine's versioned Config. The field
+// names match the historical ad-hoc policy block (margin, confidence,
+// max_injections, checkpoint), so journals and clients written against
+// it keep parsing; worker counts remain server-owned — the scheduler
+// overwrites them per cell regardless of what a submitter sends. A nil
+// checkpoint means each cell's own setting; the cell seed always comes
+// from the spec, never the policy block.
+type jobPolicy = finject.Config
 
 // NewServer builds a Server around the scheduler.
 func NewServer(sched *campaign.Scheduler) *Server {
@@ -179,9 +170,50 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// httpError writes a JSON error body.
+// errorBody is the unified /v1 error envelope. Every non-2xx JSON
+// answer — jobs, experiments, figures and the worker protocol — has the
+// shape {"error":{"code","message","job_id"}}: a stable machine-readable
+// code derived from the status, the human-readable message, and the job
+// the error concerns when one exists. Streamed NDJSON error *events*
+// keep their own flat shape; this envelope covers request/response
+// errors only.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	JobID   string `json:"job_id,omitempty"`
+}
+
+// errorCode maps a status code onto the envelope's stable slug.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusGone:
+		return "gone"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "error"
+	}
+}
+
+// httpError writes the error envelope with no job attribution.
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	httpJobError(w, code, "", format, args...)
+}
+
+// httpJobError writes the error envelope for an error concerning jobID
+// (empty when the request never resolved to a job).
+func httpJobError(w http.ResponseWriter, code int, jobID, format string, args ...any) {
+	writeJSON(w, code, map[string]errorBody{"error": {
+		Code:    errorCode(code),
+		Message: fmt.Sprintf(format, args...),
+		JobID:   jobID,
+	}})
 }
 
 // journal appends one record to the job journal, if one is attached.
@@ -229,23 +261,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if p := req.Policy; p != nil {
 		// Same legality rules as the figure endpoint's query parameters;
 		// zero values mean "default", so only genuinely out-of-range
-		// policies are rejected.
-		if p.Margin < 0 || p.Margin >= 1 {
-			httpError(w, http.StatusBadRequest, "bad policy margin %v (want [0,1))", p.Margin)
+		// policies are rejected. Normalize owns the rules (and the exact
+		// error text, which is part of the API).
+		norm, err := p.Normalize()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		if p.Confidence < 0 || p.Confidence >= 1 {
-			httpError(w, http.StatusBadRequest, "bad policy confidence %v (want [0,1))", p.Confidence)
-			return
-		}
-		if p.MaxInjections < 0 {
-			httpError(w, http.StatusBadRequest, "bad policy max_injections %d", p.MaxInjections)
-			return
-		}
-		if p.Checkpoint != nil && p.Checkpoint.Interval < 0 {
-			httpError(w, http.StatusBadRequest, "bad policy checkpoint interval %d", p.Checkpoint.Interval)
-			return
-		}
+		*p = norm
 	}
 	batch, cells, err := buildBatch(req.Cells, req.Policy)
 	if err != nil {
@@ -307,16 +330,11 @@ func buildBatch(specs []campaign.CellSpec, policy *jobPolicy) ([]finject.Campaig
 			return nil, nil, fmt.Errorf("cell %d: %v", i, err)
 		}
 		if policy != nil {
-			ckpt := c.Policy.Checkpoint // the cell's own knob, unless overridden
-			if policy.Checkpoint != nil {
-				ckpt = *policy.Checkpoint
-			}
-			c.Policy = finject.Policy{
-				Confidence:    policy.Confidence,
-				Margin:        policy.Margin,
-				MaxInjections: policy.MaxInjections,
-				Checkpoint:    ckpt,
-			}
+			// The batch policy replaces each cell's stopping rule but keeps
+			// the cell's own checkpoint knob unless the policy sets one; a
+			// seed in the policy block is ignored — cell identity always
+			// comes from the spec.
+			c.Policy = policy.Policy(c.Policy.Checkpoint)
 		}
 		batch[i] = c
 		cells[i] = cellState{Spec: campaign.SpecOf(c), State: "pending"}
@@ -406,7 +424,7 @@ func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *job {
 	j := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if j == nil {
-		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		httpJobError(w, http.StatusNotFound, r.PathValue("id"), "unknown job %q", r.PathValue("id"))
 	}
 	return j
 }
@@ -445,11 +463,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state == "running" {
-		httpError(w, http.StatusConflict, "job %s still running (%d/%d cells)", j.id, j.done, len(j.cells))
+		httpJobError(w, http.StatusConflict, j.id, "job %s still running (%d/%d cells)", j.id, j.done, len(j.cells))
 		return
 	}
 	if j.state != "done" {
-		httpError(w, http.StatusConflict, "job %s %s: %s", j.id, j.state, j.errMsg)
+		httpJobError(w, http.StatusConflict, j.id, "job %s %s: %s", j.id, j.state, j.errMsg)
 		return
 	}
 	if j.kind == "experiment" {
@@ -509,7 +527,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs[id]
 	if j == nil {
 		s.mu.Unlock()
-		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		httpJobError(w, http.StatusNotFound, id, "unknown job %q", id)
 		return
 	}
 	j.mu.Lock()

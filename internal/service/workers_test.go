@@ -54,10 +54,10 @@ func completeLease(t *testing.T, ts *httptest.Server, leaseID string, res *finje
 func runRemoteCell(t *testing.T, task campaign.Task) *finject.Result {
 	t.Helper()
 	spec := task.Spec.Normalize()
-	pol := task.Policy
-	pol.Workers = 2
+	cfg := task.Policy
+	cfg.Workers = 2
 	res, err := campaign.NewLocalExecutor().Execute(context.Background(),
-		campaign.Request{Spec: spec, Key: spec.Key(), Policy: pol})
+		campaign.Request{Spec: spec, Key: spec.Key(), Policy: cfg.Policy(spec.CheckpointPolicy())})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestLeaseTaskWireFormat(t *testing.T) {
 	// reconstruct the campaign from the registries alone.
 	task := campaign.Task{
 		Spec:   testutil.MiniSpec("vectoradd", 45).Normalize(),
-		Policy: finject.Policy{Margin: 0.05, Confidence: 0.95},
+		Policy: finject.Config{Margin: 0.05, Confidence: 0.95},
 	}
 	buf, err := json.Marshal(task)
 	if err != nil {
@@ -268,7 +268,7 @@ func TestLeaseTaskWireFormat(t *testing.T) {
 	if err := json.Unmarshal(buf, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != task {
+	if back.Spec != task.Spec || !back.Policy.Equal(task.Policy) || back.Corr != task.Corr {
 		t.Fatalf("task round-trip changed it:\n%+v\n%+v", task, back)
 	}
 	if _, err := back.Spec.Campaign(); err != nil {

@@ -53,6 +53,10 @@ var (
 		"Injections replayed from cycle zero (no usable rung).")
 	FastForwardCycles = Default.Counter("fi_inject_ff_cycles_total",
 		"Simulated cycles skipped via checkpoint restore.")
+	RestorePagesCopied = Default.Counter("fi_inject_restore_pages_copied_total",
+		"Memory pages copied by COW snapshot restores (identity mismatch).")
+	RestorePagesShared = Default.Counter("fi_inject_restore_pages_shared_total",
+		"Memory pages skipped by COW snapshot restores (identity match).")
 	SimulatedCycles = Default.Counter("fi_inject_sim_cycles_total",
 		"Cycles actually simulated during injection classification.")
 	LadderBuilds = Default.Counter("fi_ladder_builds_total",

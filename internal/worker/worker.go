@@ -63,11 +63,22 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
+		// Both server generations speak here: the unified envelope
+		// {"error":{"code","message",...}} and the legacy flat string.
 		var e struct {
-			Error string `json:"error"`
+			Error json.RawMessage `json:"error"`
 		}
 		json.NewDecoder(resp.Body).Decode(&e)
-		return &statusError{code: resp.StatusCode, msg: e.Error}
+		msg := ""
+		if json.Unmarshal(e.Error, &msg) != nil {
+			var env struct {
+				Message string `json:"message"`
+			}
+			if json.Unmarshal(e.Error, &env) == nil {
+				msg = env.Message
+			}
+		}
+		return &statusError{code: resp.StatusCode, msg: msg}
 	}
 	if out == nil {
 		return nil
@@ -285,9 +296,12 @@ func (w *Worker) runLease(ctx context.Context, l campaign.Lease) {
 	}()
 
 	spec := l.Task.Spec.Normalize()
-	pol := l.Task.Policy
-	pol.Workers = w.opts.CampaignWorkers
-	pol.MaxInjections = 0
+	cfg := l.Task.Policy
+	cfg.Workers = w.opts.CampaignWorkers
+	cfg.MaxInjections = 0
+	// Flatten the wire config onto the engine policy, defaulting the
+	// checkpoint knob to the spec's own when the config leaves it unset.
+	pol := cfg.Policy(spec.CheckpointPolicy())
 	res, err := w.exec.Execute(cellCtx, campaign.Request{Spec: spec, Key: spec.Key(), Policy: pol})
 	if cellCtx.Err() != nil {
 		return // dying or revoked mid-cell: let the lease expire
