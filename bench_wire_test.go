@@ -1,0 +1,124 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/finject"
+	"repro/internal/gpu"
+	"repro/internal/wire"
+)
+
+// benchCellResult builds a representative stored cell: aggregate counts
+// plus a full per-injection detail stream, the shape a Detail campaign
+// persists.
+func benchCellResult(n int) *finject.Result {
+	res := &finject.Result{Injections: n, Occupancy: 0.42}
+	res.Outcomes[gpu.OutcomeMasked] = n - n/8 - n/16
+	res.Outcomes[gpu.OutcomeSDC] = n / 8
+	res.Outcomes[gpu.OutcomeDUE] = n / 16
+	res.GoldenStats = gpu.RunStats{Cycles: 123456, Instructions: 98765, LaneInstructions: 3456789, Launches: 2}
+	res.Records = make([]finject.Record, n)
+	for i := range res.Records {
+		res.Records[i] = finject.Record{
+			Fault: gpu.Fault{
+				Structure: gpu.RegisterFile, Unit: i % 16, Entry: i % 4096,
+				Bit: uint(i % 32), Cycle: int64(100 * i),
+			},
+			Outcome:      gpu.Outcome(i % int(gpu.NumOutcomes)),
+			CorruptBytes: (i % 7) * 4,
+		}
+	}
+	return res
+}
+
+// benchSeedStores writes the same cells to a JSON-lines and a binary
+// store, returning both paths.
+func benchSeedStores(b *testing.B, dir string, cells, perCell int) (jsonPath, binPath string) {
+	b.Helper()
+	jsonPath = filepath.Join(dir, "cells.jsonl")
+	binPath = filepath.Join(dir, "cells.store")
+	for _, tc := range []struct{ path, format string }{
+		{jsonPath, campaign.FormatJSON},
+		{binPath, campaign.FormatBinary},
+	} {
+		st, err := campaign.OpenStore(tc.path, tc.format)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < cells; i++ {
+			key := campaign.CellSpec{Chip: "Mini NVIDIA", Benchmark: "matrixMul", Seed: uint64(i)}.Key()
+			if err := st.Put(key, benchCellResult(perCell)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return jsonPath, binPath
+}
+
+// BenchmarkWireEncodeDecode measures the wire codec round trip for one
+// detailed cell result — the per-Put and per-open unit of work of the
+// binary store.
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	res := benchCellResult(400)
+	var frame []byte
+	for i := 0; i < b.N; i++ {
+		var w wire.Writer
+		finject.EncodeResult(&w, res)
+		frame = w.Bytes()
+		got, err := finject.DecodeResult(wire.NewReader(frame))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Injections != res.Injections || len(got.Records) != len(res.Records) {
+			b.Fatal("round trip lost data")
+		}
+	}
+	b.SetBytes(int64(len(frame)))
+}
+
+// BenchmarkBinaryStoreOpen contrasts cold-opening (index rebuild) of the
+// two store formats over identical contents, and reports their on-disk
+// sizes — the axis the wire format exists to win.
+func BenchmarkBinaryStoreOpen(b *testing.B) {
+	dir := b.TempDir()
+	jsonPath, binPath := benchSeedStores(b, dir, 40, 400)
+	js, err := os.Stat(jsonPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs, err := os.Stat(binPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("on-disk: json %d bytes, binary %d bytes (%.2fx smaller)",
+		js.Size(), bs.Size(), float64(js.Size())/float64(bs.Size()))
+
+	for _, tc := range []struct{ name, path string }{
+		{"json", jsonPath},
+		{"binary", binPath},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var cells int
+			for i := 0; i < b.N; i++ {
+				st, err := campaign.OpenStore(tc.path, campaign.FormatAuto)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = st.Len()
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if cells != 40 {
+				b.Fatalf("store holds %d cells, want 40", cells)
+			}
+			b.ReportMetric(float64(cells), "cells")
+		})
+	}
+}

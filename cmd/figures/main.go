@@ -48,6 +48,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/finject"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
@@ -78,7 +79,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "campaign seed")
 		benches   = fs.String("bench", "", "comma-separated benchmark subset (default: figure-appropriate suite)")
 		chipSel   = fs.String("chips", "", "comma-separated chip subset (default: the paper's four)")
-		storePath = fs.String("store", "", "JSON-lines result store path (in-memory only when empty)")
+		storePath = fs.String("store", "", "result store path (in-memory only when empty)")
+		storeFmt  = fs.String("store-format", campaign.FormatAuto, "store file format: auto (sniff existing files, JSON for new), json, or binary")
+		ladderDir = fs.String("ladder-dir", "", "directory for persisted checkpoint ladders, shared read-only (mmap) across processes")
 		asJSON    = fs.Bool("json", false, "emit figures as JSON instead of tables")
 		specPath  = fs.String("spec", "", "run this experiment spec (JSON) instead of a canned figure")
 		serverURL = fs.String("server", "", "with -spec: run on this fiserver (POST /v1/experiments) instead of locally")
@@ -103,6 +106,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	if err := pf.Validate(); err != nil {
 		return err
+	}
+	if *ladderDir != "" {
+		if err := os.MkdirAll(*ladderDir, 0o755); err != nil {
+			return fmt.Errorf("-ladder-dir: %w", err)
+		}
+		finject.SetLadderDir(*ladderDir)
 	}
 
 	if *specPath != "" {
@@ -129,7 +138,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				spec.Seed = *seed
 			}
 		})
-		return runSpec(ctx, spec, *serverURL, *storePath, pf.Workers, *asJSON, stdout, log)
+		return runSpec(ctx, spec, *serverURL, *storePath, *storeFmt, pf.Workers, *asJSON, stdout, log)
 	}
 	if *serverURL != "" {
 		return errors.New("-server needs -spec (the canned figures run locally)")
@@ -137,7 +146,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	var store campaign.Store
 	if *storePath != "" {
-		ds, err := campaign.OpenDiskStore(*storePath)
+		ds, err := campaign.OpenStore(*storePath, *storeFmt)
 		if err != nil {
 			return err
 		}
@@ -186,7 +195,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err := writeFigure(stdout, f, title, *asJSON); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "\n(fig 1 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+		wallTime(stdout, log, *asJSON, "fig 1", start)
 	}
 	if run2 {
 		start := time.Now()
@@ -198,7 +207,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err := writeFigure(stdout, f, title, *asJSON); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "\n(fig 2 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+		wallTime(stdout, log, *asJSON, "fig 2", start)
 	}
 	if run3 {
 		start := time.Now()
@@ -216,7 +225,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if werr != nil {
 			return werr
 		}
-		fmt.Fprintf(stdout, "\n(fig 3 wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+		wallTime(stdout, log, *asJSON, "fig 3", start)
 	}
 	st := sched.Stats()
 	log.Info("campaigns done",
@@ -236,7 +245,7 @@ func writeFigure(w io.Writer, f *core.Figure, title string, asJSON bool) error {
 // runSpec executes one declarative experiment spec — locally over a
 // scheduler (honoring -store and -workers) or on a fiserver via the
 // shared client — and renders the result as tables or JSON.
-func runSpec(ctx context.Context, spec experiment.Spec, serverURL, storePath string, workers int, asJSON bool, stdout io.Writer, log *slog.Logger) error {
+func runSpec(ctx context.Context, spec experiment.Spec, serverURL, storePath, storeFormat string, workers int, asJSON bool, stdout io.Writer, log *slog.Logger) error {
 	start := time.Now()
 	var res *experiment.Result
 	if serverURL != "" {
@@ -257,7 +266,7 @@ func runSpec(ctx context.Context, spec experiment.Spec, serverURL, storePath str
 	} else {
 		var store campaign.Store
 		if storePath != "" {
-			ds, err := campaign.OpenDiskStore(storePath)
+			ds, err := campaign.OpenStore(storePath, storeFormat)
 			if err != nil {
 				return err
 			}
@@ -292,6 +301,19 @@ func runSpec(ctx context.Context, spec experiment.Spec, serverURL, storePath str
 			return err
 		}
 	}
-	fmt.Fprintf(stdout, "\n(spec wall time: %v)\n", time.Since(start).Round(time.Millisecond))
+	wallTime(stdout, log, asJSON, "spec", start)
 	return nil
+}
+
+// wallTime reports a phase's wall-clock time: appended to the tables in
+// human mode, routed to the structured log under -json so the machine
+// output stays a comparable JSON document (the store-format CI smoke
+// diffs it byte for byte).
+func wallTime(stdout io.Writer, log *slog.Logger, asJSON bool, phase string, start time.Time) {
+	d := time.Since(start).Round(time.Millisecond)
+	if asJSON {
+		log.Info("phase done", "phase", phase, "wall", d.String())
+		return
+	}
+	fmt.Fprintf(stdout, "\n(%s wall time: %v)\n\n", phase, d)
 }

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/cli"
+	"repro/internal/finject"
 	"repro/internal/service"
 )
 
@@ -69,7 +70,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		addr      = fs.String("addr", ":8080", "listen address")
-		storePath = fs.String("store", "", "JSON-lines result store path (in-memory only when empty)")
+		storePath = fs.String("store", "", "result store path (in-memory only when empty)")
+		storeFmt  = fs.String("store-format", campaign.FormatAuto, "store file format: auto (sniff existing files, JSON for new), json, or binary")
+		ladderDir = fs.String("ladder-dir", "", "directory for persisted checkpoint ladders, shared read-only (mmap) across processes")
 		jobStore  = fs.String("job-store", "", "write-ahead job journal path; jobs survive restart and unfinished ones resume on boot")
 		memCap    = fs.Int("mem-cap", 0, "in-memory store capacity in cells (0 = unbounded; ignored with -store)")
 		workers   = fs.Int("workers", 0, "concurrently executing cells (default GOMAXPROCS; with -workers-remote, the fleet-wide in-flight bound, default 256)")
@@ -94,9 +97,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}()
 
+	if *ladderDir != "" {
+		if err := os.MkdirAll(*ladderDir, 0o755); err != nil {
+			return fmt.Errorf("-ladder-dir: %w", err)
+		}
+		finject.SetLadderDir(*ladderDir)
+	}
+
 	var store campaign.Store
 	if *storePath != "" {
-		ds, err := campaign.OpenDiskStore(*storePath)
+		ds, err := campaign.OpenStore(*storePath, *storeFmt)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,356 @@
+// Command fistore inspects, verifies and converts the on-disk files of
+// the campaign fleet: result stores (JSON lines or the binary wire
+// format) and binary checkpoint-ladder files.
+//
+//	fistore inspect cells.store        header, record counts, dedupe ratio
+//	fistore verify  cells.store        full structural + checksum check
+//	fistore convert -to binary cells.jsonl cells.store
+//	fistore convert -to json   cells.store cells.jsonl
+//
+// inspect and verify are strictly read-only (they never compact or
+// truncate, unlike opening a store for campaigning). convert copies the
+// live records of a store into a fresh file of the other format and then
+// proves the copy by re-reading both files and comparing every record.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/campaign"
+	"repro/internal/finject"
+	"repro/internal/wire"
+)
+
+// errUsage marks argument errors already reported on stderr.
+var errUsage = errors.New("usage error")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintf(os.Stderr, "fistore: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func usage(stderr io.Writer) error {
+	fmt.Fprintln(stderr, "usage: fistore inspect <file> | verify <file> | convert -to json|binary <src> <dst>")
+	return errUsage
+}
+
+// run is main's testable core.
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return usage(stderr)
+	}
+	switch args[0] {
+	case "inspect":
+		if len(args) != 2 {
+			return usage(stderr)
+		}
+		return inspect(args[1], stdout)
+	case "verify":
+		if len(args) != 2 {
+			return usage(stderr)
+		}
+		return verify(args[1], stdout)
+	case "convert":
+		fs := flag.NewFlagSet("fistore convert", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		to := fs.String("to", "", "target store format: json or binary")
+		if err := fs.Parse(args[1:]); err != nil {
+			if errors.Is(err, flag.ErrHelp) {
+				return nil
+			}
+			return errUsage
+		}
+		if fs.NArg() != 2 || (*to != campaign.FormatJSON && *to != campaign.FormatBinary) {
+			return usage(stderr)
+		}
+		return convert(fs.Arg(0), fs.Arg(1), *to, stdout)
+	default:
+		return usage(stderr)
+	}
+}
+
+// inspect prints a read-only summary of any fleet file.
+func inspect(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if !wire.IsWireFile(data) {
+		return inspectJSONStore(path, data, w)
+	}
+	kind, _, err := wire.ParseHeader(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(w, "%s: wire v%d %s file, %d bytes\n", path, data[4], kind, len(data))
+	switch kind {
+	case wire.FileStore:
+		return inspectBinaryStore(path, data, w)
+	case wire.FileLadder:
+		return inspectLadder(path, data, w)
+	}
+	return nil
+}
+
+// inspectJSONStore summarizes a JSON-lines result store without opening
+// it for writing (no compaction, no torn-tail truncation).
+func inspectJSONStore(path string, data []byte, w io.Writer) error {
+	live := map[campaign.CellKey]bool{}
+	records, torn := 0, false
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			torn = true
+			break
+		}
+		if raw := bytes.TrimSpace(rest[:nl]); len(raw) > 0 {
+			key, _, err := campaign.DecodeJSONRecord(raw)
+			if err != nil {
+				return fmt.Errorf("%s record %d: %w", path, records+1, err)
+			}
+			live[key] = true
+			records++
+		}
+		rest = rest[nl+1:]
+	}
+	fmt.Fprintf(w, "%s: JSON-lines store, %d bytes\n", path, len(data))
+	fmt.Fprintf(w, "  records   %d (%d live, %d dead)\n", records, len(live), records-len(live))
+	if torn {
+		fmt.Fprintln(w, "  torn tail (unterminated final record; healed on next open)")
+	}
+	return nil
+}
+
+// inspectBinaryStore summarizes a wire-format result store.
+func inspectBinaryStore(path string, data []byte, w io.Writer) error {
+	live := map[campaign.CellKey]bool{}
+	records := 0
+	good, err := wire.ScanRecords(data, func(rec wire.Record) error {
+		if rec.Kind != wire.RecCell {
+			return nil
+		}
+		r := wire.NewReader(rec.Payload)
+		key := campaign.CellKey(r.String())
+		if err := r.Err(); err != nil {
+			return err
+		}
+		live[key] = true
+		records++
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(w, "  records   %d (%d live, %d dead)\n", records, len(live), records-len(live))
+	if good < len(data) {
+		fmt.Fprintf(w, "  torn tail (%d trailing bytes; healed on next open)\n", len(data)-good)
+	}
+	return nil
+}
+
+// inspectLadder summarizes a ladder file: identity, rungs, and how much
+// the content-addressed page pool deduplicated.
+func inspectLadder(path string, data []byte, w io.Writer) error {
+	var (
+		pages, snapshots int
+		refs             int
+		metaBytes        int
+	)
+	_, err := wire.ScanRecords(data, func(rec wire.Record) error {
+		switch rec.Kind {
+		case wire.RecLadderInfo:
+			r := wire.NewReader(rec.Payload)
+			chip, bench, interval, declared := r.String(), r.String(), r.I64(), r.U32()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			iv := "auto"
+			if interval > 0 {
+				iv = fmt.Sprintf("%d cycles", interval)
+			}
+			fmt.Fprintf(w, "  ladder    %s / %s, interval %s, %d rungs\n", chip, bench, iv, declared)
+		case wire.RecPage:
+			pages++
+		case wire.RecSnapshot:
+			r := wire.NewReader(rec.Payload)
+			r.I64()
+			r.U32()
+			r.U32()
+			refs += len(r.U32s())
+			metaBytes += len(r.Blob())
+			if err := r.Err(); err != nil {
+				return err
+			}
+			snapshots++
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(w, "  snapshots %d (%d bytes device meta)\n", snapshots, metaBytes)
+	dedup := 0.0
+	if refs > 0 {
+		dedup = 1 - float64(pages)/float64(refs)
+	}
+	fmt.Fprintf(w, "  pages     %d stored for %d references (%.1f%% deduplicated)\n", pages, refs, 100*dedup)
+	return nil
+}
+
+// verify fully checks a file: framing, checksums, and record decodes.
+func verify(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if !wire.IsWireFile(data) {
+		return verifyJSONStore(path, data, w)
+	}
+	kind, _, err := wire.ParseHeader(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	switch kind {
+	case wire.FileStore:
+		records := 0
+		good, err := wire.ScanRecords(data, func(rec wire.Record) error {
+			if rec.Kind != wire.RecCell {
+				return nil
+			}
+			r := wire.NewReader(rec.Payload)
+			if key := r.String(); key == "" {
+				return fmt.Errorf("%w: record at offset %d has an empty key", wire.ErrCorrupt, rec.Off)
+			}
+			if _, err := finject.DecodeResult(r); err != nil {
+				return fmt.Errorf("record at offset %d: %w", rec.Off, err)
+			}
+			records++
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if good < len(data) {
+			fmt.Fprintf(w, "%s: ok, %d records (torn tail of %d bytes; healed on next open)\n", path, records, len(data)-good)
+			return nil
+		}
+		fmt.Fprintf(w, "%s: ok, %d records\n", path, records)
+		return nil
+	case wire.FileLadder:
+		pages, snapshots, err := wire.VerifyLadder(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(w, "%s: ok, %d snapshots over %d pages\n", path, snapshots, pages)
+		return nil
+	}
+	return fmt.Errorf("%s: unknown wire file kind", path)
+}
+
+// verifyJSONStore decodes every line of a JSON store.
+func verifyJSONStore(path string, data []byte, w io.Writer) error {
+	records := 0
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			fmt.Fprintf(w, "%s: ok, %d records (torn tail of %d bytes; healed on next open)\n", path, records, len(rest))
+			return nil
+		}
+		if raw := bytes.TrimSpace(rest[:nl]); len(raw) > 0 {
+			if _, _, err := campaign.DecodeJSONRecord(raw); err != nil {
+				return fmt.Errorf("%s record %d: %w", path, records+1, err)
+			}
+			records++
+		}
+		rest = rest[nl+1:]
+	}
+	fmt.Fprintf(w, "%s: ok, %d records\n", path, records)
+	return nil
+}
+
+// convert copies the live records of the store at src into a fresh dst
+// file of the target format, then re-reads both files and proves every
+// record survived the round trip.
+func convert(src, dst, format string, w io.Writer) error {
+	if _, err := os.Stat(dst); err == nil {
+		return fmt.Errorf("%s already exists (refusing to overwrite)", dst)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	from, err := campaign.OpenStore(src, campaign.FormatAuto)
+	if err != nil {
+		return err
+	}
+	defer from.Close()
+	to, err := campaign.OpenStore(dst, format)
+	if err != nil {
+		return err
+	}
+	for _, k := range from.Keys() {
+		res, ok, err := from.Get(k)
+		if err != nil || !ok {
+			to.Close()
+			return fmt.Errorf("read %s from %s: ok=%v err=%v", k, src, ok, err)
+		}
+		if err := to.Put(k, res); err != nil {
+			to.Close()
+			return err
+		}
+	}
+	if err := to.Close(); err != nil {
+		return err
+	}
+
+	// Prove the conversion: a fresh open of dst must contain exactly the
+	// records of src.
+	check, err := campaign.OpenStore(dst, campaign.FormatAuto)
+	if err != nil {
+		return fmt.Errorf("re-open converted store: %w", err)
+	}
+	defer check.Close()
+	if check.Len() != from.Len() {
+		return fmt.Errorf("converted store holds %d cells, source holds %d", check.Len(), from.Len())
+	}
+	for _, k := range from.Keys() {
+		want, _, _ := from.Get(k)
+		got, ok, err := check.Get(k)
+		if err != nil || !ok {
+			return fmt.Errorf("converted store is missing cell %s", k)
+		}
+		if !resultsEqual(want, got) {
+			return fmt.Errorf("cell %s does not round-trip", k)
+		}
+	}
+	sb, _ := os.Stat(src)
+	db, _ := os.Stat(dst)
+	fmt.Fprintf(w, "%s (%d bytes) -> %s (%s, %d bytes): %d cells converted and verified\n",
+		src, sb.Size(), dst, format, db.Size(), from.Len())
+	return nil
+}
+
+// resultsEqual compares two results field by field, treating nil and
+// empty detail slices as equal (JSON and wire encode them the same way).
+func resultsEqual(a, b *finject.Result) bool {
+	if a.Outcomes != b.Outcomes || a.Injections != b.Injections ||
+		a.GoldenStats != b.GoldenStats || a.Occupancy != b.Occupancy ||
+		len(a.Records) != len(b.Records) {
+		return false
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,189 @@
+package amdsim
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/siasm"
+	"repro/internal/wire"
+)
+
+// Wire codec for amdsim snapshots (gpu.SnapshotCodec), mirroring
+// internal/nvsim's: the memory image travels as content-addressed pages
+// in the ladder file, the meta blob carries execution statistics and the
+// per-CU scheduler state. The layout is private to amdsim and versioned
+// only through the enclosing wire file version.
+
+// MarshalSnapshot implements gpu.SnapshotCodec.
+func (d *Device) MarshalSnapshot(s gpu.Snapshot) (*gpu.MemImage, []byte, error) {
+	snap, ok := s.(*snapshot)
+	if !ok {
+		return nil, nil, fmt.Errorf("amdsim: cannot marshal a %T snapshot", s)
+	}
+	var w wire.Writer
+	w.I64(snap.cycle)
+	w.I64(snap.stats.Cycles)
+	w.I64(snap.stats.Instructions)
+	w.I64(snap.stats.LaneInstructions)
+	w.Int(snap.stats.Launches)
+	w.F64(snap.stats.RegOcc.AllocUnitCycles)
+	w.F64(snap.stats.LocalOcc.AllocUnitCycles)
+	w.Int(snap.launches)
+	w.Bool(snap.inflight != nil)
+	if snap.inflight != nil {
+		w.Int(snap.inflight.nextGroup)
+		w.Int(snap.inflight.retired)
+		w.I64(snap.inflight.launchStart)
+	}
+	w.I64(snap.bytes)
+	w.U32(uint32(len(snap.cus)))
+	for _, cu := range snap.cus {
+		w.U32s(cu.vgprs)
+		w.Blob(cu.lds)
+		w.Bools(cu.slots)
+		w.Int(cu.rrWave)
+		w.Int(cu.greedySlot)
+		w.Int(cu.greedyWave)
+		w.U32(uint32(len(cu.groups)))
+		for _, g := range cu.groups {
+			w.Bool(g != nil)
+			if g == nil {
+				continue
+			}
+			w.Int(g.id)
+			w.Int(g.wgX)
+			w.Int(g.wgY)
+			w.Int(g.slot)
+			w.Int(g.vgprBase)
+			w.Int(g.vgprCount)
+			w.Int(g.ldsBase)
+			w.Int(g.ldsCount)
+			w.Int(g.live)
+			w.Int(g.arrived)
+			w.I64(g.allocCycle)
+			w.U32(uint32(len(g.waves)))
+			for i := range g.waves {
+				wv := &g.waves[i]
+				w.Int(wv.idx)
+				w.Int(wv.pc)
+				w.U64(wv.valid)
+				w.U64(wv.exec)
+				w.U64(wv.vcc)
+				w.Bool(wv.scc)
+				for _, v := range wv.sgprs {
+					w.U32(v)
+				}
+				w.I64s(wv.vgprReady)
+				for _, rdy := range wv.sgprReady {
+					w.I64(rdy)
+				}
+				w.I64(wv.vccReady)
+				w.I64(wv.execReady)
+				w.I64(wv.sccReady)
+				w.Bool(wv.atBarrier)
+				w.Bool(wv.done)
+				w.I64(wv.wakeAt)
+				w.Int(wv.threadBase)
+				w.Int(wv.vgprWBase)
+			}
+		}
+	}
+	return snap.mem, w.Bytes(), nil
+}
+
+// UnmarshalSnapshot implements gpu.SnapshotCodec. The returned snapshot
+// references mem directly (which may alias a read-only mapping — the
+// restore path only copies out of images, never into them).
+func (d *Device) UnmarshalSnapshot(mem *gpu.MemImage, meta []byte) (gpu.Snapshot, error) {
+	r := wire.NewReader(meta)
+	snap := &snapshot{mem: mem}
+	snap.cycle = r.I64()
+	snap.stats.Cycles = r.I64()
+	snap.stats.Instructions = r.I64()
+	snap.stats.LaneInstructions = r.I64()
+	snap.stats.Launches = r.Int()
+	snap.stats.RegOcc.AllocUnitCycles = r.F64()
+	snap.stats.LocalOcc.AllocUnitCycles = r.F64()
+	snap.launches = r.Int()
+	if r.Bool() {
+		snap.inflight = &inflightImage{
+			nextGroup:   r.Int(),
+			retired:     r.Int(),
+			launchStart: r.I64(),
+		}
+	}
+	snap.bytes = r.I64()
+	ncu := int(r.U32())
+	if r.Err() != nil {
+		return nil, fmt.Errorf("amdsim: snapshot meta: %w", r.Err())
+	}
+	if ncu < 0 || ncu > r.Remaining() {
+		return nil, fmt.Errorf("amdsim: snapshot meta: %w: implausible CU count %d", wire.ErrCorrupt, ncu)
+	}
+	snap.cus = make([]cuImage, ncu)
+	for i := range snap.cus {
+		cu := &snap.cus[i]
+		cu.vgprs = r.U32s()
+		cu.lds = r.Blob()
+		cu.slots = r.Bools()
+		cu.rrWave = r.Int()
+		cu.greedySlot = r.Int()
+		cu.greedyWave = r.Int()
+		ng := int(r.U32())
+		if r.Err() != nil {
+			return nil, fmt.Errorf("amdsim: snapshot meta: %w", r.Err())
+		}
+		if ng < 0 || ng > r.Remaining() {
+			return nil, fmt.Errorf("amdsim: snapshot meta: %w: implausible group count %d", wire.ErrCorrupt, ng)
+		}
+		cu.groups = make([]*groupImage, ng)
+		for slot := range cu.groups {
+			if !r.Bool() {
+				continue
+			}
+			g := &groupImage{
+				id: r.Int(), wgX: r.Int(), wgY: r.Int(), slot: r.Int(),
+				vgprBase: r.Int(), vgprCount: r.Int(),
+				ldsBase: r.Int(), ldsCount: r.Int(),
+				live: r.Int(), arrived: r.Int(), allocCycle: r.I64(),
+			}
+			nw := int(r.U32())
+			if r.Err() != nil {
+				return nil, fmt.Errorf("amdsim: snapshot meta: %w", r.Err())
+			}
+			if nw < 0 || nw > r.Remaining() {
+				return nil, fmt.Errorf("amdsim: snapshot meta: %w: implausible wave count %d", wire.ErrCorrupt, nw)
+			}
+			g.waves = make([]waveImage, nw)
+			for wi := range g.waves {
+				wv := &g.waves[wi]
+				wv.idx = r.Int()
+				wv.pc = r.Int()
+				wv.valid = r.U64()
+				wv.exec = r.U64()
+				wv.vcc = r.U64()
+				wv.scc = r.Bool()
+				for si := 0; si < siasm.MaxSGPRs; si++ {
+					wv.sgprs[si] = r.U32()
+				}
+				wv.vgprReady = r.I64s()
+				for si := 0; si < siasm.MaxSGPRs; si++ {
+					wv.sgprReady[si] = r.I64()
+				}
+				wv.vccReady = r.I64()
+				wv.execReady = r.I64()
+				wv.sccReady = r.I64()
+				wv.atBarrier = r.Bool()
+				wv.done = r.Bool()
+				wv.wakeAt = r.I64()
+				wv.threadBase = r.Int()
+				wv.vgprWBase = r.Int()
+			}
+			cu.groups[slot] = g
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("amdsim: snapshot meta: %w", err)
+	}
+	return snap, nil
+}

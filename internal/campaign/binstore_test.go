@@ -1,0 +1,364 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/finject"
+	"repro/internal/gpu"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// detailResult is fakeResult plus per-injection records, so the wire
+// round trip covers the detail path too.
+func detailResult(n int) *finject.Result {
+	res := fakeResult(n)
+	res.Records = []finject.Record{
+		{Fault: gpu.Fault{Structure: gpu.RegisterFile, Unit: 1, Entry: 2, Bit: 3, Cycle: 40}, Outcome: gpu.OutcomeSDC, CorruptBytes: 16},
+		{Fault: gpu.Fault{Structure: gpu.LocalMemory, Unit: 0, Entry: 9, Bit: 7, Width: 4, Cycle: 77}, Outcome: gpu.OutcomeMasked},
+	}
+	return res
+}
+
+func TestBinaryStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.store")
+	b, err := OpenBinaryDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := CellSpec{Chip: "c", Benchmark: "b", Seed: 1}.Key()
+	k2 := CellSpec{Chip: "c", Benchmark: "b", Seed: 2}.Key()
+	if err := b.Put(k1, fakeResult(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(k2, detailResult(60)); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite k1; the newest frame must win after reopen.
+	want1 := detailResult(70)
+	if err := b.Put(k1, want1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := OpenBinaryDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if b2.Len() != 2 || b2.Records() != 3 {
+		t.Fatalf("reopened store: len=%d records=%d, want 2/3", b2.Len(), b2.Records())
+	}
+	got, ok, err := b2.Get(k1)
+	if err != nil || !ok {
+		t.Fatalf("k1 after reopen: %v %v", ok, err)
+	}
+	if got.Injections != want1.Injections || got.Outcomes != want1.Outcomes ||
+		got.GoldenStats != want1.GoldenStats || got.Occupancy != want1.Occupancy ||
+		len(got.Records) != len(want1.Records) {
+		t.Fatalf("k1 round trip: got %+v want %+v", got, want1)
+	}
+	for i := range want1.Records {
+		if got.Records[i] != want1.Records[i] {
+			t.Fatalf("k1 detail record %d: got %+v want %+v", i, got.Records[i], want1.Records[i])
+		}
+	}
+	if got, ok, _ := b2.Get(k2); !ok || got.Injections != 60 || len(got.Records) != 2 {
+		t.Fatalf("k2 round trip: %v %+v", ok, got)
+	}
+}
+
+// TestBinaryStoreHealsTornTail pins the crash contract: any prefix of an
+// interrupted final append is truncated away on open, complete frames
+// survive, and the store keeps appending cleanly afterwards.
+func TestBinaryStoreHealsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.store")
+	b, err := OpenBinaryDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := CellSpec{Chip: "c", Benchmark: "b", Seed: 1}.Key()
+	if err := b.Put(k1, fakeResult(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a process killed mid-append: a second frame with only its
+	// first half on disk.
+	var w wire.Writer
+	w.String(string(CellSpec{Chip: "c", Benchmark: "b", Seed: 2}.Key()))
+	finject.EncodeResult(&w, fakeResult(60))
+	frame := wire.AppendRecord(nil, wire.RecCell, w.Bytes())
+	torn := append(append([]byte(nil), whole...), frame[:len(frame)/2]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := OpenBinaryDiskStore(path)
+	if err != nil {
+		t.Fatalf("torn tail was not healed: %v", err)
+	}
+	if b2.Len() != 1 || b2.Records() != 1 {
+		t.Fatalf("after healing: len=%d records=%d, want 1/1", b2.Len(), b2.Records())
+	}
+	// The next append must land on the healed boundary.
+	k3 := CellSpec{Chip: "c", Benchmark: "b", Seed: 3}.Key()
+	if err := b2.Put(k3, fakeResult(70)); err != nil {
+		t.Fatal(err)
+	}
+	b2.Close()
+	b3, err := OpenBinaryDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b3.Close()
+	if b3.Len() != 2 {
+		t.Fatalf("append after healing lost cells: len=%d", b3.Len())
+	}
+}
+
+func TestBinaryStoreRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.store")
+	b, err := OpenBinaryDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := CellSpec{Chip: "c", Benchmark: "b", Seed: 1}.Key()
+	if err := b.Put(k1, fakeResult(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(CellSpec{Chip: "c", Benchmark: "b", Seed: 2}.Key(), fakeResult(60)); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	// Flip one byte inside the FIRST frame: fully present, bad CRC — a
+	// hard error, never silently healed.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[wire.HeaderSize+20] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenBinaryDiskStore(path); err == nil {
+		t.Fatal("corrupt store opened cleanly")
+	}
+}
+
+func TestBinaryStoreCompactIsByteStable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cells.store")
+	b, err := OpenBinaryDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]CellKey, 5)
+	for i := range keys {
+		keys[i] = CellSpec{Chip: "c", Benchmark: "b", Seed: uint64(i)}.Key()
+	}
+	// Puts in scrambled order with overwrites; compaction must emit
+	// sorted keys so equal stores are byte-identical on disk.
+	for _, i := range []int{3, 1, 4, 0, 2, 1, 3} {
+		if err := b.Put(keys[i], fakeResult(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Records() != 5 || b.Len() != 5 {
+		t.Fatalf("after compact: records=%d len=%d", b.Records(), b.Len())
+	}
+	if err := b.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("repeated compaction changed the file bytes")
+	}
+	b.Close()
+
+	// A sibling store built from the same cells compacts to the same
+	// bytes regardless of insertion order.
+	path2 := filepath.Join(dir, "cells2.store")
+	b2, err := OpenBinaryDiskStore(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2, 4, 1, 3} {
+		if err := b2.Put(keys[i], fakeResult(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	b2.Close()
+	sibling, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, sibling) {
+		t.Fatal("equal stores are not byte-identical after compaction")
+	}
+}
+
+func TestBinaryStoreAutoCompactOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.store")
+	b, err := OpenBinaryDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CellSpec{Chip: "c", Benchmark: "b"}.Key()
+	for i := 0; i <= CompactDeadThreshold+1; i++ {
+		if err := b.Put(key, fakeResult(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := OpenBinaryDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if b2.Records() != 1 || b2.Len() != 1 {
+		t.Fatalf("auto-compaction left records=%d len=%d, want 1/1", b2.Records(), b2.Len())
+	}
+	if res, ok, _ := b2.Get(key); !ok || res.Injections != CompactDeadThreshold+2 {
+		t.Fatalf("latest value lost: ok=%v res=%+v", ok, res)
+	}
+}
+
+func TestOpenStoreRouting(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "cells.jsonl")
+	binPath := filepath.Join(dir, "cells.store")
+	key := CellSpec{Chip: "c", Benchmark: "b"}.Key()
+
+	for _, tc := range []struct{ path, format string }{
+		{jsonPath, FormatJSON},
+		{binPath, FormatBinary},
+	} {
+		st, err := OpenStore(tc.path, tc.format)
+		if err != nil {
+			t.Fatalf("OpenStore(%s): %v", tc.format, err)
+		}
+		if err := st.Put(key, fakeResult(9)); err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+	}
+
+	// Auto sniffs each existing file back to its own implementation.
+	st, err := OpenStore(jsonPath, FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*DiskStore); !ok {
+		t.Fatalf("auto-opened JSON store is %T", st)
+	}
+	st.Close()
+	st, err = OpenStore(binPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*BinaryDiskStore); !ok {
+		t.Fatalf("auto-opened binary store is %T", st)
+	}
+	st.Close()
+
+	// A format that contradicts the file on disk is an error, both ways.
+	if _, err := OpenStore(jsonPath, FormatBinary); err == nil {
+		t.Fatal("binary open of a JSON file should fail")
+	}
+	if _, err := OpenStore(binPath, FormatJSON); err == nil {
+		t.Fatal("json open of a binary file should fail")
+	}
+	if _, err := OpenStore(binPath, "parquet"); err == nil {
+		t.Fatal("unknown format should fail")
+	}
+
+	// The direct constructors refuse the other format too.
+	if _, err := OpenDiskStore(binPath); err == nil {
+		t.Fatal("OpenDiskStore accepted a wire file")
+	}
+	if _, err := OpenBinaryDiskStore(jsonPath); err == nil {
+		t.Fatal("OpenBinaryDiskStore accepted a JSON file")
+	}
+
+	// A fresh path under auto defaults to JSON lines.
+	freshPath := filepath.Join(dir, "fresh")
+	fresh, err := OpenStore(freshPath, FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.(*DiskStore); !ok {
+		t.Fatalf("fresh auto store is %T, want *DiskStore", fresh)
+	}
+	fresh.Close()
+}
+
+// TestStoreGaugeParity proves the two disk formats publish identical
+// fi_store_records_live/_dead accounting for identical histories, and
+// that Close withdraws a store's contribution.
+func TestStoreGaugeParity(t *testing.T) {
+	dir := t.TempDir()
+	k1 := CellSpec{Chip: "c", Benchmark: "b", Seed: 1}.Key()
+	k2 := CellSpec{Chip: "c", Benchmark: "b", Seed: 2}.Key()
+
+	type delta struct{ live, dead int64 }
+	history := func(format, file string) delta {
+		live0 := telemetry.StoreRecordsLive.Value()
+		dead0 := telemetry.StoreRecordsDead.Value()
+		st, err := OpenStore(filepath.Join(dir, file), format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Identical history: two cells, one of them overwritten once.
+		for _, put := range []struct {
+			k CellKey
+			n int
+		}{{k1, 10}, {k2, 20}, {k1, 30}} {
+			if err := st.Put(put.k, fakeResult(put.n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d := delta{telemetry.StoreRecordsLive.Value() - live0, telemetry.StoreRecordsDead.Value() - dead0}
+		st.Close()
+		if l, dd := telemetry.StoreRecordsLive.Value()-live0, telemetry.StoreRecordsDead.Value()-dead0; l != 0 || dd != 0 {
+			t.Fatalf("%s: Close left live=%d dead=%d on the gauges", format, l, dd)
+		}
+		return d
+	}
+
+	j := history(FormatJSON, "cells.jsonl")
+	b := history(FormatBinary, "cells.store")
+	if j != b {
+		t.Fatalf("gauge accounting drifted between formats: json=%+v binary=%+v", j, b)
+	}
+	if j.live != 2 || j.dead != 1 {
+		t.Fatalf("history published live=%d dead=%d, want 2/1", j.live, j.dead)
+	}
+}

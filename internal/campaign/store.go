@@ -6,6 +6,7 @@ import (
 	"container/list"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/finject"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Store is a campaign-result cache keyed by cell identity. Implementations
@@ -103,21 +105,33 @@ type DiskStore struct {
 	// records counts the rows physically in the file; records - len(idx)
 	// are dead (shadowed by a later row for the same key).
 	records int
-	// lastLive/lastDead remember this store's previous contribution to the
-	// fleet record gauges so several open stores aggregate additively;
-	// Close withdraws the contribution.
+	gauges  storeGauges
+}
+
+// storeGauges tracks one store's contribution to the fleet-wide
+// fi_store_disk_records_live/_dead gauges. Both disk store formats
+// publish through this one helper, so their accounting cannot drift:
+// contributions are deltas against the store's previous sync (several
+// open stores aggregate additively) and Close withdraws them.
+type storeGauges struct {
 	lastLive, lastDead int
 }
 
-// syncGaugesLocked publishes the store's live/dead record counts to the
-// fleet gauges as deltas against its previous contribution. Callers
-// hold d.mu.
+// sync publishes the store's current live/dead record counts. Callers
+// hold their store's mutex.
+func (g *storeGauges) sync(live, dead int) {
+	telemetry.StoreRecordsLive.Add(int64(live - g.lastLive))
+	telemetry.StoreRecordsDead.Add(int64(dead - g.lastDead))
+	g.lastLive, g.lastDead = live, dead
+}
+
+// withdraw removes the store's contribution entirely (Close).
+func (g *storeGauges) withdraw() { g.sync(0, 0) }
+
+// syncGaugesLocked publishes the store's live/dead record counts.
+// Callers hold d.mu.
 func (d *DiskStore) syncGaugesLocked() {
-	live := len(d.idx)
-	dead := d.records - live
-	telemetry.StoreRecordsLive.Add(int64(live - d.lastLive))
-	telemetry.StoreRecordsDead.Add(int64(dead - d.lastDead))
-	d.lastLive, d.lastDead = live, dead
+	d.gauges.sync(len(d.idx), d.records-len(d.idx))
 }
 
 // CompactDeadThreshold is the number of dead (shadowed) records past
@@ -130,6 +144,20 @@ const CompactDeadThreshold = 64
 type diskRecord struct {
 	Key    CellKey         `json:"key"`
 	Result *finject.Result `json:"result"`
+}
+
+// DecodeJSONRecord decodes one JSON-lines store row. It is the single
+// row decoder, shared by OpenDiskStore and fistore's read-only
+// inspection.
+func DecodeJSONRecord(raw []byte) (CellKey, *finject.Result, error) {
+	var rec diskRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return "", nil, err
+	}
+	if rec.Key == "" || rec.Result == nil {
+		return "", nil, errors.New("incomplete record")
+	}
+	return rec.Key, rec.Result, nil
 }
 
 // OpenDiskStore opens (creating if absent) the JSON-lines store at path
@@ -150,6 +178,10 @@ func OpenDiskStore(path string) (*DiskStore, error) {
 		f.Close()
 		return nil, fmt.Errorf("campaign: store %s: %w", path, err)
 	}
+	if wire.IsWireFile(data) {
+		f.Close()
+		return nil, fmt.Errorf("campaign: store %s is a binary wire-format store; open it with OpenStore or OpenBinaryDiskStore", path)
+	}
 	good, line := 0, 0 // good = byte offset just past the last applied record
 	rest := data
 	for len(rest) > 0 {
@@ -162,16 +194,12 @@ func OpenDiskStore(path string) (*DiskStore, error) {
 			// A newline-terminated line was fully written (the newline is
 			// the record's last byte), so a parse failure here is real
 			// corruption, not a torn write.
-			var rec diskRecord
-			if err := json.Unmarshal(raw, &rec); err != nil {
+			key, res, err := DecodeJSONRecord(raw)
+			if err != nil {
 				f.Close()
 				return nil, fmt.Errorf("campaign: store %s line %d: %w", path, line, err)
 			}
-			if rec.Key == "" || rec.Result == nil {
-				f.Close()
-				return nil, fmt.Errorf("campaign: store %s line %d: incomplete record", path, line)
-			}
-			d.idx[rec.Key] = rec.Result
+			d.idx[key] = res
 			d.records++
 		}
 		good += nl + 1
@@ -209,38 +237,16 @@ func (d *DiskStore) Compact() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	defer telemetry.StartSpan(context.Background(), "store_compact")()
-	tmpPath := d.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("campaign: compact store: %w", err)
-	}
-	defer os.Remove(tmpPath) // no-op after a successful rename
-	w := bufio.NewWriter(tmp)
-	enc := json.NewEncoder(w)
-	// Stable record order keeps equal stores byte-identical on disk.
-	keys := make([]CellKey, 0, len(d.idx))
-	for k := range d.idx {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, k := range keys {
-		if err := enc.Encode(diskRecord{Key: k, Result: d.idx[k]}); err != nil {
-			tmp.Close()
-			return fmt.Errorf("campaign: compact store: %w", err)
+	err := atomicReplaceFile(d.path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		for _, k := range sortedKeys(d.idx) {
+			if err := enc.Encode(diskRecord{Key: k, Result: d.idx[k]}); err != nil {
+				return err
+			}
 		}
-	}
-	if err := w.Flush(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("campaign: compact store: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("campaign: compact store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("campaign: compact store: %w", err)
-	}
-	if err := os.Rename(tmpPath, d.path); err != nil {
+		return nil
+	})
+	if err != nil {
 		return fmt.Errorf("campaign: compact store: %w", err)
 	}
 	// Reopen the renamed file for appends; the old handle now points at
@@ -256,6 +262,47 @@ func (d *DiskStore) Compact() error {
 	telemetry.StoreCompactions.Inc()
 	d.syncGaugesLocked()
 	return nil
+}
+
+// sortedKeys returns the index's keys in ascending order: stable record
+// order keeps equal stores byte-identical on disk.
+func sortedKeys(idx map[CellKey]*finject.Result) []CellKey {
+	keys := make([]CellKey, 0, len(idx))
+	for k := range idx {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// atomicReplaceFile writes a complete replacement for path to a
+// temporary sibling (buffered), fsyncs it and renames it into place, so
+// a crash at any point leaves either the old or the new complete file.
+// Both disk store formats compact through this helper.
+func atomicReplaceFile(path string, write func(w io.Writer) error) error {
+	tmpPath := path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpPath) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	if err := write(w); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpPath, path)
 }
 
 // Records reports the physical record count of the backing file;
@@ -295,6 +342,13 @@ func (d *DiskStore) Len() int {
 	return len(d.idx)
 }
 
+// Keys returns the live cell keys in ascending order.
+func (d *DiskStore) Keys() []CellKey {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return sortedKeys(d.idx)
+}
+
 // Path returns the backing file's path.
 func (d *DiskStore) Path() string { return d.path }
 
@@ -304,8 +358,6 @@ func (d *DiskStore) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	// Withdraw this store's contribution from the fleet record gauges.
-	telemetry.StoreRecordsLive.Add(int64(-d.lastLive))
-	telemetry.StoreRecordsDead.Add(int64(-d.lastDead))
-	d.lastLive, d.lastDead = 0, 0
+	d.gauges.withdraw()
 	return d.f.Close()
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/chips"
 	"repro/internal/experiment"
+	"repro/internal/finject"
 	"repro/internal/gpu"
 	"repro/internal/metrics"
 	"repro/internal/report"
@@ -41,14 +42,16 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		defaultChip = "GeForce GTX 480"
 	}
 	var (
-		chipName  = fs.String("chip", defaultChip, "chip to simulate")
-		benchName = fs.String("bench", "vectoradd", "benchmark to run")
-		structSel = fs.String("structure", "regfile", "structure: regfile or local")
-		seed      = fs.Uint64("seed", 1, "campaign seed")
-		storePath = fs.String("store", "", "JSON-lines result store; repeated identical campaigns are served from it")
-		specPath  = fs.String("spec", "", "run this experiment spec (JSON) instead of one flag-built cell")
-		asJSON    = fs.Bool("json", false, "with -spec: emit the result as JSON instead of tables")
-		listFlag  = fs.Bool("list", false, "list chips and benchmarks, then exit")
+		chipName    = fs.String("chip", defaultChip, "chip to simulate")
+		benchName   = fs.String("bench", "vectoradd", "benchmark to run")
+		structSel   = fs.String("structure", "regfile", "structure: regfile or local")
+		seed        = fs.Uint64("seed", 1, "campaign seed")
+		storePath   = fs.String("store", "", "result store file; repeated identical campaigns are served from it")
+		storeFormat = fs.String("store-format", campaign.FormatAuto, "store file format: auto (sniff existing files, JSON for new), json, or binary")
+		ladderDir   = fs.String("ladder-dir", "", "directory for persisted checkpoint ladders, shared read-only (mmap) across processes")
+		specPath    = fs.String("spec", "", "run this experiment spec (JSON) instead of one flag-built cell")
+		asJSON      = fs.Bool("json", false, "with -spec: emit the result as JSON instead of tables")
+		listFlag    = fs.Bool("list", false, "list chips and benchmarks, then exit")
 	)
 	pf := AddPolicyFlags(fs)
 	obs := AddObsFlags(fs)
@@ -70,6 +73,12 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 
 	if err := pf.Validate(); err != nil {
 		return err
+	}
+	if *ladderDir != "" {
+		if err := os.MkdirAll(*ladderDir, 0o755); err != nil {
+			return fmt.Errorf("%s: -ladder-dir: %w", tool, err)
+		}
+		finject.SetLadderDir(*ladderDir)
 	}
 
 	if *listFlag {
@@ -95,7 +104,7 @@ func RunContext(ctx context.Context, tool string, vendor gpu.Vendor, args []stri
 		var store campaign.Store
 		closeStore := func() {}
 		if *storePath != "" {
-			ds, err := campaign.OpenDiskStore(*storePath)
+			ds, err := campaign.OpenStore(*storePath, *storeFormat)
 			if err != nil {
 				return nil, nil, err
 			}

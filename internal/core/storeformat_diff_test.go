@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/finject"
+	"repro/internal/report"
+)
+
+// TestFigureJSONStoreFormatEquivalence is the store-format half of the
+// differential proof: the paper figures rendered through a JSON-lines
+// result store and through a binary wire-format store — then once more
+// from a fresh reopen of the binary store, so every cell is served from
+// disk rather than executed — must serialize to byte-identical JSON
+// documents. The store format is an encoding choice, never a result.
+func TestFigureJSONStoreFormatEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	render := func(t *testing.T, path, format string) []byte {
+		t.Helper()
+		st, err := campaign.OpenStore(path, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		opts := core.Options{
+			Injections: 40, Seed: 43,
+			Chips:      []*chips.Chip{chips.MiniNVIDIA(), chips.MiniAMD()},
+			Checkpoint: finject.Checkpoint{},
+			Scheduler:  campaign.New(campaign.Config{Store: st}),
+		}
+		var buf bytes.Buffer
+		fig1, err := core.FigureRegisterFile(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := report.WriteFigureJSON(&buf, fig1, "fig1"); err != nil {
+			t.Fatal(err)
+		}
+		fig3, err := core.FigureEPF(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := report.WriteEPFJSON(&buf, fig3, "fig3"); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	jsonPath := filepath.Join(dir, "cells.jsonl")
+	binPath := filepath.Join(dir, "cells.store")
+	fromJSON := render(t, jsonPath, campaign.FormatJSON)
+	fromBinary := render(t, binPath, campaign.FormatBinary)
+	if !bytes.Equal(fromJSON, fromBinary) {
+		t.Fatalf("figure JSON diverges between store formats:\njson store:\n%s\nbinary store:\n%s", fromJSON, fromBinary)
+	}
+
+	// Warm render: a fresh open of the binary store already holds every
+	// cell, so this pass decodes results from disk instead of running
+	// campaigns — and must still render the same bytes.
+	warm := render(t, binPath, campaign.FormatAuto)
+	if !bytes.Equal(fromJSON, warm) {
+		t.Fatalf("figure JSON diverges when served from a reopened binary store:\nexecuted:\n%s\nfrom disk:\n%s", fromJSON, warm)
+	}
+}

@@ -372,8 +372,12 @@ func runGolden(chip *chips.Chip, bench *workloads.Benchmark, ckpt Checkpoint) (*
 	if err != nil {
 		return nil, err
 	}
+	// A ladder served from the ladder directory (mmap'd, shared across
+	// processes) replaces the capture pass entirely; the golden run still
+	// executes for its outputs and statistics.
+	loaded, haveLoaded := loadLadderFile(d, chip.Name, bench.Name, ckpt)
 	var lb *ladderBuilder
-	if !ckpt.Off {
+	if !ckpt.Off && !haveLoaded {
 		lb = newLadderBuilder(ckpt)
 		lb.arm(d)
 	}
@@ -382,7 +386,9 @@ func runGolden(chip *chips.Chip, bench *workloads.Benchmark, ckpt Checkpoint) (*
 	}
 	d.SetCheckpointHook(0, nil)
 	g := &golden{outputs: hp.Outputs(), stats: d.Stats()}
-	if lb != nil {
+	if haveLoaded {
+		g.ladder = loaded
+	} else if lb != nil {
 		g.ladder = lb.snaps
 		telemetry.LadderBuilds.Inc()
 		telemetry.LadderSnapshots.Add(int64(len(lb.snaps)))
@@ -391,6 +397,7 @@ func runGolden(chip *chips.Chip, bench *workloads.Benchmark, ckpt Checkpoint) (*
 			ladderBytes += s.SizeBytes()
 		}
 		telemetry.LadderBytes.Add(ladderBytes)
+		saveLadderFile(d, chip.Name, bench.Name, ckpt, lb.snaps)
 	}
 	g.cycles = g.stats.Cycles
 	if g.cycles <= 0 {

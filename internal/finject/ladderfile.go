@@ -1,0 +1,115 @@
+package finject
+
+import (
+	"errors"
+	"io/fs"
+	"log/slog"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/gpu"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// File-backed checkpoint ladders (the -ladder-dir flag): when a ladder
+// directory is configured, every golden run first looks for a serialized
+// ladder of its (chip, benchmark, interval) and, on a hit, mmaps it
+// read-only instead of re-capturing snapshots — so any number of
+// processes on a host share one physical copy of each ladder's pages.
+// On a miss the run captures its ladder as usual and serializes it
+// best-effort for the next process. Ladders never affect results (the
+// deterministic golden run rebuilds an identical one from scratch), so
+// every file-path failure falls back to rebuilding.
+
+// ladderDirV holds the process-wide ladder directory ("" = disabled).
+var ladderDirV atomic.Pointer[string]
+
+// SetLadderDir configures the directory where golden runs persist and
+// share checkpoint ladders; the empty string disables ladder files.
+// The directory must exist.
+func SetLadderDir(dir string) { ladderDirV.Store(&dir) }
+
+// LadderDir returns the configured ladder directory ("" when disabled).
+func LadderDir() string {
+	p := ladderDirV.Load()
+	if p == nil {
+		return ""
+	}
+	return *p
+}
+
+// ladderFileName derives the ladder file name for one golden
+// configuration. Chip and benchmark names are sanitized to a portable
+// filename alphabet; the identity check happens on the names stored
+// inside the file (wire.LadderInfo), so a sanitization collision can at
+// worst cause a rebuild, never a wrong ladder.
+func ladderFileName(chip, bench string, interval int64) string {
+	return sanitizeName(chip) + "__" + sanitizeName(bench) + "__" + strconv.FormatInt(interval, 10) + ".ladder"
+}
+
+// sanitizeName maps a name onto [A-Za-z0-9._-].
+func sanitizeName(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-', c == '_':
+			out[i] = c
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// ladderPath returns the full ladder file path for a configuration.
+func ladderPath(dir, chip, bench string, ckpt Checkpoint) string {
+	return filepath.Join(dir, ladderFileName(chip, bench, ckpt.Interval))
+}
+
+// loadLadderFile tries to serve a golden run's ladder from the ladder
+// directory. ok is false when ladder files are disabled, the device
+// cannot decode snapshots, the file is absent, or it is unusable — the
+// caller then captures the ladder during the run as usual.
+func loadLadderFile(d gpu.Device, chip, bench string, ckpt Checkpoint) (snaps []gpu.Snapshot, ok bool) {
+	dir := LadderDir()
+	if dir == "" || ckpt.Off {
+		return nil, false
+	}
+	codec, isCodec := d.(gpu.SnapshotCodec)
+	if !isCodec {
+		return nil, false
+	}
+	path := ladderPath(dir, chip, bench, ckpt)
+	info := wire.LadderInfo{Chip: chip, Benchmark: bench, Interval: ckpt.Interval}
+	snaps, err := wire.OpenLadder(path, info, codec)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			slog.Warn("finject: ladder file unusable, rebuilding", "path", path, "err", err)
+		}
+		return nil, false
+	}
+	telemetry.WireMmapHits.Inc()
+	return snaps, true
+}
+
+// saveLadderFile persists a freshly captured ladder, best-effort: the
+// write is atomic (tmp + fsync + rename) and a failure only costs the
+// next process a rebuild.
+func saveLadderFile(d gpu.Device, chip, bench string, ckpt Checkpoint, snaps []gpu.Snapshot) {
+	dir := LadderDir()
+	if dir == "" || ckpt.Off {
+		return
+	}
+	codec, isCodec := d.(gpu.SnapshotCodec)
+	if !isCodec {
+		return
+	}
+	path := ladderPath(dir, chip, bench, ckpt)
+	info := wire.LadderInfo{Chip: chip, Benchmark: bench, Interval: ckpt.Interval}
+	if err := wire.WriteLadder(path, info, codec, snaps); err != nil {
+		slog.Warn("finject: could not persist ladder file", "path", path, "err", err)
+	}
+}

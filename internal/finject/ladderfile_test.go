@@ -1,0 +1,235 @@
+package finject
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/gpu"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+	"repro/internal/workloads"
+)
+
+// TestLadderFileEquivalence is the differential proof that ladder files
+// are invisible in results: for both vendors, a campaign whose golden is
+// rebuilt from scratch, one that captures and persists its ladder (cold)
+// and one served from the mmap'd file (warm) must produce byte-identical
+// results down to the per-injection record stream.
+func TestLadderFileEquivalence(t *testing.T) {
+	bench, err := workloads.ByName("matrixMul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chip := range []*chips.Chip{chips.MiniNVIDIA(), chips.MiniAMD()} {
+		t.Run(chip.Vendor.String(), func(t *testing.T) {
+			c := Campaign{
+				Chip: chip, Benchmark: bench, Structure: gpu.RegisterFile,
+				Injections: 30, Seed: 7, Detail: true,
+			}
+
+			SetLadderDir("")
+			plain, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dir := t.TempDir()
+			SetLadderDir(dir)
+			defer SetLadderDir("")
+
+			cold, err := Run(c) // miss: captures the ladder and persists it
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := ladderPath(dir, chip.Name, bench.Name, Checkpoint{})
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("cold run did not persist a ladder file: %v", err)
+			}
+
+			hits0 := telemetry.WireMmapHits.Value()
+			warm, err := Run(c) // hit: golden served from the mmap'd file
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := telemetry.WireMmapHits.Value() - hits0; got != 1 {
+				t.Fatalf("warm run scored %d mmap hits, want 1", got)
+			}
+
+			if !reflect.DeepEqual(plain, cold) {
+				t.Fatalf("cold ladder-dir run diverged:\nplain %+v\ncold  %+v", plain, cold)
+			}
+			if !reflect.DeepEqual(plain, warm) {
+				t.Fatalf("warm ladder-dir run diverged:\nplain %+v\nwarm  %+v", plain, warm)
+			}
+		})
+	}
+}
+
+// TestLadderFileSharedMapping pins the zero-copy sharing rule inside one
+// process: every golden served from the same ladder file aliases one
+// mapping, so fi_wire_ladder_mmap_bytes counts the file exactly once.
+func TestLadderFileSharedMapping(t *testing.T) {
+	bench, err := workloads.ByName("matrixMul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := chips.MiniNVIDIA()
+	dir := t.TempDir()
+	SetLadderDir(dir)
+	defer SetLadderDir("")
+
+	if _, err := NewGolden(chip, bench); err != nil { // cold: writes the file
+		t.Fatal(err)
+	}
+	st, err := os.Stat(ladderPath(dir, chip.Name, bench.Name, Checkpoint{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mmap0 := telemetry.WireLadderMmapBytes.Value()
+	hits0 := telemetry.WireMmapHits.Value()
+	for i := 0; i < 3; i++ {
+		if _, err := NewGolden(chip, bench); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := telemetry.WireMmapHits.Value() - hits0; got != 3 {
+		t.Fatalf("3 goldens scored %d mmap hits, want 3", got)
+	}
+	if got := telemetry.WireLadderMmapBytes.Value() - mmap0; got != st.Size() {
+		t.Fatalf("3 goldens grew the mmap gauge by %d, want one %d-byte mapping", got, st.Size())
+	}
+}
+
+// ladderChildEnv gates TestLadderChildProcess: the test is a helper
+// subprocess body, skipped in normal runs.
+const ladderChildEnv = "FI_TEST_LADDER_CHILD"
+
+// TestLadderChildProcess is the body of one child in the two-process
+// sharing test: it runs a campaign against the shared ladder directory
+// and reports its result stream and mmap telemetry as JSON on stdout.
+func TestLadderChildProcess(t *testing.T) {
+	dir := os.Getenv(ladderChildEnv)
+	if dir == "" {
+		t.Skip("helper process body; run via TestLadderTwoProcessSharing")
+	}
+	bench, err := workloads.ByName("matrixMul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := chips.MiniNVIDIA()
+	SetLadderDir(dir)
+	res, err := Run(Campaign{
+		Chip: chip, Benchmark: bench, Structure: gpu.RegisterFile,
+		Injections: 30, Seed: 7, Detail: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := struct {
+		Result    *Result
+		MmapHits  int64
+		MmapBytes int64
+	}{res, telemetry.WireMmapHits.Value(), telemetry.WireLadderMmapBytes.Value()}
+	out, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("LADDER_CHILD %s\n", out)
+}
+
+// TestLadderTwoProcessSharing is the cross-process acceptance proof: two
+// concurrent processes sharing one mmap'd ladder file complete with
+// byte-identical record streams, and each process's
+// fi_wire_ladder_mmap_bytes gauge shows the file mapped exactly once.
+func TestLadderTwoProcessSharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bench, err := workloads.ByName("matrixMul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := chips.MiniNVIDIA()
+	dir := t.TempDir()
+
+	// Seed the ladder file in-process so both children hit it.
+	SetLadderDir(dir)
+	defer SetLadderDir("")
+	if _, err := NewGolden(chip, bench); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(ladderPath(dir, chip.Name, bench.Name, Checkpoint{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs := make([]string, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range outputs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cmd := exec.Command(exe, "-test.run", "^TestLadderChildProcess$", "-test.v")
+			cmd.Env = append(os.Environ(), ladderChildEnv+"="+dir)
+			cmd.Dir = filepath.Dir(exe)
+			out, err := cmd.CombinedOutput()
+			outputs[i], errs[i] = string(out), err
+		}(i)
+	}
+	wg.Wait()
+
+	var reports [2]struct {
+		Result    *Result
+		MmapHits  int64
+		MmapBytes int64
+	}
+	var payloads [2]string
+	for i, out := range outputs {
+		if errs[i] != nil {
+			t.Fatalf("child %d failed: %v\n%s", i, errs[i], out)
+		}
+		_, rest, ok := strings.Cut(out, "LADDER_CHILD ")
+		if !ok {
+			t.Fatalf("child %d printed no report:\n%s", i, out)
+		}
+		payloads[i] = strings.SplitN(rest, "\n", 2)[0]
+		if err := json.Unmarshal([]byte(payloads[i]), &reports[i]); err != nil {
+			t.Fatalf("child %d report: %v", i, err)
+		}
+	}
+
+	// Byte-identical record streams across the two processes.
+	if payloads[0] != payloads[1] {
+		t.Fatalf("children disagree:\n%s\n%s", payloads[0], payloads[1])
+	}
+	if len(reports[0].Result.Records) == 0 {
+		t.Fatal("children produced no per-injection records")
+	}
+	for i, r := range reports {
+		// Each child was served from the file (not a rebuild) and holds
+		// exactly one mapping of it, whose size the gauge reports.
+		if r.MmapHits != 1 {
+			t.Fatalf("child %d scored %d mmap hits, want 1", i, r.MmapHits)
+		}
+		if r.MmapBytes != st.Size() {
+			t.Fatalf("child %d maps %d ladder bytes, want the %d-byte file once", i, r.MmapBytes, st.Size())
+		}
+	}
+	if wire.MmapSupported() {
+		t.Logf("ladder shared by true mmap: %d bytes, one physical copy across processes", st.Size())
+	}
+}

@@ -1,0 +1,203 @@
+package nvsim
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/sass"
+	"repro/internal/wire"
+)
+
+// Wire codec for nvsim snapshots (gpu.SnapshotCodec): the memory image
+// travels separately as content-addressed pages in the ladder file; the
+// meta blob encoded here carries everything else — execution statistics
+// and the per-SM scheduler state. The layout is private to nvsim and
+// versioned only through the enclosing wire file version: a format
+// change here requires a wire.Version bump.
+
+// MarshalSnapshot implements gpu.SnapshotCodec.
+func (d *Device) MarshalSnapshot(s gpu.Snapshot) (*gpu.MemImage, []byte, error) {
+	snap, ok := s.(*snapshot)
+	if !ok {
+		return nil, nil, fmt.Errorf("nvsim: cannot marshal a %T snapshot", s)
+	}
+	var w wire.Writer
+	w.I64(snap.cycle)
+	w.I64(snap.stats.Cycles)
+	w.I64(snap.stats.Instructions)
+	w.I64(snap.stats.LaneInstructions)
+	w.Int(snap.stats.Launches)
+	w.F64(snap.stats.RegOcc.AllocUnitCycles)
+	w.F64(snap.stats.LocalOcc.AllocUnitCycles)
+	w.Int(snap.launches)
+	w.Bool(snap.inflight != nil)
+	if snap.inflight != nil {
+		w.Int(snap.inflight.nextBlock)
+		w.Int(snap.inflight.retired)
+		w.I64(snap.inflight.launchStart)
+	}
+	w.I64(snap.bytes)
+	w.U32(uint32(len(snap.sms)))
+	for _, sm := range snap.sms {
+		w.U32s(sm.regs)
+		w.Blob(sm.shared)
+		w.Bools(sm.slots)
+		w.Int(sm.rrWarp)
+		w.Int(sm.greedySlot)
+		w.Int(sm.greedyWarp)
+		w.U32(uint32(len(sm.blocks)))
+		for _, blk := range sm.blocks {
+			w.Bool(blk != nil)
+			if blk == nil {
+				continue
+			}
+			w.Int(blk.id)
+			w.Int(blk.ctaX)
+			w.Int(blk.ctaY)
+			w.Int(blk.slot)
+			w.Int(blk.regBase)
+			w.Int(blk.regCount)
+			w.Int(blk.shBase)
+			w.Int(blk.shCount)
+			w.Int(blk.live)
+			w.Int(blk.arrived)
+			w.I64(blk.allocCycle)
+			w.U32(uint32(len(blk.warps)))
+			for i := range blk.warps {
+				wp := &blk.warps[i]
+				w.Int(wp.idx)
+				w.Int(wp.pc)
+				w.U32(wp.valid)
+				w.U32(wp.active)
+				w.U32(wp.exited)
+				w.U32(uint32(len(wp.stack)))
+				for _, e := range wp.stack {
+					w.U8(uint8(e.kind))
+					w.Int(e.pc)
+					w.U32(e.mask)
+				}
+				for _, p := range wp.preds {
+					w.U32(p)
+				}
+				w.I64s(wp.regReady)
+				for _, rdy := range wp.predReady {
+					w.I64(rdy)
+				}
+				w.Bool(wp.atBarrier)
+				w.Bool(wp.done)
+				w.I64(wp.wakeAt)
+				w.Int(wp.threadBase)
+			}
+		}
+	}
+	return snap.mem, w.Bytes(), nil
+}
+
+// stackEntryWireSize is the encoded size of one reconvergence stack
+// entry, used to bound decode-time allocation by the input size.
+const stackEntryWireSize = 1 + 8 + 4
+
+// UnmarshalSnapshot implements gpu.SnapshotCodec. The returned snapshot
+// references mem directly (which may alias a read-only mapping — the
+// restore path only copies out of images, never into them).
+func (d *Device) UnmarshalSnapshot(mem *gpu.MemImage, meta []byte) (gpu.Snapshot, error) {
+	r := wire.NewReader(meta)
+	snap := &snapshot{mem: mem}
+	snap.cycle = r.I64()
+	snap.stats.Cycles = r.I64()
+	snap.stats.Instructions = r.I64()
+	snap.stats.LaneInstructions = r.I64()
+	snap.stats.Launches = r.Int()
+	snap.stats.RegOcc.AllocUnitCycles = r.F64()
+	snap.stats.LocalOcc.AllocUnitCycles = r.F64()
+	snap.launches = r.Int()
+	if r.Bool() {
+		snap.inflight = &inflightImage{
+			nextBlock:   r.Int(),
+			retired:     r.Int(),
+			launchStart: r.I64(),
+		}
+	}
+	snap.bytes = r.I64()
+	nsm := int(r.U32())
+	if r.Err() != nil {
+		return nil, fmt.Errorf("nvsim: snapshot meta: %w", r.Err())
+	}
+	if nsm < 0 || nsm > r.Remaining() {
+		return nil, fmt.Errorf("nvsim: snapshot meta: %w: implausible SM count %d", wire.ErrCorrupt, nsm)
+	}
+	snap.sms = make([]smImage, nsm)
+	for i := range snap.sms {
+		sm := &snap.sms[i]
+		sm.regs = r.U32s()
+		sm.shared = r.Blob()
+		sm.slots = r.Bools()
+		sm.rrWarp = r.Int()
+		sm.greedySlot = r.Int()
+		sm.greedyWarp = r.Int()
+		nblk := int(r.U32())
+		if r.Err() != nil {
+			return nil, fmt.Errorf("nvsim: snapshot meta: %w", r.Err())
+		}
+		if nblk < 0 || nblk > r.Remaining() {
+			return nil, fmt.Errorf("nvsim: snapshot meta: %w: implausible block count %d", wire.ErrCorrupt, nblk)
+		}
+		sm.blocks = make([]*blockImage, nblk)
+		for slot := range sm.blocks {
+			if !r.Bool() {
+				continue
+			}
+			blk := &blockImage{
+				id: r.Int(), ctaX: r.Int(), ctaY: r.Int(), slot: r.Int(),
+				regBase: r.Int(), regCount: r.Int(),
+				shBase: r.Int(), shCount: r.Int(),
+				live: r.Int(), arrived: r.Int(), allocCycle: r.I64(),
+			}
+			nw := int(r.U32())
+			if r.Err() != nil {
+				return nil, fmt.Errorf("nvsim: snapshot meta: %w", r.Err())
+			}
+			if nw < 0 || nw > r.Remaining() {
+				return nil, fmt.Errorf("nvsim: snapshot meta: %w: implausible warp count %d", wire.ErrCorrupt, nw)
+			}
+			blk.warps = make([]warpImage, nw)
+			for wi := range blk.warps {
+				wp := &blk.warps[wi]
+				wp.idx = r.Int()
+				wp.pc = r.Int()
+				wp.valid = r.U32()
+				wp.active = r.U32()
+				wp.exited = r.U32()
+				ns := int(r.U32())
+				if r.Err() != nil {
+					return nil, fmt.Errorf("nvsim: snapshot meta: %w", r.Err())
+				}
+				if ns > 0 {
+					if ns > r.Remaining()/stackEntryWireSize {
+						return nil, fmt.Errorf("nvsim: snapshot meta: %w: implausible stack depth %d", wire.ErrCorrupt, ns)
+					}
+					wp.stack = make([]stackEntry, ns)
+					for si := range wp.stack {
+						wp.stack[si] = stackEntry{kind: stackKind(r.U8()), pc: r.Int(), mask: r.U32()}
+					}
+				}
+				for pi := 0; pi < sass.NumPreds; pi++ {
+					wp.preds[pi] = r.U32()
+				}
+				wp.regReady = r.I64s()
+				for pi := 0; pi < sass.NumPreds; pi++ {
+					wp.predReady[pi] = r.I64()
+				}
+				wp.atBarrier = r.Bool()
+				wp.done = r.Bool()
+				wp.wakeAt = r.I64()
+				wp.threadBase = r.Int()
+			}
+			sm.blocks[slot] = blk
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("nvsim: snapshot meta: %w", err)
+	}
+	return snap, nil
+}
