@@ -17,9 +17,18 @@
 // unfinished jobs resume on boot with already-completed cells served
 // from the warm result store (zero re-injections).
 //
+// With -api-keys the server is multi-tenant: every client request must
+// carry "Authorization: Bearer <key>", jobs are labeled and isolated by
+// tenant, and per-tenant quotas (max-jobs, inj-rate) answer 429 when
+// exceeded. With -cluster-dir several fiservers share one store and one
+// job journal; an ownership journal in that directory elects a single
+// active owner, standbys answer 503, and a standby seizes ownership
+// (and resumes the dead owner's jobs) when heartbeats go stale.
+//
 //	fiserver -addr :8080 -store cells.jsonl
 //	fiserver -addr :8080 -store cells.jsonl -job-store jobs.jsonl
 //	fiserver -addr :8080 -workers-remote -lease-ttl 30s
+//	fiserver -addr :8080 -api-keys keys.conf -cluster-dir /shared/fi
 //
 //	curl -s localhost:8080/v1/figure?fig=1\&n=100\&margin=0.03 | tail -1
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"cells":[{"chip":"GeForce GTX 480","benchmark":"vectoradd","structure":"register-file","injections":200,"seed":1}],"policy":{"margin":0.05}}'
@@ -39,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
 	"repro/internal/campaign"
@@ -81,6 +91,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		leaseTTL  = fs.Duration("lease-ttl", campaign.DefaultLeaseTTL, "remote lease expiry after the last heartbeat")
 		drain     = fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown deadline for in-flight requests and jobs")
 		pprof     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		apiKeys   = fs.String("api-keys", "", "API key file enabling multi-tenant auth: one \"key tenant [weight=N] [max-jobs=N] [inj-rate=N]\" per line")
+		cluster   = fs.String("cluster-dir", "", "shared directory holding the ownership journal; servers pointed at it elect one active owner")
+		serverID  = fs.String("server-id", "", "this server's identity in the ownership journal (default host-pid)")
+		takeover  = fs.Duration("takeover-ttl", service.DefaultTakeoverTTL, "heartbeat staleness after which a standby seizes ownership")
 	)
 	obs := cli.AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -104,70 +118,152 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		finject.SetLadderDir(*ladderDir)
 	}
 
-	var store campaign.Store
-	if *storePath != "" {
-		ds, err := campaign.OpenStore(*storePath, *storeFmt)
+	var keys *service.KeySet
+	if *apiKeys != "" {
+		ks, err := service.LoadKeys(*apiKeys)
 		if err != nil {
 			return err
 		}
-		defer ds.Close()
-		fmt.Fprintf(stdout, "store %s: %d cells\n", ds.Path(), ds.Len())
-		store = ds
-	} else {
-		store = campaign.NewMemoryStore(*memCap)
+		keys = ks
+		fmt.Fprintf(stdout, "api keys %s: %d tenants\n", *apiKeys, len(ks.Tenants()))
 	}
-	var queue *campaign.LeaseQueue
-	var exec campaign.Executor
-	if *remote {
-		queue = campaign.NewLeaseQueue(*leaseTTL)
-		exec = campaign.NewRemoteExecutor(queue)
-		if *workers == 0 {
-			// The in-flight bound is how many cells the fleet can see at
-			// once; one machine's core count would starve remote workers.
-			*workers = 256
-		}
-	}
-	sched := campaign.New(campaign.Config{
-		Store:           store,
-		Workers:         *workers,
-		CampaignWorkers: *campWorks,
-		Executor:        exec,
-	})
 
-	handler := service.NewServer(sched)
-	handler.SetLogger(log)
-	if *pprof {
-		handler.EnablePprof()
+	// Everything that touches the shared store or job journal lives in
+	// activate. Standalone boots run it inline; with -cluster-dir it is
+	// deferred until this server owns the journal, so a standby never
+	// opens (or recovers) state that the active owner is writing.
+	var (
+		closeMu sync.Mutex
+		closers []io.Closer
+		appSrv  *service.Server
+	)
+	defer func() {
+		closeMu.Lock()
+		defer closeMu.Unlock()
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i].Close()
+		}
+	}()
+	activate := func() (http.Handler, error) {
+		var store campaign.Store
+		if *storePath != "" {
+			ds, err := campaign.OpenStore(*storePath, *storeFmt)
+			if err != nil {
+				return nil, err
+			}
+			closeMu.Lock()
+			closers = append(closers, ds)
+			closeMu.Unlock()
+			fmt.Fprintf(stdout, "store %s: %d cells\n", ds.Path(), ds.Len())
+			store = ds
+		} else {
+			store = campaign.NewMemoryStore(*memCap)
+		}
+		var queue *campaign.LeaseQueue
+		var exec campaign.Executor
+		nworkers := *workers
+		if *remote {
+			queue = campaign.NewLeaseQueue(*leaseTTL)
+			exec = campaign.NewRemoteExecutor(queue)
+			if nworkers == 0 {
+				// The in-flight bound is how many cells the fleet can see at
+				// once; one machine's core count would starve remote workers.
+				nworkers = 256
+			}
+		}
+		sched := campaign.New(campaign.Config{
+			Store:           store,
+			Workers:         nworkers,
+			CampaignWorkers: *campWorks,
+			Executor:        exec,
+		})
+
+		handler := service.NewServer(sched)
+		handler.SetLogger(log)
+		if *pprof {
+			handler.EnablePprof()
+		}
+		if keys != nil {
+			handler.SetAuth(keys)
+		}
+		if queue != nil {
+			handler.ServeWorkers(queue)
+			if keys != nil {
+				for _, t := range keys.Tenants() {
+					queue.SetWeight(t.Name, t.Weight)
+				}
+			}
+			fmt.Fprintf(stdout, "remote workers enabled (lease TTL %s)\n", *leaseTTL)
+		}
+		if *jobStore != "" {
+			js, err := service.OpenJobStore(*jobStore)
+			if err != nil {
+				return nil, err
+			}
+			closeMu.Lock()
+			closers = append(closers, js)
+			closeMu.Unlock()
+			// FISERVER_CRASH arms a test-only crash barrier (see the chaos
+			// harness in internal/service/chaostest): the process SIGKILLs
+			// itself at the named journal transition. Never set in production.
+			if p := os.Getenv("FISERVER_CRASH"); p != "" {
+				js.SetFaultPoint(p)
+				fmt.Fprintf(stdout, "crash barrier armed: %s\n", p)
+			}
+			rec, err := handler.UseJobStore(js)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(stdout, "job store %s: %d jobs restored, %d resumed\n", js.Path(), rec.Restored, rec.Resumed)
+		}
+		closeMu.Lock()
+		appSrv = handler
+		closeMu.Unlock()
+		return handler, nil
 	}
-	if queue != nil {
-		handler.ServeWorkers(queue)
-		fmt.Fprintf(stdout, "remote workers enabled (lease TTL %s)\n", *leaseTTL)
-	}
-	if *jobStore != "" {
-		js, err := service.OpenJobStore(*jobStore)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var root http.Handler
+	if *cluster != "" {
+		if err := os.MkdirAll(*cluster, 0o755); err != nil {
+			return fmt.Errorf("-cluster-dir: %w", err)
+		}
+		id := *serverID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		cl := service.NewCluster(*cluster, id, *takeover, activate)
+		cl.SetLogger(log)
+		// A deposed owner has been fenced out of the job store by a higher
+		// epoch; the only safe move is to drain and exit so a supervisor
+		// can restart it as a fresh standby.
+		cl.OnDeposed(func() {
+			fmt.Fprintf(stderr, "fiserver: deposed by a higher epoch, shutting down\n")
+			cancel()
+		})
+		if err := cl.Start(); err != nil {
+			return err
+		}
+		defer cl.Close()
+		state, epoch := cl.State()
+		fmt.Fprintf(stdout, "cluster %s: server %s %s at epoch %d (takeover TTL %s)\n", *cluster, id, state, epoch, *takeover)
+		root = cl
+	} else {
+		h, err := activate()
 		if err != nil {
 			return err
 		}
-		defer js.Close()
-		// FISERVER_CRASH arms a test-only crash barrier (see the chaos
-		// harness in internal/service/chaostest): the process SIGKILLs
-		// itself at the named journal transition. Never set in production.
-		if p := os.Getenv("FISERVER_CRASH"); p != "" {
-			js.SetFaultPoint(p)
-			fmt.Fprintf(stdout, "crash barrier armed: %s\n", p)
-		}
-		rec, err := handler.UseJobStore(js)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "job store %s: %d jobs restored, %d resumed\n", js.Path(), rec.Restored, rec.Resumed)
+		root = h
 	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Handler:     handler,
+		Handler:     root,
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
 	drained := make(chan struct{})
@@ -178,11 +274,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		// finish the in-flight ones, then cancel and reap the
 		// asynchronous job goroutines so no simulation outlives the
 		// process's accept loop.
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
+		shutdownCtx, stopDrain := context.WithTimeout(context.Background(), *drain)
+		defer stopDrain()
 		srv.Shutdown(shutdownCtx)
-		if err := handler.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintf(stderr, "fiserver: drain: %v\n", err)
+		closeMu.Lock()
+		handler := appSrv
+		closeMu.Unlock()
+		if handler != nil {
+			if err := handler.Shutdown(shutdownCtx); err != nil {
+				fmt.Fprintf(stderr, "fiserver: drain: %v\n", err)
+			}
 		}
 	}()
 	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())

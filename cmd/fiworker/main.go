@@ -51,7 +51,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fiworker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		server    = fs.String("server", "http://127.0.0.1:8080", "fiserver base URL")
+		server    = fs.String("server", "http://127.0.0.1:8080", "fiserver base URL, or a comma-separated list for a clustered control plane (sticky failover)")
 		name      = fs.String("name", "", "worker name (default host-pid)")
 		conc      = fs.Int("concurrency", 1, "cells executed in parallel")
 		campWorks = fs.Int("campaign-workers", 0, "parallel simulations per cell (default GOMAXPROCS/concurrency)")

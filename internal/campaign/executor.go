@@ -209,7 +209,9 @@ func (e *RemoteExecutor) Execute(ctx context.Context, req Request) (*finject.Res
 		Confidence: req.Policy.Confidence,
 		Checkpoint: &ck,
 	}
-	// The job correlation id rides along for observability only; task
-	// identity and queue joining ignore it (see sameWork).
-	return e.queue.Do(ctx, Task{Spec: req.Spec, Policy: cfg, Corr: telemetry.CorrFrom(ctx).Job})
+	// The job correlation id and tenant ride along for observability and
+	// fair-share accounting only; task identity and queue joining ignore
+	// them (see sameWork).
+	corr := telemetry.CorrFrom(ctx)
+	return e.queue.Do(ctx, Task{Spec: req.Spec, Policy: cfg, Corr: corr.Job, Tenant: corr.Tenant})
 }

@@ -34,6 +34,12 @@ type Task struct {
 	// logs and spans with it so one grep reconstructs a cell's life across
 	// processes. It never participates in task identity (see sameWork).
 	Corr string `json:"corr,omitempty"`
+	// Tenant attributes the cell for fair-share scheduling (see Lease's
+	// deficit round-robin) and per-tenant queue-depth gauges. Like Corr it
+	// never participates in task identity: identical cells queued by two
+	// tenants are interchangeable work and coalesce, accounted to whichever
+	// tenant queued first.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // sameWork reports whether two tasks describe the same computation —
@@ -119,6 +125,20 @@ type LeaseQueue struct {
 	histOrder []string
 	wake      chan struct{} // closed and replaced when work arrives
 
+	// Fair-share state (deficit round-robin across tenants, see Lease).
+	// ring holds every tenant ever seen, in first-activation order, and
+	// ringPos is the persistent round-robin cursor; deficit carries each
+	// tenant's unspent service credit while it stays backlogged, and
+	// weights scale the per-round credit (default 1).
+	weights map[string]int
+	deficit map[string]int64
+	ring    []string
+	ringPos int
+
+	// lastTenantPending mirrors lastPending per tenant for the
+	// fi_lease_queue_depth_tenant gauge's delta accounting.
+	lastTenantPending map[string]int
+
 	// Outcome counters are atomics so monitoring paths can read them
 	// without contending for q.mu (they are still only written under it).
 	completed, failed, expired atomic.Int64
@@ -137,17 +157,45 @@ func NewLeaseQueue(ttl time.Duration) *LeaseQueue {
 		ttl = DefaultLeaseTTL
 	}
 	return &LeaseQueue{
-		ttl:     ttl,
-		now:     time.Now,
-		entries: make(map[CellKey]*leaseEntry),
-		leased:  make(map[string]*leaseEntry),
-		history: make(map[string]leaseOutcome),
-		wake:    make(chan struct{}),
+		ttl:               ttl,
+		now:               time.Now,
+		entries:           make(map[CellKey]*leaseEntry),
+		leased:            make(map[string]*leaseEntry),
+		history:           make(map[string]leaseOutcome),
+		wake:              make(chan struct{}),
+		weights:           make(map[string]int),
+		deficit:           make(map[string]int64),
+		lastTenantPending: make(map[string]int),
 	}
 }
 
 // TTL returns the queue's lease TTL.
 func (q *LeaseQueue) TTL() time.Duration { return q.ttl }
+
+// SetWeight sets a tenant's fair-share weight (clamped to >= 1). A
+// tenant with weight w receives w times the service credit of a
+// weight-1 tenant per round-robin visit while both stay backlogged.
+func (q *LeaseQueue) SetWeight(tenant string, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	q.mu.Lock()
+	q.weights[tenant] = weight
+	q.mu.Unlock()
+}
+
+// noteTenantLocked adds a tenant to the round-robin ring the first time
+// work arrives for it. Tenants are never removed: the ring is bounded
+// by the operator's tenant table and a stable ring keeps the visit
+// order deterministic. Callers hold q.mu.
+func (q *LeaseQueue) noteTenantLocked(tenant string) {
+	for _, t := range q.ring {
+		if t == tenant {
+			return
+		}
+	}
+	q.ring = append(q.ring, tenant)
+}
 
 // Wake returns a channel that closes when new work may be available —
 // the idle-wait primitive behind the lease endpoint's long poll. Grab a
@@ -169,15 +217,37 @@ func (q *LeaseQueue) wakeLocked() {
 // Callers hold q.mu.
 func (q *LeaseQueue) syncGaugesLocked() {
 	pending := 0
+	perTenant := make(map[string]int)
 	for _, e := range q.entries {
 		if e.leaseID == "" {
 			pending++
+			perTenant[tenantLabel(e.task.Tenant)]++
 		}
 	}
 	leased := len(q.leased)
 	telemetry.LeaseQueueDepth.Add(int64(pending - q.lastPending))
 	telemetry.LeaseOutstanding.Add(int64(leased - q.lastLeased))
 	q.lastPending, q.lastLeased = pending, leased
+	for t, n := range perTenant {
+		if d := n - q.lastTenantPending[t]; d != 0 {
+			telemetry.LeaseTenantDepth.With(t).Add(int64(d))
+		}
+	}
+	for t, last := range q.lastTenantPending {
+		if _, live := perTenant[t]; !live && last != 0 {
+			telemetry.LeaseTenantDepth.With(t).Add(int64(-last))
+		}
+	}
+	q.lastTenantPending = perTenant
+}
+
+// tenantLabel maps the empty tenant (unauthenticated single-tenant
+// servers) to the label value the metric catalog documents.
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
 }
 
 // Do publishes the task (joining an identical cell already queued) and
@@ -194,6 +264,7 @@ func (q *LeaseQueue) Do(ctx context.Context, t Task) (*finject.Result, error) {
 		e = &leaseEntry{task: t, key: key, seq: q.seq, done: make(chan struct{})}
 		q.seq++
 		q.entries[key] = e
+		q.noteTenantLocked(t.Tenant)
 		q.wakeLocked()
 	}
 	e.waiters++
@@ -217,10 +288,18 @@ func (q *LeaseQueue) Do(ctx context.Context, t Task) (*finject.Result, error) {
 
 // Lease grants up to max pending cells to the worker, renewing the
 // queue's notion of time first so expired leases re-queue before the pop.
-// With max == 1 the single largest pending cell is granted (LPT); with
-// max > 1 the queue plans cost-balanced shards over the whole backlog and
-// grants one shard, so a multi-cell worker gets a representative mix
-// instead of starving the rest of the fleet of large cells.
+// With one tenant (or none) the pop is the classic LPT schedule: max == 1
+// grants the single largest pending cell, and max > 1 plans cost-balanced
+// shards over the whole backlog and grants one shard, so a multi-cell
+// worker gets a representative mix instead of starving the rest of the
+// fleet of large cells. With multiple backlogged tenants the pop switches
+// to weighted deficit round-robin across tenants — each visit credits a
+// tenant quantum x weight (quantum = the largest pending cell cost, so
+// every backlogged tenant advances every round) and grants cells, in LPT
+// order within the tenant, while credit lasts. That bounds any tenant's
+// normalized service deficit by one quantum per unit weight while
+// degenerating to exactly the legacy LPT order when only one tenant has
+// work.
 func (q *LeaseQueue) Lease(worker string, max int) []Lease {
 	if max <= 0 {
 		max = 1
@@ -233,13 +312,20 @@ func (q *LeaseQueue) Lease(worker string, max int) []Lease {
 	if len(pending) == 0 {
 		return nil
 	}
+	tenants := make(map[string]bool, 1)
+	for _, e := range pending {
+		tenants[e.task.Tenant] = true
+	}
 	var take []*leaseEntry
-	if max == 1 || len(pending) <= max {
+	switch {
+	case len(tenants) > 1 && len(pending) > max:
+		take = q.drrSelectLocked(pending, max)
+	case max == 1 || len(pending) <= max:
 		take = pending
 		if len(take) > max {
 			take = take[:max]
 		}
-	} else {
+	default:
 		specs := make([]CellSpec, len(pending))
 		byKey := make(map[CellKey]*leaseEntry, len(pending))
 		for i, e := range pending {
@@ -281,6 +367,65 @@ func (q *LeaseQueue) pendingLocked() []*leaseEntry {
 	}
 	sortLPT(pending)
 	return pending
+}
+
+// drrSelectLocked picks up to max entries by weighted deficit
+// round-robin across tenants. pending must be LPT-sorted (so each
+// tenant's sub-queue inherits LPT order) and span more than one tenant.
+// The quantum is the largest pending cell cost: a full round then
+// credits every backlogged tenant enough to release at least its head
+// cell, so no tenant is ever starved and the normalized service gap
+// between any two continuously-backlogged tenants stays within one
+// quantum per unit weight. A tenant visited with nothing pending
+// forfeits its accumulated credit (standard DRR: idle flows do not bank
+// service). Callers hold q.mu.
+func (q *LeaseQueue) drrSelectLocked(pending []*leaseEntry, max int) []*leaseEntry {
+	sub := make(map[string][]*leaseEntry)
+	var quantum int64
+	for _, e := range pending {
+		sub[e.task.Tenant] = append(sub[e.task.Tenant], e)
+		if c := shardCost(e.task.Spec); c > quantum {
+			quantum = c
+		}
+	}
+	if quantum < 1 {
+		quantum = 1
+	}
+	take := make([]*leaseEntry, 0, max)
+	remaining := len(pending)
+	for len(take) < max && remaining > 0 {
+		t := q.ring[q.ringPos%len(q.ring)]
+		queue := sub[t]
+		if len(queue) == 0 {
+			q.deficit[t] = 0
+			q.ringPos = (q.ringPos + 1) % len(q.ring)
+			continue
+		}
+		w := q.weights[t]
+		if w < 1 {
+			w = 1
+		}
+		// Credit on demand: one quantum x weight when the banked deficit
+		// no longer covers the head cell. quantum >= every cell cost, so
+		// a single credit always releases at least the head.
+		if q.deficit[t] < shardCost(queue[0].task.Spec) {
+			q.deficit[t] += quantum * int64(w)
+		}
+		for len(queue) > 0 && len(take) < max && q.deficit[t] >= shardCost(queue[0].task.Spec) {
+			q.deficit[t] -= shardCost(queue[0].task.Spec)
+			take = append(take, queue[0])
+			queue = queue[1:]
+			remaining--
+		}
+		sub[t] = queue
+		// Advance only when this tenant's budget or backlog is spent; a
+		// grant truncated by max leaves the cursor here so the unspent
+		// deficit carries into the next Lease call instead of evaporating.
+		if len(queue) == 0 || q.deficit[t] < shardCost(queue[0].task.Spec) {
+			q.ringPos = (q.ringPos + 1) % len(q.ring)
+		}
+	}
+	return take
 }
 
 // Heartbeat extends the lease's deadline by one TTL and reports whether

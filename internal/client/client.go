@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"time"
@@ -25,6 +26,10 @@ import (
 type Client struct {
 	// Base is the server's base URL, e.g. "http://127.0.0.1:8080".
 	Base string
+	// APIKey, when non-empty, is sent as "Authorization: Bearer <key>"
+	// on every request — required against a server started with
+	// -api-keys, ignored by one without.
+	APIKey string
 	// HTTPClient defaults to http.DefaultClient. Experiment and figure
 	// streams can outlive any client timeout: prefer a context deadline.
 	HTTPClient *http.Client
@@ -35,6 +40,13 @@ func (c *Client) http() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
+}
+
+// authorize stamps the API key onto req when one is configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
 }
 
 // apiError is a non-2xx JSON error answer.
@@ -103,6 +115,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.authorize(req)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
@@ -152,6 +165,7 @@ func (c *Client) RunExperiment(ctx context.Context, spec experiment.Spec, onEven
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.authorize(req)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, err
@@ -203,6 +217,7 @@ func (c *Client) Figure(ctx context.Context, fig int, query url.Values, onEvent 
 	if err != nil {
 		return nil, err
 	}
+	c.authorize(req)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, err
@@ -305,27 +320,65 @@ func (c *Client) Jobs(ctx context.Context) ([]JobSummary, error) {
 	return out.Jobs, nil
 }
 
+const (
+	// waitBaseDelay is WaitDone's polling cadence against a healthy
+	// server, and the floor of its error backoff.
+	waitBaseDelay = 50 * time.Millisecond
+	// waitMaxDelay caps the error backoff so a long outage is probed a
+	// few times a second at worst, not hammered at the poll cadence.
+	waitMaxDelay = 2 * time.Second
+)
+
 // WaitDone polls a job until it leaves the running state, retrying
-// transient transport errors (a restarting server) until ctx ends: the
-// reconnect half of restart-proof jobs. With a journaled server, a job
-// whose stream died with one process can be awaited against the next.
+// transient failures until ctx ends: the reconnect half of
+// restart-proof jobs. With a journaled server, a job whose stream died
+// with one process can be awaited against the next; with a clustered
+// server, a standby's 503 is retried until a peer takes ownership.
+// While the server is away the poll interval backs off exponentially
+// with jitter (so a reconnecting fleet of clients does not stampede the
+// reborn server) and resets once an answer gets through.
 func (c *Client) WaitDone(ctx context.Context, jobID string) (*JobStatus, error) {
+	delay := waitBaseDelay
 	for {
 		st, err := c.Status(ctx, jobID)
 		if err != nil {
-			// Server-side answers (404, 409, ...) are authoritative;
-			// transport errors mean the server is away — keep polling.
-			if StatusCode(err) != 0 {
+			// Server-side answers (404, 409, ...) are authoritative —
+			// except 503, which a cluster standby returns while a peer
+			// holds (or is inheriting) the job store. Transport errors
+			// mean the server is away. Both heal with time.
+			if code := StatusCode(err); code != 0 && code != http.StatusServiceUnavailable {
 				return nil, err
 			}
-		} else if st.State != "running" {
+			// Full jitter over [delay/2, delay): desynchronizes clients
+			// that all lost the same server at the same instant.
+			wait := delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
+			if err := sleepCtx(ctx, wait); err != nil {
+				return nil, err
+			}
+			if delay *= 2; delay > waitMaxDelay {
+				delay = waitMaxDelay
+			}
+			continue
+		}
+		delay = waitBaseDelay
+		if st.State != "running" {
 			return st, nil
 		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(50 * time.Millisecond):
+		if err := sleepCtx(ctx, waitBaseDelay); err != nil {
+			return nil, err
 		}
+	}
+}
+
+// sleepCtx waits d or until ctx ends, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 

@@ -206,6 +206,108 @@ func TestWaitDoneContextCancel(t *testing.T) {
 	}
 }
 
+// TestWaitDoneRetries503 aims WaitDone at a cluster standby: 503 is a
+// "not me, try again" answer, not an authoritative failure, so the wait
+// must ride it out until the (new) owner starts answering.
+func TestWaitDoneRetries503(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":{"code":"unavailable","message":"server b is standby: it does not own the job store"}}`)
+			return
+		}
+		fmt.Fprintln(w, `{"id":"job-000001","state":"done","done":3,"total":3}`)
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := c.WaitDone(ctx, "job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("final status %+v", st)
+	}
+	if calls.Load() < 4 {
+		t.Fatalf("server saw %d polls, want the 503s retried", calls.Load())
+	}
+}
+
+// TestWaitDoneBacksOffDuringOutage pins the backoff: against a server
+// that drops every connection, the retry interval must grow, so a fixed
+// observation window sees far fewer polls than the 50ms cadence would
+// produce (~18 in 900ms), and the wait still ends exactly at the
+// context deadline.
+func TestWaitDoneBacksOffDuringOutage(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("recorder cannot hijack")
+			return
+		}
+		conn, _, _ := hj.Hijack()
+		conn.Close()
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 900*time.Millisecond)
+	defer cancel()
+	_, err := c.WaitDone(ctx, "job-000001")
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Exponential growth from 50ms with jitter in [d/2, d) fits at most
+	// ~7 attempts into 900ms; leave slack for scheduler noise.
+	if n := calls.Load(); n < 2 || n > 10 {
+		t.Fatalf("server saw %d polls in 900ms, want backed-off retries (2..10)", n)
+	}
+}
+
+// TestAPIKeyHeader: a configured key rides every request as a Bearer
+// token; without one the header stays absent.
+func TestAPIKeyHeader(t *testing.T) {
+	var lastAuth atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lastAuth.Store(r.Header.Get("Authorization"))
+		switch r.URL.Path {
+		case "/v1/experiments":
+			fmt.Fprintln(w, `{"event":"result","result":{"chips":["Mini NVIDIA"]}}`)
+		default:
+			fmt.Fprintln(w, `{"id":"job-000001","state":"done"}`)
+		}
+	}))
+	defer ts.Close()
+
+	ctx := context.Background()
+	c := &Client{Base: ts.URL, APIKey: "key-acme"}
+	if _, err := c.Status(ctx, "job-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if got := lastAuth.Load(); got != "Bearer key-acme" {
+		t.Fatalf("Status sent Authorization %q", got)
+	}
+	if _, err := c.RunExperiment(ctx, experiment.Spec{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := lastAuth.Load(); got != "Bearer key-acme" {
+		t.Fatalf("RunExperiment sent Authorization %q", got)
+	}
+
+	bare := &Client{Base: ts.URL}
+	if _, err := bare.Status(ctx, "job-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if got := lastAuth.Load(); got != "" {
+		t.Fatalf("keyless client sent Authorization %q", got)
+	}
+}
+
 // TestJobsListing decodes the GET /v1/jobs rows in listing order.
 func TestJobsListing(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

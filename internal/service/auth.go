@@ -1,0 +1,166 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Multi-tenant API-key authentication. A fiserver started with
+// -api-keys loads a static key file and rejects any control-plane
+// request that does not present a known key as "Authorization: Bearer
+// <key>"; without the flag the server stays the historical open
+// single-tenant process, byte-compatible with every pre-tenancy client.
+//
+// The key file is line-oriented:
+//
+//	# comment
+//	<key> <tenant> [weight=N] [max-jobs=N] [inj-rate=N]
+//
+// One key per line; several keys may name the same tenant (credential
+// rotation) as long as their quota options agree. weight scales the
+// tenant's fair share in the lease queue (default 1), max-jobs bounds
+// its concurrently running jobs, and inj-rate bounds its admitted
+// injections per second via a token bucket — both zero/absent meaning
+// unlimited.
+
+// Tenant is one tenant's identity and limits as declared by the key
+// file.
+type Tenant struct {
+	// Name is the tenant id threaded through jobs, logs and metrics.
+	Name string
+	// Weight is the fair-share weight in the lease queue (>= 1).
+	Weight int
+	// MaxJobs bounds concurrently running jobs; 0 means unlimited.
+	MaxJobs int
+	// InjRate bounds admitted injections per second; 0 means unlimited.
+	InjRate float64
+}
+
+// KeySet is a parsed key file: the authentication table plus the tenant
+// directory.
+type KeySet struct {
+	keys    map[string]*Tenant
+	tenants []*Tenant // declaration order, for deterministic iteration
+}
+
+// ParseKeys parses a key file. Every malformed line is an error — an
+// operator typo must fail boot, not silently lock a tenant out.
+func ParseKeys(r io.Reader) (*KeySet, error) {
+	ks := &KeySet{keys: make(map[string]*Tenant)}
+	byName := make(map[string]*Tenant)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("api keys: line %d: want <key> <tenant> [options]", lineNo)
+		}
+		key, name := fields[0], fields[1]
+		if strings.Contains(key, "=") || strings.Contains(name, "=") {
+			return nil, fmt.Errorf("api keys: line %d: key and tenant must precede options", lineNo)
+		}
+		if _, dup := ks.keys[key]; dup {
+			return nil, fmt.Errorf("api keys: line %d: duplicate key", lineNo)
+		}
+		t := Tenant{Name: name, Weight: 1}
+		for _, opt := range fields[2:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("api keys: line %d: bad option %q", lineNo, opt)
+			}
+			switch k {
+			case "weight":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("api keys: line %d: bad weight %q", lineNo, v)
+				}
+				t.Weight = n
+			case "max-jobs":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("api keys: line %d: bad max-jobs %q", lineNo, v)
+				}
+				t.MaxJobs = n
+			case "inj-rate":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f < 0 {
+					return nil, fmt.Errorf("api keys: line %d: bad inj-rate %q", lineNo, v)
+				}
+				t.InjRate = f
+			default:
+				return nil, fmt.Errorf("api keys: line %d: unknown option %q", lineNo, k)
+			}
+		}
+		if prev, ok := byName[name]; ok {
+			if *prev != t {
+				return nil, fmt.Errorf("api keys: line %d: tenant %q declared with conflicting limits", lineNo, name)
+			}
+			ks.keys[key] = prev
+			continue
+		}
+		tp := &t
+		byName[name] = tp
+		ks.keys[key] = tp
+		ks.tenants = append(ks.tenants, tp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("api keys: %w", err)
+	}
+	if len(ks.keys) == 0 {
+		return nil, fmt.Errorf("api keys: no keys defined")
+	}
+	return ks, nil
+}
+
+// LoadKeys parses the key file at path.
+func LoadKeys(path string) (*KeySet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("api keys: %w", err)
+	}
+	defer f.Close()
+	return ParseKeys(f)
+}
+
+// Tenants returns the declared tenants in declaration order.
+func (ks *KeySet) Tenants() []*Tenant {
+	out := make([]*Tenant, len(ks.tenants))
+	copy(out, ks.tenants)
+	return out
+}
+
+// Authenticate resolves an Authorization header to its tenant. Only the
+// Bearer scheme is accepted; anything else — missing header, other
+// scheme, unknown key — is a refusal.
+func (ks *KeySet) Authenticate(authorization string) (*Tenant, bool) {
+	scheme, key, ok := strings.Cut(strings.TrimSpace(authorization), " ")
+	if !ok || !strings.EqualFold(scheme, "Bearer") {
+		return nil, false
+	}
+	t, ok := ks.keys[strings.TrimSpace(key)]
+	return t, ok
+}
+
+// SetAuth installs the key set: from now on every control-plane request
+// must authenticate, is accounted to its tenant, and is subject to the
+// tenant's quotas. Monitoring (/healthz, /metrics), the worker protocol
+// (the fleet is operator infrastructure, not a tenant) and pprof stay
+// open. Call before serving traffic; a nil KeySet keeps the server
+// open.
+func (s *Server) SetAuth(ks *KeySet) { s.auth = ks }
+
+// authExempt lists the paths that stay open under -api-keys.
+func authExempt(path string) bool {
+	return path == "/healthz" || path == "/metrics" ||
+		strings.HasPrefix(path, "/v1/workers/") ||
+		strings.HasPrefix(path, "/debug/pprof")
+}

@@ -32,8 +32,9 @@ import (
 	"repro/internal/testutil"
 )
 
-// fiserverBin is the binary TestMain builds once for every test.
-var fiserverBin string
+// fiserverBin and fiworkerBin are the binaries TestMain builds once for
+// every test.
+var fiserverBin, fiworkerBin string
 
 func TestMain(m *testing.M) {
 	dir, err := os.MkdirTemp("", "chaostest")
@@ -43,11 +44,14 @@ func TestMain(m *testing.M) {
 	}
 	defer os.RemoveAll(dir)
 	fiserverBin = filepath.Join(dir, "fiserver")
-	build := exec.Command("go", "build", "-o", fiserverBin, "repro/cmd/fiserver")
-	build.Stderr = os.Stderr
-	if err := build.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "chaostest: building fiserver: %v\n", err)
-		os.Exit(1)
+	fiworkerBin = filepath.Join(dir, "fiworker")
+	for bin, pkg := range map[string]string{fiserverBin: "repro/cmd/fiserver", fiworkerBin: "repro/cmd/fiworker"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "chaostest: building %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
 	}
 	os.Exit(m.Run())
 }
@@ -69,15 +73,18 @@ var bootLine = regexp.MustCompile(`^job store .*: (\d+) jobs restored, (\d+) res
 
 // startServer launches fiserver over dir's stores and waits for its
 // listener. crash (a service.Crash* constant) arms a self-SIGKILL
-// barrier via FISERVER_CRASH; empty runs a healthy server.
-func startServer(t *testing.T, dir, crash string) *proc {
+// barrier via FISERVER_CRASH; empty runs a healthy server. extra flags
+// (cluster mode, api keys, remote workers) append after the defaults.
+func startServer(t *testing.T, dir, crash string, extra ...string) *proc {
 	t.Helper()
-	cmd := exec.Command(fiserverBin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-store", filepath.Join(dir, "cells.jsonl"),
 		"-job-store", filepath.Join(dir, "jobs.jsonl"),
 		"-drain-timeout", "2s",
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(fiserverBin, args...)
 	cmd.Env = os.Environ()
 	if crash != "" {
 		cmd.Env = append(cmd.Env, "FISERVER_CRASH="+crash)

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// okHandler is a minimal activated handler for cluster tests.
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"served": "yes"})
+	})
+}
+
+func TestClusterLoneServerBootsActive(t *testing.T) {
+	dir := t.TempDir()
+	activations := 0
+	c := NewCluster(dir, "a", time.Second, func() (http.Handler, error) {
+		activations++
+		return okHandler(), nil
+	})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	state, epoch := c.State()
+	if state != "active" || epoch != 1 || activations != 1 {
+		t.Fatalf("state %s epoch %d activations %d", state, epoch, activations)
+	}
+	rr := httptest.NewRecorder()
+	c.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/jobs", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("active node answered %d", rr.Code)
+	}
+	// The journal holds the claim under the wire FileOwner format.
+	data, err := os.ReadFile(filepath.Join(dir, OwnershipFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, _, err := wire.ParseHeader(data)
+	if err != nil || kind != wire.FileOwner {
+		t.Fatalf("journal header kind %v err %v", kind, err)
+	}
+}
+
+func TestClusterStandbyAnswers503UntilTakeover(t *testing.T) {
+	dir := t.TempDir()
+	a := NewCluster(dir, "a", 300*time.Millisecond, func() (http.Handler, error) { return okHandler(), nil })
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewCluster(dir, "b", 300*time.Millisecond, func() (http.Handler, error) { return okHandler(), nil })
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if state, _ := b.State(); state != "standby" {
+		t.Fatalf("b booted %s with a live owner", state)
+	}
+	// Standby refuses traffic with the unavailable envelope but keeps
+	// its health probe answering.
+	rr := httptest.NewRecorder()
+	b.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/jobs", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("standby answered %d", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	b.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("standby healthz answered %d", rr.Code)
+	}
+
+	// Owner a dies without releasing (the heartbeat loop just stops, as
+	// under SIGKILL). b must claim the next epoch within a few TTLs.
+	a.stopOnce.Do(func() { close(a.stop) })
+	<-a.done
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if state, epoch := b.State(); state == "active" {
+			if epoch != 2 {
+				t.Fatalf("takeover epoch %d, want 2", epoch)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("standby never took over from a dead owner")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rr = httptest.NewRecorder()
+	b.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/jobs", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("new owner answered %d", rr.Code)
+	}
+}
+
+func TestClusterCleanReleaseHandsOverImmediately(t *testing.T) {
+	dir := t.TempDir()
+	a := NewCluster(dir, "a", 10*time.Second, func() (http.Handler, error) { return okHandler(), nil })
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	a.Close() // appends a release record
+
+	// Despite the 10s TTL, the released epoch is claimable at once.
+	b := NewCluster(dir, "b", 10*time.Second, func() (http.Handler, error) { return okHandler(), nil })
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if state, epoch := b.State(); state != "active" || epoch != 2 {
+		t.Fatalf("after clean release: state %s epoch %d", state, epoch)
+	}
+}
+
+func TestClusterOwnerDeposedByHigherEpoch(t *testing.T) {
+	dir := t.TempDir()
+	var deposed atomic.Bool
+	a := NewCluster(dir, "a", 200*time.Millisecond, func() (http.Handler, error) { return okHandler(), nil })
+	a.OnDeposed(func() { deposed.Store(true) })
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// A usurper claims epoch 2 behind a's back (a partitioned standby
+	// that decided a was dead). a must fence itself out on its next
+	// heartbeat, not keep serving a stale epoch.
+	usurper := NewCluster(dir, "b", 200*time.Millisecond, nil)
+	if err := usurper.append(wire.OwnerRecord{Epoch: 2, Server: "b", Event: wire.OwnerClaim}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if state, _ := a.State(); state == "deposed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("owner never deposed itself under a higher epoch")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !deposed.Load() {
+		t.Fatal("OnDeposed hook not invoked")
+	}
+	rr := httptest.NewRecorder()
+	a.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/jobs", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("deposed node kept serving: %d", rr.Code)
+	}
+}
+
+func TestClusterHealsTornOwnershipTail(t *testing.T) {
+	dir := t.TempDir()
+	a := NewCluster(dir, "a", time.Second, func() (http.Handler, error) { return okHandler(), nil })
+	// Seed a good claim, then tear the tail as a SIGKILL mid-append
+	// would.
+	if err := a.append(wire.OwnerRecord{Epoch: 7, Server: "x", Event: wire.OwnerRelease}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, OwnershipFile)
+	torn := wire.AppendRecord(nil, wire.RecOwner, wire.EncodeOwner(wire.OwnerRecord{Epoch: 8, Server: "x", Event: wire.OwnerClaim}))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The torn record must not forge epoch 8: reads skip it and the next
+	// append truncates it away, so the new claim lands at epoch 8 from a.
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if state, epoch := a.State(); state != "active" || epoch != 8 {
+		t.Fatalf("after torn tail: state %s epoch %d", state, epoch)
+	}
+	recs, err := a.read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Server == "x" && rec.Epoch == 8 {
+			t.Fatalf("torn claim resurrected: %+v", rec)
+		}
+	}
+}

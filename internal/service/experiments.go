@@ -47,8 +47,13 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 
 	cells := make([]cellState, len(plan.Cells))
-	for i, cs := range plan.CellSpecs() {
+	specs := plan.CellSpecs()
+	for i, cs := range specs {
 		cells[i] = cellState{Spec: cs, State: "pending"}
+	}
+	tenant, tq := s.tenantOf(r)
+	if !s.admitJob(w, tq, batchCost(specs)) {
+		return
 	}
 
 	// The run dies with the connection (the stream is the delivery
@@ -59,29 +64,35 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		if tq != nil {
+			s.quota.release(tenant)
+		}
 		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 	s.running.Add(1)
 	s.nextID++
 	j := &job{
-		id:     newJobID("exp", s.nextID),
-		kind:   "experiment",
-		cancel: cancel,
-		state:  "running",
-		cells:  cells,
+		id:        newJobID("exp", s.nextID),
+		kind:      "experiment",
+		cancel:    cancel,
+		tenant:    tenant,
+		quotaHeld: tq != nil,
+		state:     "running",
+		cells:     cells,
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.evictLocked()
 	s.mu.Unlock()
+	telemetry.JobsSubmitted.With(tenantMetricLabel(tenant)).Inc()
 
 	// Journal the normalized spec: replaying it through Parse + Compile on
 	// recovery reproduces this exact plan (normalization is idempotent).
 	rawSpec, _ := json.Marshal(plan.Spec)
-	s.journal(journalRecord{Event: "submit", Job: j.id, Kind: "experiment", Spec: rawSpec})
+	s.journal(journalRecord{Event: "submit", Job: j.id, Kind: "experiment", Tenant: tenant, Spec: rawSpec})
 
-	ctx = telemetry.WithJob(ctx, j.id)
+	ctx = telemetry.WithTenant(telemetry.WithJob(ctx, j.id), tenant)
 	s.log.InfoContext(ctx, "experiment started", "name", plan.Spec.Name, "cells", len(plan.Cells))
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -155,6 +166,7 @@ func (s *Server) runExperimentJob(ctx context.Context, cancel context.CancelFunc
 	}
 	state, errMsg := j.state, j.errMsg
 	j.mu.Unlock()
+	s.settleJob(j)
 	s.journalFinish(journalRecord{Event: "finish", Job: j.id, State: state, Error: errMsg, ExpResult: res})
 	s.log.InfoContext(ctx, "experiment finished", "name", plan.Spec.Name, "state", state)
 

@@ -53,6 +53,7 @@ type journalRecord struct {
 	// for experiments. Recovery replays them through the same validation
 	// and compilation path as a fresh submission.
 	Kind   string              `json:"kind,omitempty"`
+	Tenant string              `json:"tenant,omitempty"`
 	Cells  []campaign.CellSpec `json:"cells,omitempty"`
 	Policy *jobPolicy          `json:"policy,omitempty"`
 	Spec   json.RawMessage     `json:"spec,omitempty"`
@@ -77,6 +78,7 @@ type journalRecord struct {
 type jobSnapshot struct {
 	ID        string
 	Kind      string
+	Tenant    string
 	RawCells  []campaign.CellSpec
 	Policy    *jobPolicy
 	Spec      json.RawMessage
@@ -201,6 +203,7 @@ func (js *JobStore) applyLocked(rec journalRecord) {
 		snap := &jobSnapshot{
 			ID:       rec.Job,
 			Kind:     rec.Kind,
+			Tenant:   rec.Tenant,
 			RawCells: rec.Cells,
 			Policy:   rec.Policy,
 			Spec:     rec.Spec,
@@ -387,7 +390,7 @@ func (js *JobStore) Compact() error {
 	for _, id := range js.order {
 		snap := js.snaps[id]
 		recs := []journalRecord{{
-			Event: "submit", Job: id, Kind: snap.Kind,
+			Event: "submit", Job: id, Kind: snap.Kind, Tenant: snap.Tenant,
 			Cells: snap.RawCells, Policy: snap.Policy, Spec: snap.Spec,
 		}}
 		for i, c := range snap.Cells {

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Per-tenant admission control. Two limits, both declared in the key
+// file and enforced at submit time (never mid-run):
+//
+//   - max-jobs caps a tenant's concurrently running jobs; the slot is
+//     released when the job settles (done, failed or canceled).
+//   - inj-rate caps admitted injection work per second with a debt-style
+//     token bucket: a submission is admitted whenever the tenant owes no
+//     debt, then charged its full normalized injection cost. Large jobs
+//     therefore always admit eventually (no job can be bigger than the
+//     bucket) and the long-run admitted rate converges to inj-rate.
+//
+// A rejected submission answers 429 with the standard error envelope
+// (code "quota_exceeded") and counts in fi_jobs_quota_rejected_total.
+type quotaTable struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	tenants map[string]*tenantUsage
+}
+
+// tenantUsage is one tenant's live consumption.
+type tenantUsage struct {
+	running int
+	debt    float64 // injections owed; admission requires debt == 0
+	last    time.Time
+}
+
+func newQuotaTable() *quotaTable {
+	return &quotaTable{now: time.Now, tenants: make(map[string]*tenantUsage)}
+}
+
+// usageLocked returns (creating if needed) a tenant's usage record with
+// its rate debt decayed to the present. Callers hold q.mu.
+func (q *quotaTable) usageLocked(tenant string, rate float64) *tenantUsage {
+	u := q.tenants[tenant]
+	if u == nil {
+		u = &tenantUsage{last: q.now()}
+		q.tenants[tenant] = u
+	}
+	now := q.now()
+	if rate > 0 && u.debt > 0 {
+		u.debt -= rate * now.Sub(u.last).Seconds()
+		if u.debt < 0 {
+			u.debt = 0
+		}
+	}
+	u.last = now
+	return u
+}
+
+// admit charges a submission of cost normalized injections against the
+// tenant's limits, reserving a job slot on success. The error, when
+// non-nil, is the human-readable 429 message.
+func (q *quotaTable) admit(t *Tenant, cost int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	u := q.usageLocked(t.Name, t.InjRate)
+	if t.MaxJobs > 0 && u.running >= t.MaxJobs {
+		return fmt.Errorf("tenant %s at max-jobs limit (%d running)", t.Name, u.running)
+	}
+	if t.InjRate > 0 && u.debt > 0 {
+		return fmt.Errorf("tenant %s over injection rate (%.0f inj/s, retry in %.1fs)",
+			t.Name, t.InjRate, u.debt/t.InjRate)
+	}
+	u.running++
+	u.debt += float64(cost)
+	return nil
+}
+
+// reacquire takes a job slot without admission checks — restart
+// recovery resuming a journaled job must never bounce off the quota its
+// original submission already passed.
+func (q *quotaTable) reacquire(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.usageLocked(tenant, 0).running++
+}
+
+// release returns a tenant's job slot when its job settles.
+func (q *quotaTable) release(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if u := q.tenants[tenant]; u != nil && u.running > 0 {
+		u.running--
+	}
+}

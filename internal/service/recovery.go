@@ -74,7 +74,7 @@ func (s *Server) UseJobStore(js *JobStore) (RecoveryStats, error) {
 				}
 			}
 			s.registerRecovered(&job{
-				id: snap.ID, kind: snap.Kind, cancel: func() {},
+				id: snap.ID, kind: snap.Kind, tenant: snap.Tenant, cancel: func() {},
 				state: snap.State, done: done, cells: snap.Cells,
 				results: snap.Results, expResult: snap.ExpResult,
 				errMsg: snap.ErrMsg,
@@ -95,7 +95,7 @@ func (s *Server) UseJobStore(js *JobStore) (RecoveryStats, error) {
 		}
 		if err != nil {
 			j := &job{
-				id: snap.ID, kind: snap.Kind, cancel: func() {},
+				id: snap.ID, kind: snap.Kind, tenant: snap.Tenant, cancel: func() {},
 				state: "failed", cells: snap.Cells,
 				errMsg: fmt.Sprintf("recovery: %v", err),
 			}
@@ -140,14 +140,26 @@ func (s *Server) resumeBatch(snap *jobSnapshot) (resumedJob, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		id: snap.ID, kind: "batch", state: "running", cancel: cancel,
+		id: snap.ID, kind: "batch", tenant: snap.Tenant, state: "running", cancel: cancel,
 		cells: cells, results: make([]*finject.Result, len(batch)),
 	}
+	s.reacquireQuota(j)
 	s.registerRecovered(j)
-	jctx := telemetry.WithJob(ctx, j.id)
+	jctx := telemetry.WithTenant(telemetry.WithJob(ctx, j.id), j.tenant)
 	return resumedJob{j: j, run: func() {
 		s.runBatchJob(jctx, cancel, j, batch)
 	}}, nil
+}
+
+// reacquireQuota re-takes a resumed job's max-jobs slot without
+// admission checks: its original submission already passed the quota,
+// and recovery must never bounce a journaled job off a limit.
+func (s *Server) reacquireQuota(j *job) {
+	if j.tenant == "" {
+		return
+	}
+	s.quota.reacquire(j.tenant)
+	j.quotaHeld = true
 }
 
 // resumeExperiment rebuilds an unfinished experiment job from its
@@ -168,9 +180,10 @@ func (s *Server) resumeExperiment(snap *jobSnapshot) (resumedJob, error) {
 		cells[i] = cellState{Spec: cs, State: "pending"}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &job{id: snap.ID, kind: "experiment", state: "running", cancel: cancel, cells: cells}
+	j := &job{id: snap.ID, kind: "experiment", tenant: snap.Tenant, state: "running", cancel: cancel, cells: cells}
+	s.reacquireQuota(j)
 	s.registerRecovered(j)
-	jctx := telemetry.WithJob(ctx, j.id)
+	jctx := telemetry.WithTenant(telemetry.WithJob(ctx, j.id), j.tenant)
 	return resumedJob{j: j, run: func() {
 		s.runExperimentJob(jctx, cancel, j, plan, nil)
 	}}, nil

@@ -59,6 +59,13 @@ type Server struct {
 	queue *campaign.LeaseQueue // non-nil once ServeWorkers ran
 	log   *slog.Logger
 
+	// auth, when non-nil, turns on multi-tenant mode: every control-plane
+	// request must carry a known API key (see auth.go) and is accounted
+	// and quota-checked under its tenant. quota tracks per-tenant usage
+	// regardless (it is inert while auth is nil).
+	auth  *KeySet
+	quota *quotaTable
+
 	// jstore, when non-nil, write-ahead journals every job transition so
 	// the job table survives restart (see UseJobStore). Lock ordering:
 	// jstore's mutex is strictly innermost — appends may happen while
@@ -79,6 +86,11 @@ type job struct {
 	id     string
 	kind   string // "batch" or "experiment"
 	cancel context.CancelFunc
+	// tenant is the submitting tenant ("" on open servers); in
+	// multi-tenant mode other tenants cannot see this job. quotaHeld
+	// marks a reserved max-jobs slot, returned once when the job settles.
+	tenant    string
+	quotaHeld bool
 
 	mu      sync.Mutex
 	state   string // "running", "done", "failed", "canceled"
@@ -124,6 +136,7 @@ func NewServer(sched *campaign.Scheduler) *Server {
 		mux:         http.NewServeMux(),
 		jobs:        make(map[string]*job),
 		maxRetained: maxRetainedJobs,
+		quota:       newQuotaTable(),
 		log:         slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 	s.handle("POST /v1/jobs", s.handleSubmit)
@@ -160,8 +173,64 @@ func (s *Server) SetLogger(l *slog.Logger) {
 // own mux — opt-in via fiserver's -pprof flag, never on by default.
 func (s *Server) EnablePprof() { telemetry.RegisterPprof(s.mux) }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. With a key set installed it is
+// also the authentication gate: the resolved tenant rides the request
+// context into handlers, logs and — over the lease wire — worker-side
+// correlation.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.auth != nil && !authExempt(r.URL.Path) {
+		t, ok := s.auth.Authenticate(r.Header.Get("Authorization"))
+		if !ok {
+			telemetry.HTTPAuthFailures.Inc()
+			httpError(w, http.StatusUnauthorized, "missing or unknown API key")
+			return
+		}
+		telemetry.HTTPTenantRequests.With(t.Name).Inc()
+		r = r.WithContext(telemetry.WithTenant(r.Context(), t.Name))
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// tenantOf resolves the authenticated tenant of a request ("" and nil
+// on open servers, where no tenant accounting applies).
+func (s *Server) tenantOf(r *http.Request) (string, *Tenant) {
+	if s.auth == nil {
+		return "", nil
+	}
+	t, ok := s.auth.Authenticate(r.Header.Get("Authorization"))
+	if !ok {
+		return "", nil
+	}
+	return t.Name, t
+}
+
+// admitJob runs quota admission for a submission of cost normalized
+// injections, answering 429 (and counting the rejection) itself when
+// the tenant is over a limit. The returned cleanup releases the
+// reserved job slot; callers hand it to the job so settling releases
+// exactly once.
+func (s *Server) admitJob(w http.ResponseWriter, t *Tenant, cost int64) bool {
+	if t == nil {
+		return true
+	}
+	if err := s.quota.admit(t, cost); err != nil {
+		telemetry.JobsQuotaRejected.With(t.Name).Inc()
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return false
+	}
+	return true
+}
+
+// settleJob releases a job's quota slot, exactly once.
+func (s *Server) settleJob(j *job) {
+	j.mu.Lock()
+	held := j.quotaHeld
+	j.quotaHeld = false
+	j.mu.Unlock()
+	if held {
+		s.quota.release(j.tenant)
+	}
+}
 
 // writeJSON writes one JSON response with status code.
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -194,6 +263,10 @@ func errorCode(status int) string {
 		return "conflict"
 	case http.StatusGone:
 		return "gone"
+	case http.StatusUnauthorized:
+		return "unauthorized"
+	case http.StatusTooManyRequests:
+		return "quota_exceeded"
 	case http.StatusServiceUnavailable:
 		return "unavailable"
 	default:
@@ -275,40 +348,51 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	tenant, tq := s.tenantOf(r)
+	if !s.admitJob(w, tq, batchCost(req.Cells)) {
+		return
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		cancel()
+		if tq != nil {
+			s.quota.release(tenant)
+		}
 		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 	s.running.Add(1)
 	s.nextID++
 	j := &job{
-		id:      newJobID("job", s.nextID),
-		kind:    "batch",
-		cancel:  cancel,
-		state:   "running",
-		cells:   cells,
-		results: make([]*finject.Result, len(batch)),
+		id:        newJobID("job", s.nextID),
+		kind:      "batch",
+		cancel:    cancel,
+		tenant:    tenant,
+		quotaHeld: tq != nil,
+		state:     "running",
+		cells:     cells,
+		results:   make([]*finject.Result, len(batch)),
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.evictLocked()
 	s.mu.Unlock()
+	telemetry.JobsSubmitted.With(tenantMetricLabel(tenant)).Inc()
 
 	// The submit record goes down before the job goroutine can journal
 	// its first cell, so replay always sees a job before its transitions.
 	s.journal(journalRecord{
-		Event: "submit", Job: j.id, Kind: "batch",
+		Event: "submit", Job: j.id, Kind: "batch", Tenant: tenant,
 		Cells: req.Cells, Policy: req.Policy,
 	})
 
-	// The job id rides the context from here through the scheduler and —
-	// on the remote tier — across the lease wire into worker logs.
-	jctx := telemetry.WithJob(ctx, j.id)
+	// The job id and tenant ride the context from here through the
+	// scheduler and — on the remote tier — across the lease wire into
+	// worker logs and fair-share accounting.
+	jctx := telemetry.WithTenant(telemetry.WithJob(ctx, j.id), tenant)
 	s.log.InfoContext(jctx, "job submitted", "kind", "batch", "cells", len(batch))
 
 	go s.runBatchJob(jctx, cancel, j, batch)
@@ -340,6 +424,25 @@ func buildBatch(specs []campaign.CellSpec, policy *jobPolicy) ([]finject.Campaig
 		cells[i] = cellState{Spec: campaign.SpecOf(c), State: "pending"}
 	}
 	return batch, cells, nil
+}
+
+// batchCost sums a submission's normalized injection caps — the
+// admission weight the inj-rate quota charges.
+func batchCost(specs []campaign.CellSpec) int64 {
+	var cost int64
+	for _, s := range specs {
+		cost += int64(s.Normalize().Injections)
+	}
+	return cost
+}
+
+// tenantMetricLabel maps the empty tenant to the documented label value
+// for per-tenant metric families on open servers.
+func tenantMetricLabel(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
 }
 
 // runBatchJob drives one batch job through the scheduler, journaling
@@ -390,6 +493,7 @@ func (s *Server) runBatchJob(ctx context.Context, cancel context.CancelFunc, j *
 	}
 	state, errMsg, done := j.state, j.errMsg, j.done
 	j.mu.Unlock()
+	s.settleJob(j)
 	s.journalFinish(journalRecord{Event: "finish", Job: j.id, State: state, Error: errMsg})
 	s.log.InfoContext(ctx, "job finished", "state", state, "done", done, "error", errMsg)
 }
@@ -418,15 +522,31 @@ func (s *Server) evictLocked() {
 	}
 }
 
-// jobByID resolves the {id} path value.
+// jobByID resolves the {id} path value, scoped to the requesting
+// tenant: in multi-tenant mode another tenant's job answers the same
+// 404 as a job that never existed, so job ids leak nothing across
+// tenants. Jobs journaled before tenancy (tenant "") stay visible to
+// everyone.
 func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *job {
 	s.mu.Lock()
 	j := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
+	if j != nil && !s.tenantSees(r, j) {
+		j = nil
+	}
 	if j == nil {
 		httpJobError(w, http.StatusNotFound, r.PathValue("id"), "unknown job %q", r.PathValue("id"))
 	}
 	return j
+}
+
+// tenantSees reports whether the request's tenant may observe j.
+func (s *Server) tenantSees(r *http.Request, j *job) bool {
+	if s.auth == nil || j.tenant == "" {
+		return true
+	}
+	tenant, _ := s.tenantOf(r)
+	return tenant == j.tenant
 }
 
 // handleStatus reports a job's progress.
@@ -437,7 +557,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"id":    j.id,
 		"kind":  j.kind,
 		"state": j.state,
@@ -445,7 +565,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"total": len(j.cells),
 		"cells": j.cells,
 		"error": j.errMsg,
-	})
+	}
+	if j.tenant != "" {
+		body["tenant"] = j.tenant
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // jobResultRow pairs a cell spec with its result.
@@ -483,20 +607,23 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // jobSummary is one row of the GET /v1/jobs listing.
 type jobSummary struct {
-	ID    string `json:"id"`
-	Kind  string `json:"kind"`
-	State string `json:"state"`
-	Done  int    `json:"done"`
-	Total int    `json:"total"`
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	State  string `json:"state"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // handleJobs lists the retained jobs, oldest first — the discovery
 // surface clients use to find their jobs again after a server restart.
+// In multi-tenant mode each tenant sees only its own jobs (plus any
+// pre-tenancy jobs with no owner).
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	js := make([]*job, 0, len(s.order))
 	for _, id := range s.order {
-		if j := s.jobs[id]; j != nil {
+		if j := s.jobs[id]; j != nil && s.tenantSees(r, j) {
 			js = append(js, j)
 		}
 	}
@@ -504,7 +631,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	rows := make([]jobSummary, len(js))
 	for i, j := range js {
 		j.mu.Lock()
-		rows[i] = jobSummary{ID: j.id, Kind: j.kind, State: j.state, Done: j.done, Total: len(j.cells)}
+		rows[i] = jobSummary{ID: j.id, Kind: j.kind, State: j.state, Done: j.done, Total: len(j.cells), Tenant: j.tenant}
 		j.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": rows})
@@ -525,6 +652,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	j := s.jobs[id]
+	if j != nil && !s.tenantSees(r, j) {
+		j = nil
+	}
 	if j == nil {
 		s.mu.Unlock()
 		httpJobError(w, http.StatusNotFound, id, "unknown job %q", id)

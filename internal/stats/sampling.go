@@ -154,6 +154,15 @@ func (p Proportion) Interval(confidence float64) (lo, hi float64, err error) {
 	if hi > 1 {
 		hi = 1
 	}
+	// The Wilson interval contains the point estimate by construction,
+	// but at phat = 0 or 1 the float evaluation of center ± half can
+	// land one ulp inside it; clamp so callers can rely on lo <= phat <= hi.
+	if lo > phat {
+		lo = phat
+	}
+	if hi < phat {
+		hi = phat
+	}
 	return lo, hi, nil
 }
 

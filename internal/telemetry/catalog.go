@@ -108,4 +108,27 @@ var (
 		"Control-plane HTTP requests served, by route.", "route")
 	HTTPLatency = Default.HistogramVec("fi_http_request_seconds",
 		"Control-plane HTTP request latency in seconds, by route.", "route", DefBuckets)
+
+	// Multi-tenancy (internal/service auth + quotas). Tenant label values
+	// come from the -api-keys file, so cardinality is bounded by the
+	// operator's tenant table; unauthenticated servers account everything
+	// to the "default" tenant.
+	HTTPTenantRequests = Default.CounterVec("fi_http_tenant_requests_total",
+		"Authenticated control-plane requests served, by tenant.", "tenant")
+	HTTPAuthFailures = Default.Counter("fi_http_auth_failures_total",
+		"Requests rejected for a missing or unknown API key.")
+	JobsSubmitted = Default.CounterVec("fi_jobs_submitted_total",
+		"Jobs (batches and experiments) accepted, by tenant.", "tenant")
+	JobsQuotaRejected = Default.CounterVec("fi_jobs_quota_rejected_total",
+		"Submissions rejected with 429 by a tenant quota, by tenant.", "tenant")
+	LeaseTenantDepth = Default.GaugeVec("fi_lease_queue_depth_tenant",
+		"Cells waiting in the lease queue, not yet leased, by tenant.", "tenant")
+
+	// Horizontal control plane (internal/service cluster ownership).
+	ClusterEpoch = Default.Gauge("fi_cluster_epoch",
+		"Ownership epoch this server last claimed or observed (0 outside cluster mode).")
+	ClusterActive = Default.Gauge("fi_cluster_active",
+		"1 while this server owns the shared job store, 0 in standby.")
+	ClusterTakeovers = Default.Counter("fi_cluster_takeovers_total",
+		"Ownership claims made after detecting a stale peer (adoptions).")
 )

@@ -14,9 +14,10 @@ import (
 // processes in campaign.Task — so one grep over structured logs
 // reconstructs a cell's life from fiserver submit to fiworker complete.
 type Corr struct {
-	Job   string
-	Cell  string
-	Lease string
+	Job    string
+	Cell   string
+	Lease  string
+	Tenant string
 }
 
 type corrKey struct{}
@@ -41,6 +42,11 @@ func WithCell(ctx context.Context, cell string) context.Context {
 // WithLease tags ctx with a lease correlation id.
 func WithLease(ctx context.Context, lease string) context.Context {
 	return withCorr(ctx, func(c *Corr) { c.Lease = lease })
+}
+
+// WithTenant tags ctx with the tenant the work is accounted to.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return withCorr(ctx, func(c *Corr) { c.Tenant = tenant })
 }
 
 // CorrFrom returns the correlation identity in ctx (zero when untagged).
@@ -70,6 +76,9 @@ func (h corrHandler) Handle(ctx context.Context, r slog.Record) error {
 	}
 	if c.Lease != "" {
 		r.AddAttrs(slog.String("lease", c.Lease))
+	}
+	if c.Tenant != "" {
+		r.AddAttrs(slog.String("tenant", c.Tenant))
 	}
 	return h.Handler.Handle(ctx, r)
 }

@@ -118,6 +118,19 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	return v
 }
 
+// GaugeVec returns the registered gauge family keyed by one label,
+// creating it on first use.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	m := r.register(name, help, "gauge", func() sampler {
+		return &GaugeVec{label: label, m: make(map[string]*Gauge)}
+	})
+	v, ok := m.(*GaugeVec)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: metric %q is not a gauge vec", name))
+	}
+	return v
+}
+
 // HistogramVec returns the registered histogram family keyed by one
 // label, creating it on first use.
 func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
@@ -308,6 +321,44 @@ func (v *CounterVec) With(value string) *Counter {
 }
 
 func (v *CounterVec) samples(name string, w io.Writer) {
+	v.mu.RLock()
+	values := make([]string, 0, len(v.m))
+	for val := range v.m {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	for _, val := range values {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, v.label, escapeLabel(val), v.m[val].Value())
+	}
+	v.mu.RUnlock()
+}
+
+// GaugeVec is a gauge family keyed by one label.
+type GaugeVec struct {
+	label string
+	mu    sync.RWMutex
+	m     map[string]*Gauge
+}
+
+// With returns the child gauge for the label value, creating it on
+// first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.RLock()
+	g, ok := v.m[value]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.m[value]; !ok {
+		g = &Gauge{}
+		v.m[value] = g
+	}
+	return g
+}
+
+func (v *GaugeVec) samples(name string, w io.Writer) {
 	v.mu.RLock()
 	values := make([]string, 0, len(v.m))
 	for val := range v.m {

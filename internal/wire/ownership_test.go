@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOwnerRecordRoundTrip(t *testing.T) {
+	recs := []OwnerRecord{
+		{Epoch: 1, Server: "fiserver-a", UnixMillis: 1700000000000, Event: OwnerClaim},
+		{Epoch: 1, Server: "fiserver-a", UnixMillis: 1700000000250, Event: OwnerBeat},
+		{Epoch: 2, Server: "fiserver-b", UnixMillis: 1700000009000, Event: OwnerClaim},
+		{Epoch: 2, Server: "fiserver-b", UnixMillis: 1700000010000, Event: OwnerRelease},
+	}
+	for _, want := range recs {
+		got, err := DecodeOwner(EncodeOwner(want))
+		if err != nil {
+			t.Fatalf("DecodeOwner(%+v): %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestOwnerRecordRejectsBadPayloads(t *testing.T) {
+	good := EncodeOwner(OwnerRecord{Epoch: 3, Server: "s", UnixMillis: 42, Event: OwnerBeat})
+
+	if _, err := DecodeOwner(good[:len(good)-1]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated payload: got %v, want ErrCorrupt", err)
+	}
+	if _, err := DecodeOwner(append(append([]byte(nil), good...), 0xFF)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: got %v, want ErrCorrupt", err)
+	}
+	bogus := EncodeOwner(OwnerRecord{Epoch: 3, Server: "s", UnixMillis: 42, Event: "usurp"})
+	if _, err := DecodeOwner(bogus); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown event: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOwnerFileScanAndTornTail(t *testing.T) {
+	b := AppendHeader(nil, FileOwner)
+	b = AppendRecord(b, RecOwner, EncodeOwner(OwnerRecord{Epoch: 1, Server: "a", UnixMillis: 10, Event: OwnerClaim}))
+	b = AppendRecord(b, RecOwner, EncodeOwner(OwnerRecord{Epoch: 2, Server: "b", UnixMillis: 20, Event: OwnerClaim}))
+	goodLen := len(b)
+	// A torn tail: half an appended record, the SIGKILL-mid-claim shape.
+	torn := AppendRecord(nil, RecOwner, EncodeOwner(OwnerRecord{Epoch: 3, Server: "c", UnixMillis: 30, Event: OwnerClaim}))
+	b = append(b, torn[:len(torn)/2]...)
+
+	var got []OwnerRecord
+	good, err := ScanRecords(b, func(rec Record) error {
+		if rec.Kind != RecOwner {
+			t.Fatalf("unexpected record kind %v", rec.Kind)
+		}
+		o, err := DecodeOwner(rec.Payload)
+		if err != nil {
+			return err
+		}
+		got = append(got, o)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanRecords: %v", err)
+	}
+	if good != goodLen {
+		t.Fatalf("good offset %d, want %d (torn tail must be truncated away)", good, goodLen)
+	}
+	if len(got) != 2 || got[0].Epoch != 1 || got[1].Epoch != 2 {
+		t.Fatalf("scanned records %+v, want epochs 1,2", got)
+	}
+}

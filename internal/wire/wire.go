@@ -56,6 +56,10 @@ const (
 	// FileLadder is an immutable checkpoint-ladder image, written once
 	// and mmap'd read-only by any number of processes.
 	FileLadder FileKind = 2
+	// FileOwner is the control-plane ownership journal: an append-only
+	// sequence of epoch claim/heartbeat/release records through which a
+	// fleet of fiservers agrees on which one owns the shared job store.
+	FileOwner FileKind = 3
 )
 
 // String names the file kind for inspect output.
@@ -65,6 +69,8 @@ func (k FileKind) String() string {
 		return "store"
 	case FileLadder:
 		return "ladder"
+	case FileOwner:
+		return "ownership"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -87,6 +93,10 @@ const (
 	// RecLadderInfo identifies a ladder file's (chip, benchmark,
 	// interval) so loaders never restore a foreign ladder.
 	RecLadderInfo RecordKind = 4
+	// RecOwner is one control-plane ownership transition (see
+	// ownership.go): an epoch claim, a heartbeat under an epoch, or a
+	// voluntary release.
+	RecOwner RecordKind = 5
 )
 
 // String names the record kind for inspect output.
@@ -100,6 +110,8 @@ func (k RecordKind) String() string {
 		return "snapshot"
 	case RecLadderInfo:
 		return "ladder-info"
+	case RecOwner:
+		return "owner"
 	default:
 		return fmt.Sprintf("record(%d)", uint8(k))
 	}
@@ -142,7 +154,7 @@ func ParseHeader(b []byte) (FileKind, int, error) {
 		return 0, 0, fmt.Errorf("%w: %d (reader speaks %d)", ErrVersion, b[4], Version)
 	}
 	kind := FileKind(b[5])
-	if kind != FileStore && kind != FileLadder {
+	if kind != FileStore && kind != FileLadder && kind != FileOwner {
 		return 0, 0, fmt.Errorf("%w: unknown file kind %d", ErrCorrupt, b[5])
 	}
 	return kind, HeaderSize, nil

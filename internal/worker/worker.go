@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,14 +28,24 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Client speaks the fiserver worker protocol.
+// Client speaks the fiserver worker protocol. It may be pointed at a
+// whole cluster: Base accepts a comma-separated list of server URLs,
+// and the client sticks to one until it fails (transport error or 5xx
+// — a dead server or a standby answering 503), then rotates to the
+// next. Determinism makes the servers interchangeable: whichever owner
+// grants the lease, the cell's result is the same bytes.
 type Client struct {
-	// Base is the server's base URL, e.g. "http://127.0.0.1:8080".
+	// Base is the server's base URL, e.g. "http://127.0.0.1:8080", or a
+	// comma-separated list of them for a clustered control plane.
 	Base string
 	// Name identifies this worker in leases and server-side stats.
 	Name string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+
+	mu    sync.Mutex
+	bases []string
+	cur   int
 }
 
 func (c *Client) http() *http.Client {
@@ -42,6 +53,35 @@ func (c *Client) http() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
+}
+
+// current returns the server the client is currently stuck to, parsing
+// Base on first use.
+func (c *Client) current() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bases == nil {
+		for _, b := range strings.Split(c.Base, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				c.bases = append(c.bases, strings.TrimRight(b, "/"))
+			}
+		}
+		if len(c.bases) == 0 {
+			c.bases = []string{""}
+		}
+	}
+	return c.bases[c.cur]
+}
+
+// failover rotates to the next server, but only if from is still the
+// current one — concurrent requests that all fail against the same
+// server advance the cursor once, not once each.
+func (c *Client) failover(from string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.bases) > 1 && c.bases[c.cur] == from {
+		c.cur = (c.cur + 1) % len(c.bases)
+	}
 }
 
 // post sends one JSON request and decodes the JSON answer into out
@@ -52,14 +92,22 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(buf))
+	base := c.current()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(buf))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.http().Do(req)
 	if err != nil {
+		// Unreachable server: try the next one on the following call.
+		c.failover(base)
 		return err
+	}
+	if resp.StatusCode/100 == 5 {
+		// A 5xx — notably a cluster standby's 503 — means this server
+		// cannot grant work; rotate before the caller retries.
+		c.failover(base)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {

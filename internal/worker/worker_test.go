@@ -2,7 +2,10 @@ package worker
 
 import (
 	"context"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -128,6 +131,91 @@ func TestWorkerSurvivesServerAbsence(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("worker did not stop on cancel")
+	}
+}
+
+// TestWorkerFailsOverToLiveServer points a worker at a two-server list
+// whose first entry is dead: the first lease attempt rotates to the
+// live server and the queue drains there, no configuration change
+// needed.
+func TestWorkerFailsOverToLiveServer(t *testing.T) {
+	ts, sched, _ := startRemoteService(t, time.Minute)
+	w := New(&Client{Base: "http://127.0.0.1:1, " + ts.URL, Name: "w"}, Options{Poll: 20 * time.Millisecond, CampaignWorkers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+	defer func() { cancel(); <-done }()
+
+	c, err := spec("vectoradd", 3, 20).Campaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.Run(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injections != 20 {
+		t.Fatalf("realized %d injections", res.Injections)
+	}
+}
+
+// TestWorkerRotatesAwayFromStandby: a cluster standby answers every
+// worker call 503; the client must stick to the active server after one
+// bounce rather than alternating.
+func TestWorkerRotatesAwayFromStandby(t *testing.T) {
+	var standbyHits atomic.Int64
+	standby := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		standbyHits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":{"code":"unavailable","message":"standby"}}`)
+	}))
+	defer standby.Close()
+	ts, sched, _ := startRemoteService(t, time.Minute)
+
+	w := New(&Client{Base: standby.URL + "," + ts.URL, Name: "w"}, Options{Poll: 20 * time.Millisecond, CampaignWorkers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+	defer func() { cancel(); <-done }()
+
+	for i := 0; i < 3; i++ {
+		c, err := spec("vectoradd", uint64(10+i), 20).Campaign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sched.Run(ctx, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sticky rotation: the standby is consulted once (maybe twice under
+	// races), never once per lease.
+	if n := standbyHits.Load(); n > 2 {
+		t.Fatalf("standby consulted %d times, want sticky failover", n)
+	}
+}
+
+// TestClientBaseListParsing pins the comma-list contract: whitespace
+// trimmed, trailing slashes dropped, single-server lists never rotate.
+func TestClientBaseListParsing(t *testing.T) {
+	c := &Client{Base: " http://a:1/ , http://b:2 "}
+	if got := c.current(); got != "http://a:1" {
+		t.Fatalf("current %q", got)
+	}
+	c.failover("http://a:1")
+	if got := c.current(); got != "http://b:2" {
+		t.Fatalf("after failover %q", got)
+	}
+	// A stale failover (loser of a race) must not advance the cursor.
+	c.failover("http://a:1")
+	if got := c.current(); got != "http://b:2" {
+		t.Fatalf("after stale failover %q", got)
+	}
+	solo := &Client{Base: "http://only:1"}
+	solo.failover(solo.current())
+	if got := solo.current(); got != "http://only:1" {
+		t.Fatalf("single-server rotated to %q", got)
 	}
 }
 
